@@ -1,0 +1,93 @@
+// E3a (Sec. 5 worked example): "assume that 1% of the photons that Alice
+// tries to transmit are actually received at Bob ... On average, Alice and
+// Bob will happen to agree on a basis 50% of the time ... Thus only 50% x 1%
+// of Alice's photons give rise to a sifted bit, i.e., 1 photon in 200. A
+// transmitted stream of 1,000 bits therefore would boil down to about 5
+// sifted bits."
+//
+// Regenerates the sift-ratio table across detection probabilities and
+// validates the protocol messages' sizes.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "bench/bench_util.hpp"
+#include "src/optics/link.hpp"
+#include "src/qkd/sifting.hpp"
+
+namespace {
+
+using namespace qkd::optics;
+using namespace qkd::proto;
+
+/// Tunes detector efficiency so P(single click) ~ target.
+LinkParams params_for_detection_prob(double target) {
+  LinkParams params;
+  params.dark_count_prob = 0.0;
+  params.interferometer_visibility = 1.0;
+  params.fiber_km = 0.0;
+  params.insertion_loss_db = 0.0;
+  params.central_peak_fraction = 0.5;
+  // P(click) ~ 1 - exp(-mu * 0.5 * eta); solve for eta.
+  params.detector_efficiency =
+      std::min(1.0, -std::log(1.0 - target) / (params.mean_photon_number * 0.5));
+  return params;
+}
+
+void print_table() {
+  qkd::bench::heading("E3a", "Sec. 5: sifting boil-down (1 photon in 200)");
+  qkd::bench::row("%12s %12s %14s %14s %18s", "P(detect)", "pulses",
+                  "detections", "sifted bits", "sifted per 1000");
+  for (double p_detect : {0.001, 0.005, 0.01, 0.02}) {
+    const LinkParams params = params_for_detection_prob(p_detect);
+    WeakCoherentLink link(params, 5);
+    const std::size_t pulses = 1000000;
+    const FrameResult frame = link.run_frame(pulses);
+    const SiftMessage msg = make_sift_message(0, frame.bob);
+    const AliceSiftResult sift = alice_sift(frame.alice, msg);
+    qkd::bench::row("%12.3f %12zu %14zu %14zu %18.2f", p_detect, pulses,
+                    frame.bob.detected.popcount(), sift.outcome.bits.size(),
+                    1000.0 * static_cast<double>(sift.outcome.bits.size()) /
+                        pulses);
+  }
+  qkd::bench::row("");
+  qkd::bench::row("paper's example row: P(detect)=0.01 -> ~5 sifted per"
+                  " 1,000 transmitted (1 in 200)");
+
+  qkd::bench::row("");
+  qkd::bench::row("sift exchange wire cost at the real operating point:");
+  const LinkParams op;  // defaults
+  WeakCoherentLink link(op, 9);
+  const FrameResult frame = link.run_frame(1 << 20);
+  const SiftMessage msg = make_sift_message(0, frame.bob);
+  const AliceSiftResult sift = alice_sift(frame.alice, msg);
+  qkd::bench::row("  SIFT message: %zu bytes for %zu slots (%zu detections)",
+                  msg.serialize().size(), frame.bob.size(),
+                  frame.bob.detected.popcount());
+  qkd::bench::row("  SIFT RESPONSE: %zu bytes; sifted bits: %zu",
+                  sift.response.serialize().size(), sift.outcome.bits.size());
+}
+
+void bm_sift_round(benchmark::State& state) {
+  const LinkParams params;
+  WeakCoherentLink link(params, 13);
+  const FrameResult frame = link.run_frame(1 << 18);
+  for (auto _ : state) {
+    const SiftMessage msg = make_sift_message(0, frame.bob);
+    const AliceSiftResult alice = alice_sift(frame.alice, msg);
+    benchmark::DoNotOptimize(
+        bob_apply_response(frame.bob, msg, alice.response));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(frame.bob.size()) *
+                          state.iterations());
+}
+BENCHMARK(bm_sift_round);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,72 @@
+// E3b (Sec. 2): "Today's QKD systems achieve on the order of 1,000
+// bits/second throughput for keying material, in realistic settings, and
+// often run at much lower rates."
+//
+// Runs the complete pipeline at the 1 MHz operating trigger and at the
+// hardware's 5 MHz maximum, reporting every stage's volume. The shape to
+// check: hundreds of bits/s at 1 MHz, the ~1 kbps headline at 5 MHz.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+#include "src/qkd/engine.hpp"
+
+namespace {
+
+using namespace qkd::proto;
+
+void run_rate_row(double pulse_rate_hz, DefenseFunction defense,
+                  const char* label) {
+  QkdLinkConfig config;
+  config.frame_slots = 1 << 20;
+  config.link.pulse_rate_hz = pulse_rate_hz;
+  config.defense = defense;
+  QkdLinkSession session(config, 2003);
+  std::size_t sifted = 0, errors = 0, disclosed = 0;
+  for (int i = 0; i < 6; ++i) {
+    const BatchResult batch = session.run_batch();
+    sifted += batch.sifted_bits;
+    errors += batch.errors_corrected;
+    disclosed += batch.disclosed_bits;
+  }
+  const SessionTotals& totals = session.totals();
+  qkd::bench::row("%10.1f %10s %10zu %10zu %10zu %12.0f", pulse_rate_hz / 1e6,
+                  label, sifted, disclosed, totals.distilled_bits,
+                  totals.distilled_rate_bps());
+}
+
+void print_table() {
+  qkd::bench::heading(
+      "E3b", "Sec. 2: end-to-end key throughput (bits/second distilled)");
+  qkd::bench::row("%10s %10s %10s %10s %10s %12s", "MHz", "defense",
+                  "sifted", "disclosed", "distilled", "bits/s");
+  run_rate_row(1e6, DefenseFunction::kBennett, "Bennett");
+  run_rate_row(1e6, DefenseFunction::kSlutsky, "Slutsky");
+  run_rate_row(5e6, DefenseFunction::kBennett, "Bennett");
+  run_rate_row(5e6, DefenseFunction::kSlutsky, "Slutsky");
+  qkd::bench::row("");
+  qkd::bench::row("paper: ~1,000 bit/s at the era's best; our 5 MHz/Bennett "
+                  "row lands in that decade, 1 MHz runs \"much lower\" as "
+                  "the paper says; Slutsky's conservative bound refuses to "
+                  "distill at 6%% QBER (see E6)");
+}
+
+void bm_full_pipeline_batch(benchmark::State& state) {
+  QkdLinkConfig config;
+  config.frame_slots = static_cast<std::size_t>(state.range(0));
+  QkdLinkSession session(config, 17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(session.run_batch());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(config.frame_slots) *
+                          state.iterations());
+}
+BENCHMARK(bm_full_pipeline_batch)->Arg(1 << 18)->Arg(1 << 20);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  print_table();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

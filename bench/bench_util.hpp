@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark binaries.
+//
+// Every bench binary regenerates one of the paper's quantitative tables or
+// figure series (see DESIGN.md's per-experiment index) by printing the table
+// before handing control to google-benchmark for the timing kernels:
+//
+//   $ ./bench_<experiment>            # table + microbenchmarks
+//   $ ./bench_<experiment> --benchmark_filter=none   # table only
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace qkd::bench {
+
+inline void heading(const char* experiment_id, const char* title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", experiment_id, title);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace qkd::bench

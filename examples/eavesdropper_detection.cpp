@@ -1,0 +1,60 @@
+// Eavesdropper detection: the headline security property in action.
+//
+//   $ ./eavesdropper_detection
+//
+// Eve switches an intercept-resend attack on partway through a session. Her
+// measurements disturb the photons ("any eavesdropper that snoops on the
+// quantum channel will cause a measurable disturbance"); the sampled QBER
+// blows through the alarm threshold, batches are rejected, and no key is
+// ever distilled from the disturbed frames. When she backs down to a small
+// fraction, the link keeps working but the entropy estimate charges her
+// take; when she unplugs, full rate resumes.
+#include <cstdio>
+#include <memory>
+
+#include "src/qkd/engine.hpp"
+
+int main() {
+  using namespace qkd::proto;
+  using qkd::optics::InterceptResendAttack;
+
+  QkdLinkConfig config;
+  config.frame_slots = 1 << 20;
+  QkdLinkSession session(config, 7);
+
+  struct Phase {
+    const char* label;
+    double intercept_fraction;
+    int batches;
+  };
+  const Phase phases[] = {
+      {"clean channel", 0.0, 3},
+      {"Eve intercepts 100% of pulses", 1.0, 3},
+      {"Eve throttles to 15%", 0.15, 3},
+      {"Eve unplugs", 0.0, 3},
+  };
+
+  std::printf("%-32s %8s %9s %10s %s\n", "phase", "QBER%", "accepted",
+              "key bits", "note");
+  for (const Phase& phase : phases) {
+    std::unique_ptr<InterceptResendAttack> eve;
+    if (phase.intercept_fraction > 0.0)
+      eve = std::make_unique<InterceptResendAttack>(phase.intercept_fraction);
+    for (int i = 0; i < phase.batches; ++i) {
+      const BatchResult result = session.run_batch(eve.get());
+      std::printf("%-32s %8.2f %9s %10zu %s\n", i == 0 ? phase.label : "",
+                  100.0 * result.qber_actual,
+                  result.accepted ? "yes" : "NO", result.distilled_bits,
+                  result.accepted ? "" : abort_reason_name(result.reason));
+    }
+  }
+
+  std::printf("\nTotal distilled: %zu bits; batches aborted by the QBER "
+              "alarm: %zu\n",
+              session.totals().distilled_bits,
+              session.totals().aborted_qber);
+  std::printf("Eve never obtained key material from an accepted batch: the\n"
+              "entropy estimate subtracts her maximum possible knowledge\n"
+              "before privacy amplification compresses it away.\n");
+  return 0;
+}

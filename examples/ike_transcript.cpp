@@ -1,0 +1,74 @@
+// Reproduces Fig. 12: "Extract from the first IKE transaction setting up a
+// VPN protected by quantum cryptography."
+//
+//   $ ./ike_transcript
+//
+// Installs a syslog-style log sink, stands up the two gateways of the
+// paper's testbed (192.1.99.34 <-> 192.1.99.35), deposits freshly distilled
+// Qblocks, and lets IKE negotiate. The log lines carry the same
+// file:line:function tags racoon printed in the original transcript —
+// including the QPFS "reply 1 Qblocks 1024 bits" extension line and the
+// "KEYMAT using ... bytes QBITS" derivation.
+#include <cstdio>
+#include <string>
+
+#include "src/common/logging.hpp"
+#include "src/ipsec/vpn_sim.hpp"
+#include "src/qkd/engine.hpp"
+
+int main() {
+  using namespace qkd::ipsec;
+
+  // Fig.-12-style sink: "Dec  5 12:53:32 <gw> racoon: INFO: <rest>".
+  int fake_seconds = 32;
+  qkd::Logger::instance().set_level(qkd::LogLevel::kInfo);
+  qkd::Logger::instance().set_sink(
+      [&fake_seconds](qkd::LogLevel, const std::string& message) {
+        std::printf("Dec  5 12:53:%02d %s\n", fake_seconds % 60,
+                    message.c_str());
+      });
+
+  // Distill genuine QKD bits for the pools.
+  qkd::proto::QkdLinkConfig qkd_config;
+  qkd_config.frame_slots = 1 << 20;
+  qkd::proto::QkdLinkSession qkd(qkd_config, 1202);
+  qkd::BitVector key_material;
+  while (key_material.size() < 8 * KeyPool::kQblockBits) {
+    const auto batch = qkd.run_batch();
+    if (batch.accepted) key_material.append(batch.key);
+  }
+
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 12);
+  SpdEntry policy;
+  policy.name = "qkd-vpn";
+  policy.action = PolicyAction::kProtect;
+  policy.cipher = CipherAlgo::kAes128;
+  policy.qkd_mode = QkdMode::kHybrid;
+  policy.qblocks_per_rekey = 1;
+  policy.lifetime_seconds = 11.0;
+  vpn.install_mirrored_policy(policy);
+  vpn.deposit_key_material(key_material);
+  vpn.start();
+
+  // First protected packet triggers the Phase-2 negotiation of Fig. 12.
+  IpPacket packet;
+  packet.src = parse_ipv4("10.0.0.1");
+  packet.dst = parse_ipv4("10.0.0.2");
+  packet.payload = {1, 2, 3};
+  vpn.a().submit_plaintext(packet, vpn.clock().now());
+  vpn.advance(1.0);
+
+  // Ride past the SA lifetime: the expiry + renegotiation lines appear,
+  // matching the transcript's trailing "IPsec-SA expired ... initiate new
+  // phase 2 negotiation" pair.
+  fake_seconds = 43;
+  vpn.advance(12.0);
+  vpn.a().submit_plaintext(packet, vpn.clock().now());
+  vpn.advance(1.0);
+
+  qkd::Logger::instance().set_sink(nullptr);
+  std::printf("\n(Traffic flowed a few moments later: %lu packets "
+              "delivered through the tunnel.)\n",
+              static_cast<unsigned long>(vpn.b().stats().delivered));
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Quickstart: distill quantum key material over a simulated weak-coherent
+// link — the smallest end-to-end use of the library.
+//
+//   $ ./quickstart
+//
+// Builds the paper's reference link (1 MHz trigger, mu = 0.1, 10 km fiber,
+// ~6 % QBER), pushes Qframes through the full protocol stack (sifting,
+// Cascade, entropy estimation, privacy amplification, Wegman-Carter
+// authentication) and prints what happened to every bit along the way.
+#include <cstdio>
+
+#include "src/optics/link_model.hpp"
+#include "src/qkd/engine.hpp"
+
+int main() {
+  using namespace qkd::proto;
+
+  QkdLinkConfig config;           // defaults = the paper's operating point
+  config.frame_slots = 1 << 20;   // ~1 s of link time per batch at 1 MHz
+  QkdLinkSession session(config, /*seed=*/2003);
+
+  std::printf("DARPA Quantum Network reproduction — quickstart\n");
+  std::printf("link: %.0f km fiber, mu=%.2f, %.1f MHz trigger, ~%.1f%% QBER\n\n",
+              config.link.fiber_km, config.link.mean_photon_number,
+              config.link.pulse_rate_hz / 1e6,
+              100.0 * qkd::optics::LinkModel(config.link).expected_qber());
+
+  std::printf("%6s %10s %10s %8s %8s %7s %10s %10s\n", "batch", "pulses",
+              "detected", "sifted", "errors", "QBER%", "disclosed",
+              "distilled");
+  for (int batch = 0; batch < 5; ++batch) {
+    const BatchResult result = session.run_batch();
+    std::printf("%6d %10zu %10zu %8zu %8zu %7.2f %10zu %10zu  %s\n", batch,
+                result.pulses, result.detections, result.sifted_bits,
+                result.errors_corrected, 100.0 * result.qber_actual,
+                result.disclosed_bits, result.distilled_bits,
+                result.accepted ? "" : abort_reason_name(result.reason));
+  }
+
+  const SessionTotals& totals = session.totals();
+  std::printf("\n%zu/%zu batches accepted; %zu bits distilled in %.1f s "
+              "=> %.0f bit/s of quantum key material\n",
+              totals.accepted_batches, totals.batches, totals.distilled_bits,
+              totals.duration_s, totals.distilled_rate_bps());
+  std::printf("(the paper quotes ~1,000 bit/s for the era's systems; the 5 "
+              "MHz max trigger reaches it — see bench_throughput)\n");
+  return 0;
+}

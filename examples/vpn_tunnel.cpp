@@ -1,0 +1,98 @@
+// The full system of Figs. 2 and 11: a QKD-keyed IPsec VPN between two
+// private enclaves.
+//
+//   $ ./vpn_tunnel
+//
+// A simulated weak-coherent link continuously distills key material that is
+// deposited (mirrored) into both gateways' Qblock pools. IKE Phase 2 pulls
+// Qblocks into the keying material of ESP security associations; AES keys
+// roll over every 20 simulated seconds; red-side packets are tunneled
+// encrypted across the black network. A second tunnel runs as a pure
+// one-time pad, consuming pool bits per byte of traffic.
+#include <cstdio>
+
+#include "src/ipsec/vpn_sim.hpp"
+#include "src/qkd/engine.hpp"
+
+using namespace qkd::ipsec;
+
+namespace {
+
+SpdEntry make_policy(const char* name, CipherAlgo cipher, QkdMode mode,
+                     const char* src_net, const char* dst_net,
+                     double lifetime_s) {
+  SpdEntry entry;
+  entry.name = name;
+  entry.selector.src_prefix = parse_ipv4(src_net);
+  entry.selector.src_mask = 0xffffff00;
+  entry.selector.dst_prefix = parse_ipv4(dst_net);
+  entry.selector.dst_mask = 0xffffff00;
+  entry.action = PolicyAction::kProtect;
+  entry.cipher = cipher;
+  entry.qkd_mode = mode;
+  entry.lifetime_seconds = lifetime_s;
+  return entry;
+}
+
+IpPacket red_packet(const char* src, const char* dst, int tag) {
+  IpPacket packet;
+  packet.src = parse_ipv4(src);
+  packet.dst = parse_ipv4(dst);
+  packet.payload = qkd::Bytes{0xde, 0xad, static_cast<std::uint8_t>(tag)};
+  return packet;
+}
+
+}  // namespace
+
+int main() {
+  // --- The quantum layer: one link session feeding both pools. -----------
+  qkd::proto::QkdLinkConfig qkd_config;
+  qkd_config.frame_slots = 1 << 20;
+  qkd::proto::QkdLinkSession qkd(qkd_config, 2002);
+
+  // --- The VPN: two gateways over the public channel. ---------------------
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 5);
+  vpn.install_mirrored_policy(make_policy("aes-tunnel", CipherAlgo::kAes128,
+                                          QkdMode::kHybrid, "10.1.1.0",
+                                          "10.2.2.0", 20.0));
+  vpn.install_mirrored_policy(make_policy("otp-tunnel",
+                                          CipherAlgo::kOneTimePad,
+                                          QkdMode::kOtp, "10.1.9.0",
+                                          "10.2.9.0", 3600.0));
+  vpn.start();
+
+  std::printf("minute-by-minute VPN + QKD run (AES rekey every 20 s):\n");
+  std::printf("%4s %10s %10s %10s %9s %9s %8s\n", "t(s)", "distilled",
+              "pool bits", "esp sent", "delivered", "rollovers", "authfail");
+
+  for (int step = 0; step < 12; ++step) {
+    // ~10 s of QKD distillation per step, mirrored into both pools.
+    for (int i = 0; i < 10; ++i) {
+      const auto batch = qkd.run_batch();
+      if (batch.accepted) vpn.deposit_key_material(batch.key);
+    }
+    // Red-side traffic on both tunnels.
+    for (int i = 0; i < 5; ++i) {
+      vpn.a().submit_plaintext(red_packet("10.1.1.5", "10.2.2.9", i),
+                               vpn.clock().now());
+      vpn.a().submit_plaintext(red_packet("10.1.9.5", "10.2.9.9", i),
+                               vpn.clock().now());
+      vpn.advance(2.0);
+    }
+    std::printf("%4.0f %10zu %10zu %10lu %9lu %9lu %8lu\n",
+                vpn.clock().seconds(), qkd.totals().distilled_bits,
+                vpn.a().key_pool().available_bits(),
+                static_cast<unsigned long>(vpn.a().stats().esp_sent),
+                static_cast<unsigned long>(vpn.b().stats().delivered),
+                static_cast<unsigned long>(vpn.a().stats().sa_rollovers),
+                static_cast<unsigned long>(vpn.b().stats().auth_failures));
+  }
+
+  std::printf("\nIKE consumed %lu Qblocks across %lu Phase-2 negotiations; "
+              "every AES key was seeded from quantum-distilled bits.\n",
+              static_cast<unsigned long>(vpn.a().ike().stats().qblocks_consumed),
+              static_cast<unsigned long>(
+                  vpn.a().ike().stats().phase2_completed +
+                  vpn.a().ike().stats().phase2_responded));
+  return 0;
+}

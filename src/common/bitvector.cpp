@@ -1,0 +1,202 @@
+#include "src/common/bitvector.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace qkd {
+
+BitVector::BitVector(std::initializer_list<int> bits) {
+  words_.reserve(word_count(bits.size()));
+  for (int b : bits) push_back(b != 0);
+}
+
+BitVector BitVector::from_string(std::string_view bits) {
+  BitVector v;
+  v.words_.reserve(word_count(bits.size()));
+  for (char c : bits) {
+    if (c != '0' && c != '1')
+      throw std::invalid_argument("BitVector::from_string: invalid character");
+    v.push_back(c == '1');
+  }
+  return v;
+}
+
+BitVector BitVector::from_uint64(std::uint64_t value, std::size_t n) {
+  if (n > 64) throw std::invalid_argument("BitVector::from_uint64: n > 64");
+  BitVector v(n);
+  if (n > 0) {
+    v.words_[0] = (n == 64) ? value : (value & ((std::uint64_t{1} << n) - 1));
+  }
+  return v;
+}
+
+BitVector BitVector::from_bytes(std::span<const std::uint8_t> bytes) {
+  BitVector v(bytes.size() * 8);
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    v.words_[i / 8] |= std::uint64_t{bytes[i]} << (8 * (i % 8));
+  }
+  return v;
+}
+
+bool BitVector::get(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVector::get");
+  return (words_[i >> 6] >> (i & 63)) & 1;
+}
+
+void BitVector::set(std::size_t i, bool v) {
+  if (i >= size_) throw std::out_of_range("BitVector::set");
+  const std::uint64_t mask = std::uint64_t{1} << (i & 63);
+  if (v)
+    words_[i >> 6] |= mask;
+  else
+    words_[i >> 6] &= ~mask;
+}
+
+void BitVector::flip(std::size_t i) {
+  if (i >= size_) throw std::out_of_range("BitVector::flip");
+  words_[i >> 6] ^= std::uint64_t{1} << (i & 63);
+}
+
+void BitVector::push_back(bool v) {
+  if (words_.size() * 64 == size_) words_.push_back(0);
+  if (v) words_[size_ >> 6] |= std::uint64_t{1} << (size_ & 63);
+  ++size_;
+}
+
+void BitVector::clear() {
+  size_ = 0;
+  words_.clear();
+}
+
+void BitVector::resize(std::size_t n) {
+  words_.resize(word_count(n), 0);
+  size_ = n;
+  normalize_tail();
+}
+
+void BitVector::append(const BitVector& other) {
+  // Fast path: word-aligned append.
+  if ((size_ & 63) == 0) {
+    words_.resize(word_count(size_ + other.size_), 0);
+    const std::size_t base = size_ >> 6;
+    for (std::size_t w = 0; w < other.words_.size(); ++w)
+      words_[base + w] = other.words_[w];
+    size_ += other.size_;
+    normalize_tail();
+    return;
+  }
+  for (std::size_t i = 0; i < other.size_; ++i) push_back(other.get(i));
+}
+
+BitVector BitVector::slice(std::size_t begin, std::size_t len) const {
+  if (begin + len > size_) throw std::out_of_range("BitVector::slice");
+  BitVector out(len);
+  const std::size_t shift = begin & 63;
+  const std::size_t base = begin >> 6;
+  if (shift == 0) {
+    for (std::size_t w = 0; w < out.words_.size(); ++w)
+      out.words_[w] = words_[base + w];
+  } else {
+    for (std::size_t w = 0; w < out.words_.size(); ++w) {
+      std::uint64_t lo = words_[base + w] >> shift;
+      std::uint64_t hi = (base + w + 1 < words_.size())
+                             ? (words_[base + w + 1] << (64 - shift))
+                             : 0;
+      out.words_[w] = lo | hi;
+    }
+  }
+  out.normalize_tail();
+  return out;
+}
+
+std::size_t BitVector::popcount() const {
+  std::size_t n = 0;
+  for (std::uint64_t w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+bool BitVector::parity() const {
+  std::uint64_t acc = 0;
+  for (std::uint64_t w : words_) acc ^= w;
+  return std::popcount(acc) & 1;
+}
+
+bool BitVector::masked_parity(const BitVector& mask) const {
+  if (mask.size_ != size_)
+    throw std::invalid_argument("BitVector::masked_parity: size mismatch");
+  std::uint64_t acc = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) acc ^= words_[w] & mask.words_[w];
+  return std::popcount(acc) & 1;
+}
+
+bool BitVector::masked_range_parity(const BitVector& mask, std::size_t begin,
+                                    std::size_t end) const {
+  if (mask.size_ != size_)
+    throw std::invalid_argument("BitVector::masked_range_parity: size mismatch");
+  if (begin > end || end > size_)
+    throw std::out_of_range("BitVector::masked_range_parity: bad range");
+  if (begin == end) return false;
+  const std::size_t wb = begin >> 6, we = (end - 1) >> 6;
+  std::uint64_t acc = 0;
+  for (std::size_t w = wb; w <= we; ++w) {
+    std::uint64_t bits = words_[w] & mask.words_[w];
+    if (w == wb) {
+      const std::size_t off = begin & 63;
+      bits &= ~std::uint64_t{0} << off;
+    }
+    if (w == we) {
+      const std::size_t off = end - (w << 6);  // 1..64 bits valid in last word
+      if (off < 64) bits &= (std::uint64_t{1} << off) - 1;
+    }
+    acc ^= bits;
+  }
+  return std::popcount(acc) & 1;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) {
+  if (other.size_ != size_)
+    throw std::invalid_argument("BitVector::operator^=: size mismatch");
+  for (std::size_t w = 0; w < words_.size(); ++w) words_[w] ^= other.words_[w];
+  return *this;
+}
+
+bool BitVector::operator==(const BitVector& other) const {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+std::size_t BitVector::hamming_distance(const BitVector& other) const {
+  if (other.size_ != size_)
+    throw std::invalid_argument("BitVector::hamming_distance: size mismatch");
+  std::size_t n = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w)
+    n += static_cast<std::size_t>(std::popcount(words_[w] ^ other.words_[w]));
+  return n;
+}
+
+std::uint64_t BitVector::to_uint64() const {
+  if (words_.empty()) return 0;
+  if (size_ >= 64) return words_[0];
+  return words_[0] & ((std::uint64_t{1} << size_) - 1);
+}
+
+std::vector<std::uint8_t> BitVector::to_bytes() const {
+  std::vector<std::uint8_t> out((size_ + 7) / 8, 0);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>(words_[i / 8] >> (8 * (i % 8)));
+  return out;
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+void BitVector::normalize_tail() {
+  const std::size_t rem = size_ & 63;
+  if (rem != 0 && !words_.empty())
+    words_.back() &= (std::uint64_t{1} << rem) - 1;
+}
+
+}  // namespace qkd

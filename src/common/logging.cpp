@@ -1,0 +1,38 @@
+#include "src/common/logging.hpp"
+
+#include <cstdio>
+
+namespace qkd {
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+Logger::Logger() {
+  sink_ = [](LogLevel level, const std::string& message) {
+    std::fprintf(stderr, "%s: %s\n", log_level_name(level), message.c_str());
+  };
+}
+
+void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void Logger::log(LogLevel level, const std::string& message) {
+  if (enabled(level) && sink_) sink_(level, message);
+}
+
+}  // namespace qkd

@@ -1,0 +1,67 @@
+// Minimal leveled logger producing racoon-style transcript lines.
+//
+// The IKE example reproduces the Fig. 12 transcript of the paper; the logger
+// therefore supports a "syslog" formatting mode:
+//   Dec  5 12:53:32 bob-gw racoon: INFO: isakmp.c:1046:...: message
+// Logging is process-global, cheap when disabled, and capturable in tests.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace qkd {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Replaces the output sink (default writes to stderr). Tests install a
+  /// capturing sink; examples install a syslog-style stdout sink.
+  void set_sink(Sink sink);
+
+  bool enabled(LogLevel level) const { return level >= level_; }
+  void log(LogLevel level, const std::string& message);
+
+ private:
+  Logger();
+  LogLevel level_ = LogLevel::kWarning;
+  Sink sink_;
+};
+
+/// Stream-style log statement:
+///   QKD_LOG(kInfo) << "sifted " << n << " bits";
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logger::instance().log(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace qkd
+
+#define QKD_LOG(level)                                             \
+  if (!::qkd::Logger::instance().enabled(::qkd::LogLevel::level)) \
+    ;                                                              \
+  else                                                             \
+    ::qkd::LogStatement(::qkd::LogLevel::level)

@@ -1,0 +1,97 @@
+#include "src/common/rng.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace qkd {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+  // xoshiro must not start from the all-zero state.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+Rng Rng::fork() { return Rng(next_u64()); }
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = std::rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::next_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  if (bound == 0) throw std::invalid_argument("Rng::next_below: bound == 0");
+  // Lemire's nearly-divisionless method with rejection for exact uniformity.
+  std::uint64_t x = next_u64();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      x = next_u64();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+bool Rng::next_bool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return next_double() < p;
+}
+
+unsigned Rng::next_poisson(double mu) {
+  if (mu < 0.0) throw std::invalid_argument("Rng::next_poisson: mu < 0");
+  if (mu == 0.0) return 0;
+  if (mu < 30.0) {
+    // Knuth inversion: multiply uniforms until the product drops below e^-mu.
+    const double limit = std::exp(-mu);
+    unsigned k = 0;
+    double prod = next_double();
+    while (prod > limit) {
+      ++k;
+      prod *= next_double();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction: adequate for large means,
+  // which only occur in bright-pulse (framing) simulation where exact Poisson
+  // tails are irrelevant.
+  const double u1 = next_double(), u2 = next_double();
+  const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                   std::cos(2.0 * 3.14159265358979323846 * u2);
+  const double v = mu + std::sqrt(mu) * z + 0.5;
+  return v < 0.0 ? 0u : static_cast<unsigned>(v);
+}
+
+BitVector Rng::next_bits(std::size_t n) {
+  BitVector v(n);
+  auto words = v.words();
+  for (auto& w : words) w = next_u64();
+  v.normalize_tail();
+  return v;
+}
+
+}  // namespace qkd

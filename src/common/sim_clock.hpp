@@ -1,0 +1,38 @@
+// Virtual time for the simulator.
+//
+// All link, protocol and IKE timing (pulse trains at 1 MHz, SA lifetimes in
+// seconds, IKE negotiation timeouts) runs against a SimClock rather than wall
+// time, so experiments are deterministic and can simulate hours in
+// milliseconds. Time is kept in integer nanoseconds to avoid floating-point
+// drift over long runs.
+#pragma once
+
+#include <cstdint>
+
+namespace qkd {
+
+/// Nanoseconds since simulation start.
+using SimTime = std::int64_t;
+
+constexpr SimTime kNanosecond = 1;
+constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+constexpr SimTime kSecond = 1000 * kMillisecond;
+constexpr SimTime kMinute = 60 * kSecond;
+
+class SimClock {
+ public:
+  SimTime now() const { return now_; }
+
+  void advance(SimTime delta) { now_ += delta; }
+  void advance_to(SimTime t) {
+    if (t > now_) now_ = t;
+  }
+
+  double seconds() const { return static_cast<double>(now_) / kSecond; }
+
+ private:
+  SimTime now_ = 0;
+};
+
+}  // namespace qkd

@@ -1,0 +1,51 @@
+// AES-128/192/256 (FIPS 197), implemented from scratch.
+//
+// The paper's rapid-reseed extension derives AES keys from QKD bits and
+// rolls them about once a minute (Section 7); ESP security associations in
+// qkd_ipsec use this implementation in CBC mode. S-boxes are generated at
+// compile time from the GF(2^8) inverse + affine map rather than transcribed,
+// eliminating table-typo risk.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.hpp"
+
+namespace qkd::crypto {
+
+class Aes {
+ public:
+  static constexpr std::size_t kBlockSize = 16;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Key must be 16, 24 or 32 bytes; throws std::invalid_argument otherwise.
+  explicit Aes(std::span<const std::uint8_t> key);
+
+  void encrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+  void decrypt_block(const std::uint8_t* in, std::uint8_t* out) const;
+
+  Block encrypt_block(const Block& in) const;
+  Block decrypt_block(const Block& in) const;
+
+  unsigned rounds() const { return rounds_; }
+
+ private:
+  unsigned rounds_;
+  // Maximum schedule: AES-256 = 15 round keys of 16 bytes.
+  std::array<std::uint8_t, 16 * 15> round_keys_{};
+};
+
+/// CBC mode over whole blocks (callers pad; ESP applies RFC 2406 padding).
+/// Throws std::invalid_argument if data is not a multiple of 16 bytes.
+Bytes aes_cbc_encrypt(const Aes& aes, const Aes::Block& iv,
+                      std::span<const std::uint8_t> plaintext);
+Bytes aes_cbc_decrypt(const Aes& aes, const Aes::Block& iv,
+                      std::span<const std::uint8_t> ciphertext);
+
+/// CTR keystream XOR (encrypt == decrypt); any data length.
+Bytes aes_ctr_crypt(const Aes& aes, const Aes::Block& counter_block,
+                    std::span<const std::uint8_t> data);
+
+}  // namespace qkd::crypto

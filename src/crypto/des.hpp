@@ -1,0 +1,52 @@
+// DES and Triple-DES (EDE), implemented from scratch per FIPS 46-3.
+//
+// The paper's conventional VPN baseline uses 3DES for traffic confidentiality
+// ("Symmetric mechanisms (e.g. 3DES, SHA1)"). DES is long broken; it is here
+// because the 2003 system supported it and our IPsec layer reproduces the
+// per-tunnel algorithm choice (AES vs. 3DES vs. one-time pad).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+#include "src/common/bytes.hpp"
+
+namespace qkd::crypto {
+
+class Des {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+  using Block = std::array<std::uint8_t, kBlockSize>;
+
+  /// Key is 8 bytes (parity bits ignored, as is conventional).
+  explicit Des(std::span<const std::uint8_t> key);
+
+  std::uint64_t encrypt(std::uint64_t block) const;
+  std::uint64_t decrypt(std::uint64_t block) const;
+
+ private:
+  std::array<std::uint64_t, 16> subkeys_;  // 48-bit subkeys, right-aligned
+};
+
+class TripleDes {
+ public:
+  static constexpr std::size_t kBlockSize = 8;
+
+  /// Key is 24 bytes (K1 | K2 | K3); EDE: E_K3(D_K2(E_K1(x))).
+  explicit TripleDes(std::span<const std::uint8_t> key);
+
+  std::uint64_t encrypt(std::uint64_t block) const;
+  std::uint64_t decrypt(std::uint64_t block) const;
+
+ private:
+  Des k1_, k2_, k3_;
+};
+
+/// CBC over whole 8-byte blocks; throws std::invalid_argument on misalignment.
+Bytes des3_cbc_encrypt(const TripleDes& des, std::uint64_t iv,
+                       std::span<const std::uint8_t> plaintext);
+Bytes des3_cbc_decrypt(const TripleDes& des, std::uint64_t iv,
+                       std::span<const std::uint8_t> ciphertext);
+
+}  // namespace qkd::crypto

@@ -1,0 +1,55 @@
+#include "src/crypto/drbg.hpp"
+
+namespace qkd::crypto {
+
+Drbg::Drbg(std::span<const std::uint8_t> seed) { state_ = Sha1::hash(seed); }
+
+Drbg::Drbg(std::uint64_t seed) {
+  Bytes b;
+  put_u64(b, seed);
+  state_ = Sha1::hash(b);
+}
+
+Bytes Drbg::generate(std::size_t n_bytes) {
+  Bytes out;
+  out.reserve(n_bytes + Sha1::kDigestSize);
+  while (out.size() < n_bytes) {
+    Bytes block(state_.begin(), state_.end());
+    put_u64(block, counter_++);
+    const auto digest = Sha1::hash(block);
+    out.insert(out.end(), digest.begin(), digest.end());
+  }
+  out.resize(n_bytes);
+  // Ratchet the state forward so earlier output cannot be recovered from a
+  // captured state (backtracking resistance).
+  Bytes ratchet(state_.begin(), state_.end());
+  ratchet.push_back(0xff);
+  state_ = Sha1::hash(ratchet);
+  return out;
+}
+
+qkd::BitVector Drbg::generate_bits(std::size_t n_bits) {
+  const Bytes bytes = generate((n_bits + 7) / 8);
+  qkd::BitVector bits = qkd::BitVector::from_bytes(bytes);
+  bits.resize(n_bits);
+  return bits;
+}
+
+std::uint32_t Drbg::next_u32() {
+  const Bytes b = generate(4);
+  return static_cast<std::uint32_t>(b[0]) << 24 |
+         static_cast<std::uint32_t>(b[1]) << 16 |
+         static_cast<std::uint32_t>(b[2]) << 8 | b[3];
+}
+
+std::uint64_t Drbg::next_u64() {
+  return static_cast<std::uint64_t>(next_u32()) << 32 | next_u32();
+}
+
+void Drbg::reseed(std::span<const std::uint8_t> entropy) {
+  Bytes mix(state_.begin(), state_.end());
+  mix.insert(mix.end(), entropy.begin(), entropy.end());
+  state_ = Sha1::hash(mix);
+}
+
+}  // namespace qkd::crypto

@@ -1,0 +1,64 @@
+#include "src/crypto/hmac.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace qkd::crypto {
+
+Sha1::Digest hmac_sha1(std::span<const std::uint8_t> key,
+                       std::span<const std::uint8_t> data) {
+  std::array<std::uint8_t, 64> block{};
+  if (key.size() > 64) {
+    const auto digest = Sha1::hash(key);
+    std::copy(digest.begin(), digest.end(), block.begin());
+  } else {
+    std::copy(key.begin(), key.end(), block.begin());
+  }
+
+  std::array<std::uint8_t, 64> ipad, opad;
+  for (std::size_t i = 0; i < 64; ++i) {
+    ipad[i] = block[i] ^ 0x36;
+    opad[i] = block[i] ^ 0x5c;
+  }
+
+  Sha1 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const auto inner_digest = inner.finish();
+
+  Sha1 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes prf_plus(std::span<const std::uint8_t> key,
+               std::span<const std::uint8_t> seed, std::size_t out_len) {
+  Bytes out;
+  out.reserve(out_len + Sha1::kDigestSize);
+  Bytes block;  // K(i-1) | seed | counter
+  std::uint8_t counter = 1;
+  Sha1::Digest prev{};
+  bool first = true;
+  while (out.size() < out_len) {
+    block.clear();
+    if (!first) block.insert(block.end(), prev.begin(), prev.end());
+    block.insert(block.end(), seed.begin(), seed.end());
+    block.push_back(counter++);
+    prev = hmac_sha1(key, block);
+    out.insert(out.end(), prev.begin(), prev.end());
+    first = false;
+  }
+  out.resize(out_len);
+  return out;
+}
+
+bool constant_time_equal(std::span<const std::uint8_t> a,
+                         std::span<const std::uint8_t> b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace qkd::crypto

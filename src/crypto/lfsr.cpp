@@ -1,0 +1,27 @@
+#include "src/crypto/lfsr.hpp"
+
+namespace qkd::crypto {
+
+Lfsr32::Lfsr32(std::uint32_t seed, std::uint32_t taps)
+    : state_(seed != 0 ? seed : 0xACE1ACE1u), taps_(taps) {}
+
+bool Lfsr32::next_bit() {
+  const bool out = state_ & 1u;
+  state_ >>= 1;
+  if (out) state_ ^= taps_;
+  return out;
+}
+
+qkd::BitVector Lfsr32::next_bits(std::size_t n) {
+  qkd::BitVector v(n);
+  for (std::size_t i = 0; i < n; ++i) v.set(i, next_bit());
+  return v;
+}
+
+qkd::BitVector Lfsr32::subset_mask(std::uint32_t seed, std::size_t n,
+                                   std::uint32_t taps) {
+  Lfsr32 lfsr(seed, taps);
+  return lfsr.next_bits(n);
+}
+
+}  // namespace qkd::crypto

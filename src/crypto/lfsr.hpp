@@ -1,0 +1,44 @@
+// 32-bit Galois Linear-Feedback Shift Register.
+//
+// The paper's Cascade variant identifies each pseudo-random bit-subset of the
+// sifted bits by "a 32-bit seed for the LFSR" (Section 5). This LFSR is that
+// generator: given a seed, it emits the deterministic bit stream both Alice
+// and Bob expand into a subset membership mask.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/bitvector.hpp"
+
+namespace qkd::crypto {
+
+class Lfsr32 {
+ public:
+  /// Maximal-length feedback polynomial x^32 + x^22 + x^2 + x + 1
+  /// (taps 0xC0000401 in Galois form gives period 2^32 - 1).
+  static constexpr std::uint32_t kDefaultTaps = 0xC0000401u;
+
+  /// A zero seed would lock the register at zero forever; it is mapped to a
+  /// fixed non-zero state so any 32-bit seed is usable on the wire.
+  explicit Lfsr32(std::uint32_t seed, std::uint32_t taps = kDefaultTaps);
+
+  /// Next output bit (the bit shifted out of the register).
+  bool next_bit();
+
+  /// Next `n` bits packed into a BitVector (bit 0 = first emitted).
+  qkd::BitVector next_bits(std::size_t n);
+
+  /// Expands a subset-membership mask of `n` positions: position i is in the
+  /// subset iff the i-th LFSR output bit is 1. This is the mask both sides of
+  /// the Cascade exchange derive from the announced seed.
+  static qkd::BitVector subset_mask(std::uint32_t seed, std::size_t n,
+                                    std::uint32_t taps = kDefaultTaps);
+
+  std::uint32_t state() const { return state_; }
+
+ private:
+  std::uint32_t state_;
+  std::uint32_t taps_;
+};
+
+}  // namespace qkd::crypto

@@ -1,0 +1,105 @@
+// The cryptographic VPN gateway of Figs. 2, 10 and 11.
+//
+// One gateway sits between a private ("red") enclave and the public
+// ("black") network: outbound plaintext packets are matched against the SPD
+// and either bypassed, discarded, or protected — tunneled through an ESP SA
+// whose keys IKE negotiated, continually reseeded from QKD key material.
+// Inbound packets are demultiplexed (IKE vs. ESP), decapsulated, checked and
+// delivered. SA lifetimes drive rollover, triggering fresh Phase-2
+// negotiations that withdraw fresh Qblocks.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "src/ipsec/esp.hpp"
+#include "src/ipsec/ike.hpp"
+
+namespace qkd::ipsec {
+
+class VpnGateway {
+ public:
+  struct Config {
+    std::string name = "gw";
+    std::uint32_t address = 0;       // black-side address
+    std::uint32_t peer_address = 0;  // the other gateway
+    Bytes preshared_key;             // IKE Phase-1 PSK
+    double phase2_timeout_s = 10.0;
+    /// Plaintext packets waiting for an SA are dropped beyond this queue
+    /// depth (the paper's timeout pressure made visible).
+    std::size_t max_pending_packets = 64;
+  };
+
+  struct Stats {
+    std::uint64_t esp_sent = 0;
+    std::uint64_t esp_received = 0;
+    std::uint64_t delivered = 0;       // decrypted packets handed to red side
+    std::uint64_t bypassed = 0;
+    std::uint64_t discarded_policy = 0;
+    std::uint64_t dropped_no_policy = 0;
+    std::uint64_t dropped_queue_full = 0;
+    std::uint64_t auth_failures = 0;   // the mismatched-Qblock symptom
+    std::uint64_t replay_drops = 0;
+    std::uint64_t unknown_spi = 0;
+    std::uint64_t otp_exhausted = 0;
+    std::uint64_t sa_rollovers = 0;
+  };
+
+  /// `transmit` carries outer (black-side) IP packets to the peer.
+  using TransmitFn = std::function<void(const Bytes&)>;
+
+  VpnGateway(Config config, std::uint64_t seed);
+
+  void set_transmit(TransmitFn transmit) { transmit_ = std::move(transmit); }
+
+  SecurityPolicyDatabase& spd() { return spd_; }
+  KeyPool& key_pool() { return key_pool_; }
+  const SecurityAssociationDatabase& sad() const { return sad_; }
+  const IkeDaemon& ike() const { return ike_; }
+  const Stats& stats() const { return stats_; }
+  const Config& config() const { return config_; }
+
+  /// Starts IKE Phase 1 (call on one side; the responder learns it from the
+  /// wire).
+  void start(qkd::SimTime now);
+
+  /// A plaintext packet arriving from the red enclave.
+  void submit_plaintext(const IpPacket& packet, qkd::SimTime now);
+
+  /// A packet arriving from the black network (outer IP: ESP or IKE-in-UDP).
+  void deliver_from_network(const Bytes& outer_wire, qkd::SimTime now);
+
+  /// Periodic timer: SA expiry/rollover, IKE retransmits, queue flush.
+  void tick(qkd::SimTime now);
+
+  /// Decrypted (or bypassed) packets delivered to the red side.
+  std::vector<IpPacket> drain_delivered();
+
+ private:
+  void send_ike(const Bytes& message);
+  void send_esp(const Bytes& esp_payload);
+  void ensure_sa(const SpdEntry& policy, qkd::SimTime now);
+  void flush_established(qkd::SimTime now);
+  void protect_and_send(const SpdEntry& policy, const IpPacket& packet,
+                        qkd::SimTime now);
+
+  Config config_;
+  SecurityPolicyDatabase spd_;
+  SecurityAssociationDatabase sad_;
+  KeyPool key_pool_;
+  IkeDaemon ike_;
+  qkd::crypto::Drbg drbg_;
+  TransmitFn transmit_;
+  Stats stats_;
+
+  // Policy name -> current outbound SPI.
+  std::map<std::string, std::uint32_t> outbound_spi_;
+  // Policy name -> negotiation in flight.
+  std::map<std::string, bool> negotiating_;
+  // Packets awaiting an SA, per policy.
+  std::map<std::string, std::deque<IpPacket>> pending_packets_;
+  std::vector<IpPacket> delivered_;
+};
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,415 @@
+#include "src/ipsec/ike.hpp"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/common/logging.hpp"
+#include "src/crypto/hmac.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+enum class MsgType : std::uint8_t {
+  kPhase1Init = 1,
+  kPhase1Resp = 2,
+  kPhase2Init = 3,
+  kPhase2Resp = 4,
+};
+
+constexpr std::size_t kNonceBytes = 16;
+
+void put_spd_protection(Bytes& out, const SpdEntry& policy) {
+  put_u8(out, static_cast<std::uint8_t>(policy.cipher));
+  put_u8(out, static_cast<std::uint8_t>(policy.qkd_mode));
+  put_u32(out, policy.qblocks_per_rekey);
+}
+
+}  // namespace
+
+IkeDaemon::IkeDaemon(IkeConfig config, SecurityPolicyDatabase* spd,
+                     SecurityAssociationDatabase* sad, KeyPool* key_pool,
+                     std::uint64_t seed)
+    : config_(std::move(config)), spd_(spd), sad_(sad), key_pool_(key_pool),
+      drbg_(seed) {
+  if (spd_ == nullptr || sad_ == nullptr || key_pool_ == nullptr)
+    throw std::invalid_argument("IkeDaemon: null database");
+}
+
+void IkeDaemon::log_line(const std::string& file_func,
+                         const std::string& message) const {
+  QKD_LOG(kInfo) << config_.name << " racoon: INFO: " << file_func << ": "
+                 << message;
+}
+
+unsigned IkeDaemon::initiator_lane() const {
+  // Qblock lane owned by negotiations this end initiates (see KeyPool docs).
+  return config_.local_address < config_.peer_address ? 0u : 1u;
+}
+
+unsigned IkeDaemon::responder_lane() const {
+  return config_.peer_address < config_.local_address ? 0u : 1u;
+}
+
+Bytes IkeDaemon::begin_phase1(qkd::SimTime) {
+  phase1_initiator_ = true;
+  phase1_nonce_i_ = drbg_.generate(kNonceBytes);
+  Bytes msg;
+  put_u8(msg, static_cast<std::uint8_t>(MsgType::kPhase1Init));
+  put_bytes(msg, phase1_nonce_i_);
+  log_line("isakmp.c:840:isakmp_ph1begin_i()",
+           "initiate new phase 1 negotiation: " +
+               format_ipv4(config_.local_address) + "[500]<=>" +
+               format_ipv4(config_.peer_address) + "[500]");
+  return msg;
+}
+
+std::optional<Bytes> IkeDaemon::initiate_phase2(const SpdEntry& policy,
+                                                qkd::SimTime now) {
+  if (!skeyid_.has_value()) return std::nullopt;
+  // An OTP tunnel cannot come up without pad material; check before offering.
+  if (policy.qkd_mode == QkdMode::kOtp &&
+      key_pool_->available_qblocks(initiator_lane()) <
+          3 * policy.qblocks_per_rekey) {
+    ++stats_.failed_otp_negotiations;
+    log_line("bbn-qkd-qpd.c:903:qke_offer()",
+             "cannot offer " + std::to_string(policy.qblocks_per_rekey) +
+                 " Qblocks: pool has " +
+                 std::to_string(key_pool_->available_qblocks(initiator_lane())));
+    return std::nullopt;
+  }
+
+  PendingNegotiation pending;
+  pending.policy = policy;
+  pending.exchange_id = drbg_.next_u64();
+  pending.initiator_spi = drbg_.next_u32() | 0x10000000u;
+  pending.nonce_i = drbg_.generate(kNonceBytes);
+  pending.started_at = now;
+  pending.last_send = now;
+
+  Bytes msg;
+  put_u8(msg, static_cast<std::uint8_t>(MsgType::kPhase2Init));
+  put_u64(msg, pending.exchange_id);
+  put_u32(msg, pending.initiator_spi);
+  put_varint(msg, policy.name.size());
+  for (char c : policy.name) msg.push_back(static_cast<std::uint8_t>(c));
+  put_spd_protection(msg, policy);
+  put_bytes(msg, pending.nonce_i);
+  pending.last_message = msg;
+  pending_[pending.exchange_id] = pending;
+  ++stats_.phase2_initiated;
+  log_line("isakmp.c:939:isakmp_ph2begin_i()",
+           "initiate new phase 2 negotiation: " +
+               format_ipv4(config_.local_address) + "[0]<=>" +
+               format_ipv4(config_.peer_address) + "[0]");
+  return msg;
+}
+
+Bytes IkeDaemon::derive_keymat(const qkd::BitVector& qbits,
+                               std::uint32_t spi_i, std::uint32_t spi_r,
+                               const Bytes& nonce_i, const Bytes& nonce_r,
+                               std::size_t bytes_needed) const {
+  // SKEYID_d = prf(SKEYID, 0x00): the derivation child of the Phase-1 key.
+  const Bytes zero{0x00};
+  const auto skeyid_d_digest = qkd::crypto::hmac_sha1(*skeyid_, zero);
+  const Bytes skeyid_d(skeyid_d_digest.begin(), skeyid_d_digest.end());
+
+  // "we have included distilled QKD bits into the IKE Phase 2 hash":
+  // seed = QBITS | spi_i | spi_r | Ni | Nr.
+  Bytes seed = qbits.to_bytes();
+  put_u32(seed, spi_i);
+  put_u32(seed, spi_r);
+  put_bytes(seed, nonce_i);
+  put_bytes(seed, nonce_r);
+  return qkd::crypto::prf_plus(skeyid_d, seed, bytes_needed);
+}
+
+void IkeDaemon::install_sa_pair(const SpdEntry& policy, std::uint32_t spi_i,
+                                std::uint32_t spi_r, const Bytes& keymat,
+                                const qkd::BitVector& otp_i_to_r,
+                                const qkd::BitVector& otp_r_to_i,
+                                bool is_initiator, qkd::SimTime now) {
+  const std::size_t ek = cipher_key_bytes(policy.cipher);
+  const std::size_t ak = 20;  // HMAC-SHA1 key
+  // keymat layout: enc(i->r) | auth(i->r) | enc(r->i) | auth(r->i).
+  auto key_slice = [&](std::size_t offset, std::size_t len) {
+    return Bytes(keymat.begin() + static_cast<std::ptrdiff_t>(offset),
+                 keymat.begin() + static_cast<std::ptrdiff_t>(offset + len));
+  };
+
+  auto make_sa = [&](std::uint32_t spi, std::size_t enc_off,
+                     std::size_t auth_off, const qkd::BitVector& otp) {
+    SecurityAssociation sa;
+    sa.spi = spi;
+    sa.cipher = policy.cipher;
+    sa.qkd_mode = policy.qkd_mode;
+    if (ek > 0) sa.encryption_key = key_slice(enc_off, ek);
+    sa.authentication_key = key_slice(auth_off, ak);
+    sa.otp_pool = otp;
+    sa.established_at = now;
+    sa.lifetime_seconds = policy.lifetime_seconds;
+    sa.lifetime_bytes = policy.lifetime_kilobytes * 1024;
+    return sa;
+  };
+
+  const SecurityAssociation i_to_r =
+      make_sa(spi_r, 0, ek, otp_i_to_r);  // receiver picked spi_r
+  const SecurityAssociation r_to_i = make_sa(spi_i, ek + ak, 2 * ek + ak,
+                                             otp_r_to_i);
+
+  // Each side installs both; which is outbound depends on the role.
+  sad_->install(i_to_r);
+  sad_->install(r_to_i);
+
+  NegotiatedSa result;
+  result.policy_name = policy.name;
+  result.inbound_spi = is_initiator ? spi_i : spi_r;
+  result.outbound_spi = is_initiator ? spi_r : spi_i;
+  established_.push_back(result);
+
+  const std::string src = format_ipv4(is_initiator ? config_.local_address
+                                                   : config_.peer_address);
+  const std::string dst = format_ipv4(is_initiator ? config_.peer_address
+                                                   : config_.local_address);
+  std::ostringstream spi_text;
+  spi_text << "IPsec-SA established: ESP/Tunnel " << src << "->" << dst
+           << " spi=" << spi_r << "(0x" << std::hex << spi_r << ")";
+  log_line("pfkey.c:1107:pk_recvupdate()", spi_text.str());
+}
+
+std::vector<Bytes> IkeDaemon::handle_message(const Bytes& wire,
+                                             qkd::SimTime now) {
+  std::vector<Bytes> out;
+  if (wire.empty()) return out;
+  ByteReader reader(wire);
+  const auto type = static_cast<MsgType>(reader.u8());
+
+  switch (type) {
+    case MsgType::kPhase1Init: {
+      const Bytes nonce_i = reader.bytes(kNonceBytes);
+      const Bytes nonce_r = drbg_.generate(kNonceBytes);
+      Bytes seed = nonce_i;
+      put_bytes(seed, nonce_r);
+      const auto skeyid = qkd::crypto::hmac_sha1(config_.preshared_key, seed);
+      skeyid_ = Bytes(skeyid.begin(), skeyid.end());
+      ++stats_.phase1_completed;
+      log_line("isakmp.c:1046:isakmp_ph1begin_r()",
+               "respond new phase 1 negotiation: " +
+                   format_ipv4(config_.local_address) + "[500]<=>" +
+                   format_ipv4(config_.peer_address) + "[500]");
+      Bytes resp;
+      put_u8(resp, static_cast<std::uint8_t>(MsgType::kPhase1Resp));
+      put_bytes(resp, nonce_r);
+      out.push_back(resp);
+      break;
+    }
+
+    case MsgType::kPhase1Resp: {
+      if (!phase1_initiator_) break;  // stray
+      const Bytes nonce_r = reader.bytes(kNonceBytes);
+      Bytes seed = phase1_nonce_i_;
+      put_bytes(seed, nonce_r);
+      const auto skeyid = qkd::crypto::hmac_sha1(config_.preshared_key, seed);
+      skeyid_ = Bytes(skeyid.begin(), skeyid.end());
+      ++stats_.phase1_completed;
+      break;
+    }
+
+    case MsgType::kPhase2Init: {
+      if (!skeyid_.has_value()) break;  // cannot respond yet
+      const std::uint64_t exchange_id = reader.u64();
+      // Retransmitted request: replay the cached answer, don't re-withdraw.
+      if (auto it = responded_.find(exchange_id); it != responded_.end()) {
+        out.push_back(it->second);
+        break;
+      }
+      const std::uint32_t spi_i = reader.u32();
+      const std::uint64_t name_len = reader.varint();
+      const Bytes name_bytes = reader.bytes(name_len);
+      const std::string policy_name(name_bytes.begin(), name_bytes.end());
+      const auto cipher = static_cast<CipherAlgo>(reader.u8());
+      const auto qkd_mode = static_cast<QkdMode>(reader.u8());
+      const std::uint32_t offered_qblocks = reader.u32();
+      const Bytes nonce_i = reader.bytes(kNonceBytes);
+
+      log_line("isakmp.c:1046:isakmp_ph2begin_r()",
+               "respond new phase 2 negotiation: " +
+                   format_ipv4(config_.local_address) + "[0]<=>" +
+                   format_ipv4(config_.peer_address) + "[0]");
+      log_line("proposal.c:1023:set_proposal_from_policy()",
+               "RESPONDER setting QPFS encmodesv 1");
+
+      // Grant what the pool can cover. For OTP, two directions of pad are
+      // needed on top of the keymat Qblocks.
+      std::uint32_t granted = offered_qblocks;
+      std::size_t otp_qblocks = 0;
+      if (qkd_mode == QkdMode::kOtp) otp_qblocks = 2 * offered_qblocks;
+      if (qkd_mode != QkdMode::kNone) {
+        const std::size_t available =
+            key_pool_->available_qblocks(responder_lane());
+        if (available < granted + otp_qblocks) {
+          granted = static_cast<std::uint32_t>(
+              available >= otp_qblocks ? available - otp_qblocks : 0);
+        }
+      } else {
+        granted = 0;
+      }
+      if (qkd_mode == QkdMode::kOtp && granted == 0) {
+        ++stats_.failed_otp_negotiations;
+        log_line("bbn-qkd-qpd.c:1101:qke_create_reply()",
+                 "reject: OTP tunnel but pool empty");
+        break;  // no response: the initiator will time out (paper Sec. 7)
+      }
+
+      qkd::BitVector qbits, otp_i_to_r, otp_r_to_i;
+      if (granted > 0) {
+        qbits = *key_pool_->withdraw_qblocks(granted, responder_lane());
+        stats_.qblocks_consumed += granted;
+      } else if (qkd_mode != QkdMode::kNone) {
+        ++stats_.degraded_negotiations;
+      }
+      if (qkd_mode == QkdMode::kOtp) {
+        otp_i_to_r = *key_pool_->withdraw_qblocks(granted, responder_lane());
+        otp_r_to_i = *key_pool_->withdraw_qblocks(granted, responder_lane());
+        stats_.qblocks_consumed += 2 * granted;
+      }
+
+      std::ostringstream reply_text;
+      reply_text << "reply " << granted << " Qblocks "
+                 << granted * KeyPool::kQblockBits << " bits " << std::fixed
+                 << std::setprecision(6)
+                 << static_cast<double>(granted * KeyPool::kQblockBits)
+                 << " entropy (offer is " << offered_qblocks << " Qblocks)";
+      log_line("bbn-qkd-qpd.c:1047:qke_create_reply()", reply_text.str());
+
+      const std::uint32_t spi_r = drbg_.next_u32() | 0x08000000u;
+      const Bytes nonce_r = drbg_.generate(kNonceBytes);
+
+      // Reconstruct the policy from the proposal (the responder's own SPD
+      // would normally be consulted; proposal fields win for simplicity).
+      SpdEntry policy;
+      policy.name = policy_name;
+      policy.cipher = cipher;
+      policy.qkd_mode = qkd_mode;
+      policy.qblocks_per_rekey = offered_qblocks;
+      if (const SpdEntry* own = nullptr; true) {
+        for (const auto& entry : spd_->entries()) {
+          if (entry.name == policy_name) {
+            own = &entry;
+            break;
+          }
+        }
+        if (own != nullptr) {
+          policy.lifetime_seconds = own->lifetime_seconds;
+          policy.lifetime_kilobytes = own->lifetime_kilobytes;
+        }
+      }
+
+      const std::size_t keymat_bytes =
+          2 * (cipher_key_bytes(cipher) + 20);
+      const Bytes keymat = derive_keymat(qbits, spi_i, spi_r, nonce_i,
+                                         nonce_r, keymat_bytes);
+      log_line("oakley.c:473:oakley_compute_keymat_x()",
+               "KEYMAT using " + std::to_string(qbits.size() / 8) +
+                   " bytes QBITS");
+      install_sa_pair(policy, spi_i, spi_r, keymat, otp_i_to_r, otp_r_to_i,
+                      /*is_initiator=*/false, now);
+      ++stats_.phase2_responded;
+
+      Bytes resp;
+      put_u8(resp, static_cast<std::uint8_t>(MsgType::kPhase2Resp));
+      put_u64(resp, exchange_id);
+      put_u32(resp, spi_r);
+      put_u32(resp, granted);
+      put_bytes(resp, nonce_r);
+      responded_[exchange_id] = resp;
+      out.push_back(resp);
+      break;
+    }
+
+    case MsgType::kPhase2Resp: {
+      const std::uint64_t exchange_id = reader.u64();
+      auto it = pending_.find(exchange_id);
+      if (it == pending_.end()) break;  // duplicate or expired
+      PendingNegotiation pending = it->second;
+      pending_.erase(it);
+      const std::uint32_t spi_r = reader.u32();
+      const std::uint32_t granted = reader.u32();
+      const Bytes nonce_r = reader.bytes(kNonceBytes);
+
+      qkd::BitVector qbits, otp_i_to_r, otp_r_to_i;
+      if (granted > 0) {
+        auto withdrawn = key_pool_->withdraw_qblocks(granted, initiator_lane());
+        if (!withdrawn.has_value()) break;  // pools out of step: negotiation dies
+        qbits = std::move(*withdrawn);
+        stats_.qblocks_consumed += granted;
+      } else if (pending.policy.qkd_mode != QkdMode::kNone) {
+        ++stats_.degraded_negotiations;
+      }
+      if (pending.policy.qkd_mode == QkdMode::kOtp) {
+        auto pad_i = key_pool_->withdraw_qblocks(granted, initiator_lane());
+        auto pad_r = key_pool_->withdraw_qblocks(granted, initiator_lane());
+        if (!pad_i || !pad_r) break;
+        otp_i_to_r = std::move(*pad_i);
+        otp_r_to_i = std::move(*pad_r);
+        stats_.qblocks_consumed += 2 * granted;
+      }
+
+      const std::size_t keymat_bytes =
+          2 * (cipher_key_bytes(pending.policy.cipher) + 20);
+      const Bytes keymat =
+          derive_keymat(qbits, pending.initiator_spi, spi_r, pending.nonce_i,
+                        nonce_r, keymat_bytes);
+      log_line("oakley.c:473:oakley_compute_keymat_x()",
+               "KEYMAT using " + std::to_string(qbits.size() / 8) +
+                   " bytes QBITS");
+      install_sa_pair(pending.policy, pending.initiator_spi, spi_r, keymat,
+                      otp_i_to_r, otp_r_to_i, /*is_initiator=*/true, now);
+      ++stats_.phase2_completed;
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<Bytes> IkeDaemon::poll(qkd::SimTime now) {
+  std::vector<Bytes> out;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingNegotiation& pending = it->second;
+    const double age =
+        static_cast<double>(now - pending.started_at) / qkd::kSecond;
+    if (age >= config_.phase2_timeout_s ||
+        pending.retransmits > config_.max_retransmits) {
+      ++stats_.phase2_timeouts;
+      log_line("isakmp.c:1640:isakmp_ph2expire()",
+               "phase 2 negotiation timed out for " + pending.policy.name);
+      timed_out_.push_back(pending.policy.name);
+      it = pending_.erase(it);
+      continue;
+    }
+    const double since_send =
+        static_cast<double>(now - pending.last_send) / qkd::kSecond;
+    if (since_send >= config_.retransmit_interval_s) {
+      pending.last_send = now;
+      ++pending.retransmits;
+      ++stats_.retransmits;
+      out.push_back(pending.last_message);
+    }
+    ++it;
+  }
+  return out;
+}
+
+std::vector<NegotiatedSa> IkeDaemon::drain_established() {
+  std::vector<NegotiatedSa> out;
+  out.swap(established_);
+  return out;
+}
+
+std::vector<std::string> IkeDaemon::drain_timed_out() {
+  std::vector<std::string> out;
+  out.swap(timed_out_);
+  return out;
+}
+
+}  // namespace qkd::ipsec

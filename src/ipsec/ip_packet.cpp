@@ -1,0 +1,86 @@
+#include "src/ipsec/ip_packet.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace qkd::ipsec {
+
+std::uint32_t parse_ipv4(const std::string& dotted) {
+  std::uint32_t out = 0;
+  std::istringstream stream(dotted);
+  for (int i = 0; i < 4; ++i) {
+    int octet;
+    if (!(stream >> octet) || octet < 0 || octet > 255)
+      throw std::invalid_argument("parse_ipv4: bad octet in " + dotted);
+    out = out << 8 | static_cast<std::uint32_t>(octet);
+    if (i < 3) {
+      char dot;
+      if (!(stream >> dot) || dot != '.')
+        throw std::invalid_argument("parse_ipv4: bad separator in " + dotted);
+    }
+  }
+  char extra;
+  if (stream >> extra)
+    throw std::invalid_argument("parse_ipv4: trailing characters in " + dotted);
+  return out;
+}
+
+std::string format_ipv4(std::uint32_t address) {
+  std::ostringstream out;
+  out << (address >> 24) << '.' << ((address >> 16) & 0xff) << '.'
+      << ((address >> 8) & 0xff) << '.' << (address & 0xff);
+  return out.str();
+}
+
+std::uint16_t ipv4_header_checksum(const std::uint8_t* header) {
+  std::uint32_t sum = 0;
+  for (int i = 0; i < 20; i += 2)
+    sum += static_cast<std::uint32_t>(header[i]) << 8 | header[i + 1];
+  while (sum >> 16) sum = (sum & 0xffff) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+Bytes IpPacket::serialize() const {
+  Bytes out;
+  out.reserve(total_length());
+  put_u8(out, 0x45);  // version 4, IHL 5
+  put_u8(out, 0);     // DSCP/ECN
+  put_u16(out, static_cast<std::uint16_t>(total_length()));
+  put_u16(out, 0);  // identification
+  put_u16(out, 0);  // flags/fragment offset
+  put_u8(out, ttl);
+  put_u8(out, protocol);
+  put_u16(out, 0);  // checksum placeholder
+  put_u32(out, src);
+  put_u32(out, dst);
+  const std::uint16_t checksum = ipv4_header_checksum(out.data());
+  out[10] = static_cast<std::uint8_t>(checksum >> 8);
+  out[11] = static_cast<std::uint8_t>(checksum);
+  put_bytes(out, payload);
+  return out;
+}
+
+IpPacket IpPacket::parse(const Bytes& wire) {
+  if (wire.size() < 20) throw std::invalid_argument("IpPacket: short header");
+  if ((wire[0] >> 4) != 4) throw std::invalid_argument("IpPacket: not IPv4");
+  if ((wire[0] & 0xf) != 5)
+    throw std::invalid_argument("IpPacket: options unsupported");
+  if (ipv4_header_checksum(wire.data()) != 0)
+    throw std::invalid_argument("IpPacket: bad header checksum");
+  ByteReader reader(wire);
+  reader.u16();  // version/IHL + DSCP
+  const std::uint16_t total = reader.u16();
+  if (total != wire.size())
+    throw std::invalid_argument("IpPacket: length mismatch");
+  reader.u32();  // id + flags/offset
+  IpPacket packet;
+  packet.ttl = reader.u8();
+  packet.protocol = reader.u8();
+  reader.u16();  // checksum (already verified)
+  packet.src = reader.u32();
+  packet.dst = reader.u32();
+  packet.payload = reader.bytes(reader.remaining());
+  return packet;
+}
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,45 @@
+// Minimal IPv4 packet model for the VPN data path.
+//
+// The gateways of Fig. 10/11 filter, tunnel and deliver IP packets; this is
+// the packet representation they operate on. Only the fields the VPN data
+// path needs are modelled (version/IHL, protocol, TTL, addresses, payload,
+// header checksum); options are unsupported.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/bytes.hpp"
+
+namespace qkd::ipsec {
+
+/// Dotted-quad helper ("192.1.99.34" <-> 0xC0016322).
+std::uint32_t parse_ipv4(const std::string& dotted);
+std::string format_ipv4(std::uint32_t address);
+
+struct IpPacket {
+  static constexpr std::uint8_t kProtoTcp = 6;
+  static constexpr std::uint8_t kProtoUdp = 17;
+  static constexpr std::uint8_t kProtoEsp = 50;
+
+  std::uint8_t protocol = kProtoUdp;
+  std::uint8_t ttl = 64;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  Bytes payload;
+
+  /// Serializes to wire format with a valid header checksum.
+  Bytes serialize() const;
+
+  /// Parses and validates (version, length, checksum); throws
+  /// std::invalid_argument on malformed input.
+  static IpPacket parse(const Bytes& wire);
+
+  std::size_t total_length() const { return 20 + payload.size(); }
+  bool operator==(const IpPacket&) const = default;
+};
+
+/// RFC 1071 header checksum over a 20-byte header.
+std::uint16_t ipv4_header_checksum(const std::uint8_t* header);
+
+}  // namespace qkd::ipsec

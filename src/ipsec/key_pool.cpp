@@ -1,0 +1,86 @@
+#include "src/ipsec/key_pool.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qkd::ipsec {
+
+void KeyPool::deposit(const qkd::BitVector& bits) {
+  pool_.append(bits);
+  stats_.bits_deposited += bits.size();
+}
+
+std::size_t KeyPool::available_bits() const {
+  const std::size_t total = base_bits_ + pool_.size();
+  if (mode_ == Mode::kLinear) return total - linear_cursor_;
+  if (mode_ == Mode::kUnset) return total;
+  // Laned mode: bits in complete unconsumed blocks of both lanes.
+  return (available_qblocks(0) + available_qblocks(1)) * kQblockBits;
+}
+
+std::size_t KeyPool::available_qblocks(unsigned lane) const {
+  if (lane > 1) throw std::invalid_argument("KeyPool: lane must be 0 or 1");
+  const std::size_t total_blocks = (base_bits_ + pool_.size()) / kQblockBits;
+  // Lane-local block k occupies absolute block 2k + lane.
+  const std::size_t lane_blocks =
+      total_blocks > lane ? (total_blocks - lane + 1) / 2 : 0;
+  return lane_blocks > lane_next_[lane] ? lane_blocks - lane_next_[lane] : 0;
+}
+
+std::optional<qkd::BitVector> KeyPool::withdraw_qblocks(std::size_t count,
+                                                        unsigned lane) {
+  if (lane > 1) throw std::invalid_argument("KeyPool: lane must be 0 or 1");
+  if (mode_ == Mode::kLinear)
+    throw std::logic_error("KeyPool: laned withdrawal after linear use");
+  mode_ = Mode::kLaned;
+  if (available_qblocks(lane) < count) {
+    ++stats_.failed_withdrawals;
+    return std::nullopt;
+  }
+  qkd::BitVector out;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t abs_block = 2 * lane_next_[lane] + lane;
+    const std::size_t abs_bit = abs_block * kQblockBits;
+    out.append(pool_.slice(abs_bit - base_bits_, kQblockBits));
+    ++lane_next_[lane];
+  }
+  stats_.bits_withdrawn += count * kQblockBits;
+  stats_.qblocks_withdrawn += count;
+  compact();
+  return out;
+}
+
+std::optional<qkd::BitVector> KeyPool::withdraw_bits(std::size_t bits) {
+  if (mode_ == Mode::kLaned)
+    throw std::logic_error("KeyPool: linear withdrawal after laned use");
+  mode_ = Mode::kLinear;
+  if (bits > base_bits_ + pool_.size() - linear_cursor_) {
+    ++stats_.failed_withdrawals;
+    return std::nullopt;
+  }
+  qkd::BitVector out = pool_.slice(linear_cursor_ - base_bits_, bits);
+  linear_cursor_ += bits;
+  stats_.bits_withdrawn += bits;
+  compact();
+  return out;
+}
+
+void KeyPool::compact() {
+  // Everything before the earliest live cursor can be dropped.
+  std::size_t keep_from;
+  if (mode_ == Mode::kLinear) {
+    keep_from = linear_cursor_;
+  } else {
+    const std::size_t lane0_bit = (2 * lane_next_[0]) * kQblockBits;
+    const std::size_t lane1_bit = (2 * lane_next_[1] + 1) * kQblockBits;
+    keep_from = std::min(lane0_bit, lane1_bit);
+  }
+  if (keep_from <= base_bits_) return;
+  const std::size_t drop = keep_from - base_bits_;
+  if (drop > (1 << 20) && drop > pool_.size() / 2) {
+    pool_ = pool_.slice(drop, pool_.size() - drop);
+    base_bits_ = keep_from;
+  }
+}
+
+}  // namespace qkd::ipsec

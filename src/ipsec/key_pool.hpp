@@ -1,0 +1,73 @@
+// The VPN/OPC interface: a reservoir of distilled QKD key material.
+//
+// The QKD protocol engine deposits distilled bits; IKE withdraws them as
+// 1024-bit "Qblocks" (the unit visible in the paper's Fig. 12 transcript:
+// "reply 1 Qblocks 1024 bits 1024.000000 entropy"). Both VPN gateways hold
+// mirror-image pools — the same bits in the same order — so block N
+// withdrawn at Alice equals block N withdrawn at Bob. Running dry is the
+// key-consumption race of Section 2 ("Sufficiently Rapid Key Delivery").
+//
+// Lanes. The paper notes the extensions needed "negotiation mechanisms to
+// agree on which QKD bits will be used": when both gateways initiate Phase-2
+// negotiations concurrently (e.g. simultaneous rekey after expiry), naive
+// FIFO withdrawal would interleave differently on the two ends and scramble
+// every subsequent key. Qblocks are therefore partitioned into two lanes by
+// block-index parity — lane 0 holds blocks 0, 2, 4, ...; lane 1 holds
+// blocks 1, 3, 5, ... — and each negotiation draws from the lane owned by
+// its initiating direction. Concurrent opposite-direction negotiations then
+// consume disjoint blocks and stay in lockstep without extra round trips.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bitvector.hpp"
+
+namespace qkd::ipsec {
+
+class KeyPool {
+ public:
+  static constexpr std::size_t kQblockBits = 1024;
+
+  struct Stats {
+    std::uint64_t bits_deposited = 0;
+    std::uint64_t bits_withdrawn = 0;
+    std::uint64_t qblocks_withdrawn = 0;
+    std::uint64_t failed_withdrawals = 0;  // pool-empty events
+  };
+
+  KeyPool() = default;
+
+  /// Deposits freshly distilled bits (order matters; both ends must deposit
+  /// identical streams).
+  void deposit(const qkd::BitVector& bits);
+
+  /// Withdraws `count` Qblocks from `lane` (0 or 1), concatenated in block
+  /// order; nullopt if the lane holds fewer complete blocks. Partial
+  /// withdrawal is refused so the two ends never get out of step.
+  std::optional<qkd::BitVector> withdraw_qblocks(std::size_t count,
+                                                 unsigned lane = 0);
+
+  /// Withdraws an arbitrary number of bits in FIFO order (testing and
+  /// non-IKE consumers). Must not be mixed with laned Qblock withdrawal on
+  /// the same pool; doing so throws std::logic_error.
+  std::optional<qkd::BitVector> withdraw_bits(std::size_t bits);
+
+  std::size_t available_bits() const;
+  /// Complete, unconsumed Qblocks remaining in `lane`.
+  std::size_t available_qblocks(unsigned lane = 0) const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Mode { kUnset, kLinear, kLaned };
+  void compact();
+
+  qkd::BitVector pool_;       // bits not yet dropped by compaction
+  std::size_t base_bits_ = 0; // absolute bit offset of pool_[0]
+  std::size_t linear_cursor_ = 0;   // absolute, kLinear mode
+  std::size_t lane_next_[2] = {0, 0};  // next lane-local block index
+  Mode mode_ = Mode::kUnset;
+  Stats stats_;
+};
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,65 @@
+#include "src/ipsec/sad.hpp"
+
+namespace qkd::ipsec {
+
+bool SecurityAssociation::expired(qkd::SimTime now) const {
+  if (lifetime_seconds > 0.0) {
+    const double age =
+        static_cast<double>(now - established_at) / qkd::kSecond;
+    if (age >= lifetime_seconds) return true;
+  }
+  if (lifetime_bytes > 0 && bytes_protected >= lifetime_bytes) return true;
+  return false;
+}
+
+bool SecurityAssociation::replay_check_and_update(std::uint64_t seq) {
+  if (seq == 0) return false;  // ESP sequence numbers start at 1
+  if (seq > replay_highest) {
+    const std::uint64_t shift = seq - replay_highest;
+    replay_window = shift >= 64 ? 0 : replay_window << shift;
+    replay_window |= 1;  // mark the new highest as seen
+    replay_highest = seq;
+    return true;
+  }
+  const std::uint64_t offset = replay_highest - seq;
+  if (offset >= 64) return false;  // too old to judge: reject
+  const std::uint64_t bit = 1ULL << offset;
+  if (replay_window & bit) return false;  // replay
+  replay_window |= bit;
+  return true;
+}
+
+void SecurityAssociationDatabase::install(SecurityAssociation sa) {
+  by_spi_[sa.spi] = std::move(sa);
+}
+
+SecurityAssociation* SecurityAssociationDatabase::find(std::uint32_t spi) {
+  auto it = by_spi_.find(spi);
+  return it == by_spi_.end() ? nullptr : &it->second;
+}
+
+const SecurityAssociation* SecurityAssociationDatabase::find(
+    std::uint32_t spi) const {
+  auto it = by_spi_.find(spi);
+  return it == by_spi_.end() ? nullptr : &it->second;
+}
+
+void SecurityAssociationDatabase::remove(std::uint32_t spi) {
+  by_spi_.erase(spi);
+}
+
+std::vector<std::uint32_t> SecurityAssociationDatabase::expire(
+    qkd::SimTime now) {
+  std::vector<std::uint32_t> removed;
+  for (auto it = by_spi_.begin(); it != by_spi_.end();) {
+    if (it->second.expired(now)) {
+      removed.push_back(it->first);
+      it = by_spi_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return removed;
+}
+
+}  // namespace qkd::ipsec

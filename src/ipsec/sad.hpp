@@ -1,0 +1,72 @@
+// Security Association Database (RFC 2401, Fig. 10).
+//
+// Each SA carries the negotiated keys, sequence counters, the anti-replay
+// window, and the lifetime counters that drive rollover ("Every time the
+// lifetime expires, a new security association must be negotiated ... This
+// is sometimes termed 'key rollover'").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/bytes.hpp"
+#include "src/common/sim_clock.hpp"
+#include "src/ipsec/spd.hpp"
+
+namespace qkd::ipsec {
+
+struct SecurityAssociation {
+  std::uint32_t spi = 0;
+  CipherAlgo cipher = CipherAlgo::kAes128;
+  QkdMode qkd_mode = QkdMode::kHybrid;
+
+  Bytes encryption_key;            // empty for OTP
+  Bytes authentication_key;        // HMAC-SHA1 key (20 bytes)
+  qkd::BitVector otp_pool;         // pre-shared pad bits (OTP SAs)
+  std::size_t otp_cursor = 0;      // consumed pad bits
+
+  // Outbound state.
+  std::uint64_t send_seq = 0;
+
+  // Inbound anti-replay (RFC 2401-style 64-entry sliding window).
+  std::uint64_t replay_highest = 0;
+  std::uint64_t replay_window = 0;
+
+  // Lifetime accounting.
+  qkd::SimTime established_at = 0;
+  double lifetime_seconds = 60.0;
+  std::uint64_t lifetime_bytes = 0;  // 0 = unlimited
+  std::uint64_t bytes_protected = 0;
+
+  bool expired(qkd::SimTime now) const;
+  std::size_t otp_bits_available() const {
+    return otp_pool.size() - otp_cursor;
+  }
+
+  /// Anti-replay acceptance check + window update; returns false on replay
+  /// or stale sequence number.
+  bool replay_check_and_update(std::uint64_t seq);
+};
+
+class SecurityAssociationDatabase {
+ public:
+  /// Installs an SA (inbound or outbound); replaces any SA with equal SPI.
+  void install(SecurityAssociation sa);
+
+  SecurityAssociation* find(std::uint32_t spi);
+  const SecurityAssociation* find(std::uint32_t spi) const;
+
+  void remove(std::uint32_t spi);
+
+  /// Expires (removes) all SAs past their lifetime; returns the SPIs removed.
+  std::vector<std::uint32_t> expire(qkd::SimTime now);
+
+  std::size_t size() const { return by_spi_.size(); }
+
+ private:
+  std::map<std::uint32_t, SecurityAssociation> by_spi_;
+};
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,47 @@
+#include "src/ipsec/spd.hpp"
+
+namespace qkd::ipsec {
+
+std::size_t cipher_key_bytes(CipherAlgo algo) {
+  switch (algo) {
+    case CipherAlgo::kAes128:
+      return 16;
+    case CipherAlgo::kAes256:
+      return 32;
+    case CipherAlgo::kTripleDes:
+      return 24;
+    case CipherAlgo::kOneTimePad:
+      return 0;
+  }
+  return 0;
+}
+
+const char* cipher_name(CipherAlgo algo) {
+  switch (algo) {
+    case CipherAlgo::kAes128:
+      return "AES-128";
+    case CipherAlgo::kAes256:
+      return "AES-256";
+    case CipherAlgo::kTripleDes:
+      return "3DES";
+    case CipherAlgo::kOneTimePad:
+      return "OTP";
+  }
+  return "?";
+}
+
+bool TrafficSelector::matches(const IpPacket& packet) const {
+  if ((packet.src & src_mask) != (src_prefix & src_mask)) return false;
+  if ((packet.dst & dst_mask) != (dst_prefix & dst_mask)) return false;
+  if (protocol.has_value() && packet.protocol != *protocol) return false;
+  return true;
+}
+
+const SpdEntry* SecurityPolicyDatabase::lookup(const IpPacket& packet) const {
+  for (const auto& entry : entries_) {
+    if (entry.selector.matches(packet)) return &entry;
+  }
+  return nullptr;
+}
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,78 @@
+// Security Policy Database (RFC 2401, Fig. 10).
+//
+// "Every security association has a maximum lifetime ... expressed either in
+// time (seconds) or in data encrypted (kilobytes) and is configured via the
+// Security Policy Database (SPD) entry". Our extensions add per-tunnel QKD
+// policy: whether the tunnel's keys come from IKE alone, IKE hybridized with
+// Qblocks (the rapid-reseed extension), or a pure one-time pad drawn from
+// the key pool (Sec. 7): "Some may use conventional cryptography (e.g. AES),
+// while others employ one-time pads, depending on how sensitive traffic is
+// within a given VPN."
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/ipsec/ip_packet.hpp"
+
+namespace qkd::ipsec {
+
+enum class PolicyAction : std::uint8_t { kBypass, kDiscard, kProtect };
+
+enum class CipherAlgo : std::uint8_t { kAes128, kAes256, kTripleDes, kOneTimePad };
+
+enum class QkdMode : std::uint8_t {
+  kNone,    // conventional IKE keys only
+  kHybrid,  // Qblocks mixed into the IKE Phase-2 keymat (rapid reseeding)
+  kOtp,     // traffic keys ARE pool bits; consumes key per byte sent
+};
+
+/// Key sizes per algorithm (bytes); OTP has no fixed key size.
+std::size_t cipher_key_bytes(CipherAlgo algo);
+const char* cipher_name(CipherAlgo algo);
+
+struct TrafficSelector {
+  std::uint32_t src_prefix = 0;
+  std::uint32_t src_mask = 0;  // e.g. 0xffffff00 for /24
+  std::uint32_t dst_prefix = 0;
+  std::uint32_t dst_mask = 0;
+  std::optional<std::uint8_t> protocol;  // nullopt = any
+
+  bool matches(const IpPacket& packet) const;
+};
+
+struct SpdEntry {
+  std::string name;
+  TrafficSelector selector;
+  PolicyAction action = PolicyAction::kProtect;
+
+  // Protection parameters (meaningful when action == kProtect):
+  CipherAlgo cipher = CipherAlgo::kAes128;
+  QkdMode qkd_mode = QkdMode::kHybrid;
+  /// Qblocks requested per Phase-2 negotiation (Fig. 12: "offer is 1
+  /// Qblocks").
+  std::uint32_t qblocks_per_rekey = 1;
+  /// SA lifetime in seconds ("we update the resultant AES keys about once a
+  /// minute").
+  double lifetime_seconds = 60.0;
+  /// SA lifetime in kilobytes of protected traffic (0 = unlimited).
+  std::uint64_t lifetime_kilobytes = 0;
+};
+
+class SecurityPolicyDatabase {
+ public:
+  void add(SpdEntry entry) { entries_.push_back(std::move(entry)); }
+
+  /// First-match lookup in insertion order; nullptr when nothing matches
+  /// (callers treat no-match as discard, the conservative default).
+  const SpdEntry* lookup(const IpPacket& packet) const;
+
+  const std::vector<SpdEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<SpdEntry> entries_;
+};
+
+}  // namespace qkd::ipsec

@@ -1,0 +1,85 @@
+#include "src/ipsec/vpn_sim.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+VpnGateway::Config gateway_config(const std::string& name,
+                                  const std::string& address,
+                                  const std::string& peer) {
+  VpnGateway::Config config;
+  config.name = name;
+  config.address = parse_ipv4(address);
+  config.peer_address = parse_ipv4(peer);
+  config.preshared_key = Bytes{'d', 'a', 'r', 'p', 'a', '-', 'q', 'n'};
+  return config;
+}
+
+}  // namespace
+
+VpnLinkSimulation::VpnLinkSimulation(Params params, std::uint64_t seed)
+    : params_(params),
+      a_(gateway_config(params.a_name, params.a_address, params.b_address),
+         seed * 2 + 1),
+      b_(gateway_config(params.b_name, params.b_address, params.a_address),
+         seed * 2 + 2) {
+  a_.set_transmit([this](const Bytes& wire) { channel_.send_from_a(wire); });
+  b_.set_transmit([this](const Bytes& wire) { channel_.send_from_b(wire); });
+}
+
+void VpnLinkSimulation::install_mirrored_policy(const SpdEntry& entry) {
+  a_.spd().add(entry);
+  // Mirror with swapped selector directions.
+  SpdEntry reversed = entry;
+  std::swap(reversed.selector.src_prefix, reversed.selector.dst_prefix);
+  std::swap(reversed.selector.src_mask, reversed.selector.dst_mask);
+  b_.spd().add(reversed);
+}
+
+void VpnLinkSimulation::deposit_key_material(const qkd::BitVector& bits,
+                                             bool corrupt_b) {
+  a_.key_pool().deposit(bits);
+  if (corrupt_b && !bits.empty()) {
+    qkd::BitVector corrupted = bits;
+    corrupted.flip(corrupted.size() / 2);
+    b_.key_pool().deposit(corrupted);
+  } else {
+    b_.key_pool().deposit(bits);
+  }
+}
+
+void VpnLinkSimulation::start() {
+  a_.start(clock_.now());
+  pump();
+}
+
+void VpnLinkSimulation::pump() {
+  // Bounded ping-pong: each delivery may generate replies.
+  for (int round = 0; round < 32; ++round) {
+    bool moved = false;
+    while (auto msg = channel_.recv_at_a()) {
+      a_.deliver_from_network(*msg, clock_.now());
+      moved = true;
+    }
+    while (auto msg = channel_.recv_at_b()) {
+      b_.deliver_from_network(*msg, clock_.now());
+      moved = true;
+    }
+    if (!moved) break;
+  }
+  a_.tick(clock_.now());
+  b_.tick(clock_.now());
+}
+
+void VpnLinkSimulation::advance(double seconds) {
+  const qkd::SimTime step =
+      static_cast<qkd::SimTime>(params_.tick_interval_s * qkd::kSecond);
+  qkd::SimTime remaining = static_cast<qkd::SimTime>(seconds * qkd::kSecond);
+  while (remaining > 0) {
+    const qkd::SimTime delta = std::min(step, remaining);
+    clock_.advance(delta);
+    remaining -= delta;
+    pump();
+  }
+}
+
+}  // namespace qkd::ipsec

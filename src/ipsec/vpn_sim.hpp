@@ -1,0 +1,61 @@
+// Paired-gateway VPN simulation harness.
+//
+// Wires two VpnGateways back to back over a net::PublicChannel (with
+// optional Eve impairments), drives both against one SimClock, and mirrors
+// QKD key-material deposits into both pools — the role the QKD protocol
+// engine plays in the full system (Fig. 11). Examples, tests and the E10/E11
+// benches all run on this harness.
+#pragma once
+
+#include "src/common/sim_clock.hpp"
+#include "src/ipsec/gateway.hpp"
+#include "src/net/channel.hpp"
+
+namespace qkd::ipsec {
+
+class VpnLinkSimulation {
+ public:
+  struct Params {
+    std::string a_name = "alice-gw";
+    std::string b_name = "bob-gw";
+    std::string a_address = "192.1.99.34";
+    std::string b_address = "192.1.99.35";
+    double tick_interval_s = 0.1;
+  };
+
+  explicit VpnLinkSimulation(Params params, std::uint64_t seed = 1);
+
+  VpnGateway& a() { return a_; }
+  VpnGateway& b() { return b_; }
+  qkd::net::PublicChannel& channel() { return channel_; }
+  qkd::SimClock& clock() { return clock_; }
+
+  /// Installs a mirrored protect-everything policy on both gateways (the
+  /// usual two-enclave setup); returns the entry for customization.
+  void install_mirrored_policy(const SpdEntry& entry);
+
+  /// Deposits the same distilled bits into both pools (what the QKD engine
+  /// does continuously). `corrupt_b` flips one bit in B's copy — the
+  /// Section 7 "believe they possess secret bits in common but in fact these
+  /// two sets of bits are not identical" failure injection.
+  void deposit_key_material(const qkd::BitVector& bits, bool corrupt_b = false);
+
+  /// Starts IKE (A initiates Phase 1).
+  void start();
+
+  /// Delivers all queued channel messages to both ends, repeatedly, until
+  /// the channel drains (bounded), then ticks both gateways.
+  void pump();
+
+  /// Advances simulated time by `seconds`, ticking and pumping on the way.
+  void advance(double seconds);
+
+ private:
+  Params params_;
+  qkd::SimClock clock_;
+  qkd::net::PublicChannel channel_;
+  VpnGateway a_;
+  VpnGateway b_;
+};
+
+}  // namespace qkd::ipsec

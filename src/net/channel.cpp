@@ -1,0 +1,61 @@
+#include "src/net/channel.hpp"
+
+namespace qkd::net {
+
+void PublicChannel::send(const Bytes& message, bool to_b) {
+  Bytes to_deliver = message;
+  if (impairment_) {
+    const auto impaired = impairment_(message, to_b);
+    if (!impaired.has_value()) {
+      ++stats_.dropped;
+      return;
+    }
+    if (*impaired != message) ++stats_.modified;
+    to_deliver = *impaired;
+  }
+  if (to_b) {
+    ++stats_.messages_ab;
+    stats_.bytes_ab += to_deliver.size();
+    b_.inbox.push_back(std::move(to_deliver));
+  } else {
+    ++stats_.messages_ba;
+    stats_.bytes_ba += to_deliver.size();
+    a_.inbox.push_back(std::move(to_deliver));
+  }
+}
+
+std::optional<Bytes> PublicChannel::recv_at_a() {
+  if (a_.inbox.empty()) return std::nullopt;
+  Bytes msg = std::move(a_.inbox.front());
+  a_.inbox.pop_front();
+  return msg;
+}
+
+std::optional<Bytes> PublicChannel::recv_at_b() {
+  if (b_.inbox.empty()) return std::nullopt;
+  Bytes msg = std::move(b_.inbox.front());
+  b_.inbox.pop_front();
+  return msg;
+}
+
+Impairment make_drop_impairment(double drop_prob, std::uint64_t seed) {
+  auto rng = std::make_shared<qkd::Rng>(seed);
+  return [rng, drop_prob](const Bytes& message,
+                          bool) -> std::optional<Bytes> {
+    if (rng->next_bool(drop_prob)) return std::nullopt;
+    return message;
+  };
+}
+
+Impairment make_corrupt_impairment(double flip_prob, std::uint64_t seed) {
+  auto rng = std::make_shared<qkd::Rng>(seed);
+  return [rng, flip_prob](const Bytes& message,
+                          bool) -> std::optional<Bytes> {
+    if (message.empty() || !rng->next_bool(flip_prob)) return message;
+    Bytes corrupted = message;
+    corrupted[rng->next_below(corrupted.size())] ^= 0xA5;
+    return corrupted;
+  };
+}
+
+}  // namespace qkd::net

@@ -1,0 +1,87 @@
+// The public channel (Fig. 1): "The other, public channel carries all
+// message traffic, including the cryptographic protocols, encrypted user
+// traffic, etc."
+//
+// PublicChannel is an in-memory, message-oriented duplex pipe with an
+// impairment hook modelling the paper's Eve axioms for classical traffic:
+// she can eavesdrop undetectably (taps), forge messages (inject), and block
+// them (drop). IKE and the QKD protocol engine run over this channel; tests
+// and benches use the impairments to reproduce the Section 7 DoS and
+// man-in-the-middle discussions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "src/common/bytes.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/sim_clock.hpp"
+
+namespace qkd::net {
+
+/// One direction of a message pipe.
+struct Endpoint {
+  std::deque<Bytes> inbox;
+};
+
+/// Eve's grip on the classical channel. Return std::nullopt to block the
+/// message; return (possibly modified) bytes to deliver them. The default
+/// passes everything through untouched. `to_b` tells the handler the
+/// direction (true: A->B).
+using Impairment =
+    std::function<std::optional<Bytes>(const Bytes& message, bool to_b)>;
+
+/// Counters for channel-level experiments.
+struct ChannelStats {
+  std::uint64_t messages_ab = 0;
+  std::uint64_t messages_ba = 0;
+  std::uint64_t bytes_ab = 0;
+  std::uint64_t bytes_ba = 0;
+  std::uint64_t dropped = 0;
+  std::uint64_t modified = 0;
+};
+
+class PublicChannel {
+ public:
+  PublicChannel() = default;
+
+  /// Installs (or clears) Eve's impairment hook.
+  void set_impairment(Impairment impairment) {
+    impairment_ = std::move(impairment);
+  }
+
+  /// Sends from the A side (delivered to B's inbox unless impaired).
+  void send_from_a(const Bytes& message) { send(message, /*to_b=*/true); }
+  void send_from_b(const Bytes& message) { send(message, /*to_b=*/false); }
+
+  /// Receives the next queued message at each side; nullopt when empty.
+  std::optional<Bytes> recv_at_a();
+  std::optional<Bytes> recv_at_b();
+
+  bool a_has_message() const { return !a_.inbox.empty(); }
+  bool b_has_message() const { return !b_.inbox.empty(); }
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  void send(const Bytes& message, bool to_b);
+
+  Endpoint a_;
+  Endpoint b_;
+  Impairment impairment_;
+  ChannelStats stats_;
+};
+
+/// A ready-made lossy impairment: drops each message with probability
+/// `drop_prob` (seeded, deterministic) — the "Eve blocks IKE messages during
+/// a relatively short time" DoS of Section 7.
+Impairment make_drop_impairment(double drop_prob, std::uint64_t seed);
+
+/// Corrupts each message with probability `flip_prob` by flipping one byte —
+/// exercising the authenticated-rejection paths.
+Impairment make_corrupt_impairment(double flip_prob, std::uint64_t seed);
+
+}  // namespace qkd::net

@@ -1,0 +1,143 @@
+#include "src/network/key_transport.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/qkd/entropy.hpp"
+
+namespace qkd::network {
+namespace {
+
+double binary_entropy(double p) {
+  if (p <= 0.0 || p >= 1.0) return 0.0;
+  return -p * std::log2(p) - (1.0 - p) * std::log2(1.0 - p);
+}
+
+/// Expected QBER of a link including any intercept-resend fraction.
+double link_qber(const Link& link, double intercept_fraction) {
+  const qkd::optics::LinkModel model(link.optics);
+  const double base = model.expected_qber();
+  return base + 0.25 * intercept_fraction * (1.0 - base);
+}
+
+}  // namespace
+
+double estimated_distill_fraction(const qkd::optics::LinkModel& model) {
+  const double q = model.expected_qber();
+  if (q >= 0.11) return 0.0;  // QBER alarm: link abandoned
+  const double ec_cost = 1.2 * binary_entropy(q);       // classic Cascade
+  const double bennett = 2.0 * std::sqrt(2.0) * q;      // defense function
+  const double multi =
+      qkd::proto::conditional_multi_photon_probability(
+          model.params().mean_photon_number);
+  return std::max(0.0, 1.0 - ec_cost - bennett - multi);
+}
+
+double link_distill_rate_bps(const Link& link) {
+  if (!link.usable()) return 0.0;
+  const qkd::optics::LinkModel model(link.optics);
+  return model.sifted_rate_bps() * estimated_distill_fraction(model);
+}
+
+MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed)
+    : topology_(std::move(topology)),
+      rng_(seed),
+      pools_(topology_.link_count(), 0.0),
+      eavesdrop_fraction_(topology_.link_count(), 0.0) {}
+
+void MeshSimulation::step(double dt_seconds) {
+  for (const Link& link : topology_.links()) {
+    if (!link.usable()) continue;
+    // Eavesdropping below the alarm threshold still costs key: the entropy
+    // estimate charges for the induced errors.
+    const double q = link_qber(link, eavesdrop_fraction_[link.id]);
+    if (q >= 0.11) continue;
+    qkd::optics::LinkModel model(link.optics);
+    const double fraction =
+        std::max(0.0, 1.0 - 1.2 * binary_entropy(q) -
+                          2.0 * std::sqrt(2.0) * q -
+                          qkd::proto::conditional_multi_photon_probability(
+                              link.optics.mean_photon_number));
+    pools_[link.id] += model.sifted_rate_bps() * fraction * dt_seconds;
+  }
+}
+
+MeshSimulation::TransportResult MeshSimulation::transport_key(
+    NodeId src, NodeId dst, std::size_t bits) {
+  TransportResult result;
+  ++stats_.transports_attempted;
+
+  // Prefer key-rich links: cost = 1 + shortage penalty.
+  const double need = static_cast<double>(bits);
+  const auto cost = [this, need](const Link& link) {
+    const double pool = pools_[link.id];
+    return pool >= need ? 1.0 : 1000.0;  // starved links only as last resort
+  };
+  const auto route = shortest_route(topology_, src, dst, cost);
+  if (!route.has_value()) {
+    ++stats_.transports_no_route;
+    return result;
+  }
+  if (last_route_.has_value() && last_route_->links != route->links)
+    ++stats_.reroutes;
+  last_route_ = route;
+  result.route = *route;
+
+  // Check every hop can afford the transport before consuming anything.
+  for (LinkId link_id : route->links) {
+    if (pools_[link_id] < need) {
+      ++stats_.transports_starved;
+      return result;
+    }
+  }
+
+  // Hop-by-hop one-time-pad relay. The key leaves the source encrypted,
+  // is decrypted and re-encrypted inside every relay, and arrives intact.
+  result.key = rng_.next_bits(bits);
+  qkd::BitVector in_flight = result.key;
+  for (std::size_t hop = 0; hop < route->links.size(); ++hop) {
+    const LinkId link_id = route->links[hop];
+    // Pairwise link pad (simulated draw; both link ends hold the same pool).
+    const qkd::BitVector pad = rng_.next_bits(bits);
+    qkd::BitVector ciphertext = in_flight;
+    ciphertext ^= pad;  // encrypted on the wire
+    pools_[link_id] -= need;
+    result.pool_bits_consumed += bits;
+    // The far end of the hop decrypts; if it is a relay, the key is now in
+    // its memory in the clear.
+    in_flight = ciphertext;
+    in_flight ^= pad;
+    const NodeId holder = route->nodes[hop + 1];
+    if (topology_.node(holder).kind == NodeKind::kTrustedRelay)
+      result.exposed_to.push_back(holder);
+  }
+  if (!(in_flight == result.key))
+    throw std::logic_error("MeshSimulation: relay chain corrupted the key");
+
+  result.success = true;
+  ++stats_.transports_succeeded;
+  return result;
+}
+
+void MeshSimulation::cut_link(LinkId link) {
+  topology_.link(link).state = LinkState::kCut;
+  pools_[link] = 0.0;
+}
+
+double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
+  eavesdrop_fraction_[link] = intercept_fraction;
+  const double q = link_qber(topology_.link(link), intercept_fraction);
+  if (q >= 0.11) {
+    // "too much eavesdropping or noise — that link is abandoned".
+    topology_.link(link).state = LinkState::kEavesdropped;
+    pools_[link] = 0.0;
+  }
+  return q;
+}
+
+void MeshSimulation::restore_link(LinkId link) {
+  topology_.link(link).state = LinkState::kUp;
+  eavesdrop_fraction_[link] = 0.0;
+}
+
+}  // namespace qkd::network

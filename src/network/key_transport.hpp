@@ -1,0 +1,88 @@
+// The trusted-relay "key transport network" of Section 8.
+//
+// Every usable link continuously distills pairwise key material into a link
+// pool. To agree on an end-to-end key, the source generates fresh key bits
+// and forwards them hop by hop: across each link the bits travel one-time-pad
+// encrypted under that link's pairwise key; inside each relay they exist in
+// the clear ("the end-to-end key will appear in the clear within the relays'
+// memories proper, but will always be encrypted when passing across a
+// link"). The result accounts both the key-material cost (every hop consumes
+// pool bits equal to the transported key) and the trust cost (the set of
+// relays that saw the key).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/rng.hpp"
+#include "src/network/routing.hpp"
+#include "src/network/topology.hpp"
+
+namespace qkd::network {
+
+/// Analytic estimate of the distilled-key fraction of sifted bits at a
+/// link's operating point (error-correction disclosure at 1.2x Shannon plus
+/// the Bennett charge and the conditional multi-photon charge), clamped to
+/// zero. Cross-validated against the full protocol engine in tests.
+double estimated_distill_fraction(const qkd::optics::LinkModel& model);
+
+/// Distilled bits/second a link produces at its operating point; zero when
+/// the link is cut, eavesdropped past the QBER alarm, or out of range.
+double link_distill_rate_bps(const Link& link);
+
+class MeshSimulation {
+ public:
+  struct TransportResult {
+    bool success = false;
+    Route route;
+    qkd::BitVector key;                 // delivered end-to-end key
+    std::vector<NodeId> exposed_to;     // relays that held the key in clear
+    std::size_t pool_bits_consumed = 0; // summed across hops
+  };
+
+  struct Stats {
+    std::uint64_t transports_attempted = 0;
+    std::uint64_t transports_succeeded = 0;
+    std::uint64_t transports_no_route = 0;
+    std::uint64_t transports_starved = 0;  // route found but pools too dry
+    std::uint64_t reroutes = 0;            // route differed from previous
+  };
+
+  MeshSimulation(Topology topology, std::uint64_t seed);
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Advances simulated time: every usable link distills key into its pool
+  /// at its analytic rate.
+  void step(double dt_seconds);
+
+  /// Current pairwise pool of a link, in bits.
+  double link_pool_bits(LinkId link) const { return pools_.at(link); }
+
+  /// Moves `bits` of fresh end-to-end key from src to dst hop by hop.
+  /// Consumes `bits` from every link pool along the route. Routes prefer
+  /// key-rich paths. Fails (without consuming) when no usable route exists
+  /// or some pool on the best route cannot cover the request.
+  TransportResult transport_key(NodeId src, NodeId dst, std::size_t bits);
+
+  /// Failure injection.
+  void cut_link(LinkId link);
+  /// Applies an intercept-resend fraction to a link; past the QBER alarm
+  /// the link is marked eavesdropped and abandoned. Returns the resulting
+  /// expected QBER.
+  double eavesdrop_link(LinkId link, double intercept_fraction);
+  void restore_link(LinkId link);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Topology topology_;
+  qkd::Rng rng_;
+  std::vector<double> pools_;  // bits, indexed by LinkId
+  std::vector<double> eavesdrop_fraction_;
+  std::optional<Route> last_route_;
+  Stats stats_;
+};
+
+}  // namespace qkd::network

@@ -1,0 +1,78 @@
+#include "src/network/routing.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <set>
+
+namespace qkd::network {
+
+std::optional<Route> shortest_route(const Topology& topology, NodeId src,
+                                    NodeId dst, const LinkCostFn& cost) {
+  const std::size_t n = topology.node_count();
+  if (src >= n || dst >= n) return std::nullopt;
+  if (src == dst) return Route{{src}, {}, 0.0};
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(n, kInf);
+  std::vector<std::optional<LinkId>> via(n);
+  using Item = std::pair<double, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> frontier;
+  dist[src] = 0.0;
+  frontier.emplace(0.0, src);
+
+  while (!frontier.empty()) {
+    const auto [d, u] = frontier.top();
+    frontier.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    // Endpoints never transit traffic for others.
+    if (u != src && topology.node(u).kind == NodeKind::kEndpoint) continue;
+    for (LinkId link_id : topology.links_of(u)) {
+      const Link& link = topology.link(link_id);
+      if (!link.usable()) continue;
+      const double w = cost ? cost(link) : 1.0;
+      const NodeId v = link.other(u);
+      if (dist[u] + w < dist[v]) {
+        dist[v] = dist[u] + w;
+        via[v] = link_id;
+        frontier.emplace(dist[v], v);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return std::nullopt;
+
+  Route route;
+  route.cost = dist[dst];
+  NodeId at = dst;
+  while (at != src) {
+    const Link& link = topology.link(*via[at]);
+    route.links.push_back(link.id);
+    route.nodes.push_back(at);
+    at = link.other(at);
+  }
+  route.nodes.push_back(src);
+  std::reverse(route.nodes.begin(), route.nodes.end());
+  std::reverse(route.links.begin(), route.links.end());
+  return route;
+}
+
+std::size_t disjoint_path_count(const Topology& topology, NodeId src,
+                                NodeId dst) {
+  // Repeatedly find a route and remove its links (greedy unit-capacity
+  // max-flow approximation — exact for the small meshes we measure, and a
+  // lower bound in general).
+  Topology working = topology;
+  std::size_t count = 0;
+  for (;;) {
+    const auto route = shortest_route(working, src, dst);
+    if (!route.has_value()) break;
+    ++count;
+    for (LinkId link_id : route->links)
+      working.link(link_id).state = LinkState::kCut;
+  }
+  return count;
+}
+
+}  // namespace qkd::network

@@ -1,0 +1,40 @@
+// Path computation over the QKD mesh.
+//
+// "When a given point-to-point QKD link within the relay mesh fails — e.g.
+// by fiber cut or too much eavesdropping or noise — that link is abandoned
+// and another used instead." Routing treats non-usable links as absent and
+// minimizes a cost that prefers short, key-rich paths.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/network/topology.hpp"
+
+namespace qkd::network {
+
+struct Route {
+  std::vector<NodeId> nodes;  // src ... dst
+  std::vector<LinkId> links;  // nodes.size() - 1 entries
+  double cost = 0.0;
+
+  std::size_t hop_count() const { return links.size(); }
+};
+
+/// Per-link routing cost; defaults to hop count when the callback is empty.
+using LinkCostFn = std::function<double(const Link&)>;
+
+/// Dijkstra over usable links; nullopt when disconnected. `via_kinds`
+/// restricts which node kinds may appear as interior nodes (endpoints can
+/// always be route termini but never transit).
+std::optional<Route> shortest_route(const Topology& topology, NodeId src,
+                                    NodeId dst,
+                                    const LinkCostFn& cost = {});
+
+/// Number of edge-disjoint usable paths between two nodes (max-flow with
+/// unit capacities) — the redundancy measure of the E12 resilience bench.
+std::size_t disjoint_path_count(const Topology& topology, NodeId src,
+                                NodeId dst);
+
+}  // namespace qkd::network

@@ -1,0 +1,71 @@
+#include "src/network/switch_network.hpp"
+
+#include <stdexcept>
+
+#include "src/network/key_transport.hpp"
+
+namespace qkd::network {
+
+SwitchPathBudget switch_path_budget(const Topology& topology,
+                                    const Route& route,
+                                    double per_switch_insertion_db) {
+  if (route.nodes.size() < 2)
+    throw std::invalid_argument("switch_path_budget: degenerate route");
+  SwitchPathBudget budget;
+  budget.end_to_end = topology.link(route.links.front()).optics;
+  budget.end_to_end.fiber_km = 0.0;
+  budget.end_to_end.insertion_loss_db = 0.0;
+
+  for (std::size_t i = 0; i < route.links.size(); ++i) {
+    const Link& link = topology.link(route.links[i]);
+    budget.total_fiber_km += link.optics.fiber_km;
+    budget.total_insertion_db += link.optics.insertion_loss_db;
+  }
+  for (std::size_t i = 1; i + 1 < route.nodes.size(); ++i) {
+    const Node& node = topology.node(route.nodes[i]);
+    if (node.kind != NodeKind::kUntrustedSwitch)
+      throw std::invalid_argument(
+          "switch_path_budget: interior node is not an untrusted switch");
+    budget.switch_count += 1.0;
+    budget.total_insertion_db += per_switch_insertion_db;
+  }
+
+  budget.end_to_end.fiber_km = budget.total_fiber_km;
+  budget.end_to_end.insertion_loss_db = budget.total_insertion_db;
+  const qkd::optics::LinkModel model(budget.end_to_end);
+  budget.expected_qber = model.expected_qber();
+  budget.sifted_rate_bps = model.sifted_rate_bps();
+  budget.in_range = budget.expected_qber < 0.11;
+  budget.distilled_rate_bps =
+      budget.in_range
+          ? budget.sifted_rate_bps * estimated_distill_fraction(model)
+          : 0.0;
+  return budget;
+}
+
+std::optional<SwitchPathBudget> best_switch_path(
+    const Topology& topology, NodeId src, NodeId dst,
+    double per_switch_insertion_db) {
+  // Restrict transit to untrusted switches by pricing other interior nodes
+  // out: clone the topology and cut links touching relays (endpoints are
+  // already excluded from transit by the router).
+  Topology optical = topology;
+  for (LinkId id = 0; id < optical.link_count(); ++id) {
+    Link& link = optical.link(id);
+    const auto blocks = [&](NodeId node) {
+      return optical.node(node).kind == NodeKind::kTrustedRelay &&
+             node != src && node != dst;
+    };
+    if (blocks(link.a) || blocks(link.b)) link.state = LinkState::kCut;
+  }
+  // Minimize total optical loss (dB), the quantity that decides reach.
+  const auto loss_cost = [&](const Link& link) {
+    return link.optics.fiber_km * link.optics.attenuation_db_per_km +
+           link.optics.insertion_loss_db + per_switch_insertion_db;
+  };
+  const auto route = shortest_route(optical, src, dst, loss_cost);
+  if (!route.has_value()) return std::nullopt;
+  return switch_path_budget(topology, *route, per_switch_insertion_db);
+}
+
+}  // namespace qkd::network

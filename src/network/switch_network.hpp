@@ -1,0 +1,46 @@
+// The untrusted photonic-switch network of Section 8.
+//
+// "Untrusted QKD switches do not participate in QKD protocols at all.
+// Instead they set up all-optical paths through the network mesh ... a
+// photon from its source QKD endpoint proceeds, without measurement, from
+// switch to switch ... until it reaches the destination endpoint." The
+// price: "each switch adds at least a fractional dB insertion loss along
+// the photonic path", so switches reduce reach instead of extending it —
+// quantified by bench E14.
+#pragma once
+
+#include <optional>
+
+#include "src/network/routing.hpp"
+#include "src/network/topology.hpp"
+
+namespace qkd::network {
+
+struct SwitchPathBudget {
+  double total_fiber_km = 0.0;
+  double switch_count = 0.0;       // interior switches traversed
+  double total_insertion_db = 0.0; // fixed losses incl. switch insertion
+  qkd::optics::LinkParams end_to_end;  // composite optics
+  double expected_qber = 0.0;
+  double sifted_rate_bps = 0.0;
+  double distilled_rate_bps = 0.0;
+  bool in_range = false;           // QBER below the 11 % alarm
+};
+
+/// Computes the optical budget of an all-optical path: every interior node
+/// must be an untrusted switch (throws std::invalid_argument otherwise).
+/// The composite channel concatenates fiber spans and adds
+/// `per_switch_insertion_db` per interior switch; the endpoints' QKD
+/// hardware parameters are taken from the first link.
+SwitchPathBudget switch_path_budget(const Topology& topology,
+                                    const Route& route,
+                                    double per_switch_insertion_db = 1.0);
+
+/// Finds the best all-optical route between two endpoints (interior nodes
+/// restricted to untrusted switches) and returns its budget; nullopt when no
+/// such route exists.
+std::optional<SwitchPathBudget> best_switch_path(
+    const Topology& topology, NodeId src, NodeId dst,
+    double per_switch_insertion_db = 1.0);
+
+}  // namespace qkd::network

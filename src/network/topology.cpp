@@ -1,0 +1,82 @@
+#include "src/network/topology.hpp"
+
+#include <stdexcept>
+
+namespace qkd::network {
+
+NodeId Topology::add_node(std::string name, NodeKind kind) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, std::move(name), kind});
+  return id;
+}
+
+LinkId Topology::add_link(NodeId a, NodeId b, qkd::optics::LinkParams optics) {
+  if (a >= nodes_.size() || b >= nodes_.size())
+    throw std::out_of_range("Topology::add_link: unknown node");
+  if (a == b) throw std::invalid_argument("Topology::add_link: self-link");
+  const LinkId id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{id, a, b, optics, LinkState::kUp});
+  return id;
+}
+
+std::vector<LinkId> Topology::links_of(NodeId node) const {
+  std::vector<LinkId> out;
+  for (const Link& link : links_) {
+    if (link.connects(node)) out.push_back(link.id);
+  }
+  return out;
+}
+
+std::optional<LinkId> Topology::link_between(NodeId a, NodeId b) const {
+  for (const Link& link : links_) {
+    if ((link.a == a && link.b == b) || (link.a == b && link.b == a))
+      return link.id;
+  }
+  return std::nullopt;
+}
+
+Topology Topology::full_mesh(std::size_t n, double link_km) {
+  Topology topo;
+  for (std::size_t i = 0; i < n; ++i)
+    topo.add_node("endpoint-" + std::to_string(i), NodeKind::kEndpoint);
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = link_km;
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i + 1; j < n; ++j)
+      topo.add_link(static_cast<NodeId>(i), static_cast<NodeId>(j), optics);
+  return topo;
+}
+
+Topology Topology::star(std::size_t n, double link_km) {
+  Topology topo;
+  const NodeId hub = topo.add_node("relay-hub", NodeKind::kTrustedRelay);
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = link_km;
+  for (std::size_t i = 0; i < n; ++i) {
+    const NodeId spoke =
+        topo.add_node("endpoint-" + std::to_string(i), NodeKind::kEndpoint);
+    topo.add_link(hub, spoke, optics);
+  }
+  return topo;
+}
+
+Topology Topology::relay_ring(std::size_t n, double link_km) {
+  if (n < 3) throw std::invalid_argument("relay_ring: need >= 3 relays");
+  Topology topo;
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = link_km;
+  std::vector<NodeId> relays;
+  for (std::size_t i = 0; i < n; ++i)
+    relays.push_back(
+        topo.add_node("relay-" + std::to_string(i), NodeKind::kTrustedRelay));
+  for (std::size_t i = 0; i < n; ++i)
+    topo.add_link(relays[i], relays[(i + 1) % n], optics);
+  // Two endpoints on opposite sides of the ring.
+  const NodeId alice = topo.add_node("alice", NodeKind::kEndpoint);
+  const NodeId bob = topo.add_node("bob", NodeKind::kEndpoint);
+  topo.add_link(alice, relays[0], optics);
+  topo.add_link(bob, relays[n / 2], optics);
+  return topo;
+}
+
+}  // namespace qkd::network

@@ -1,0 +1,91 @@
+// Topology model for the DARPA Quantum Network's mesh (Section 8).
+//
+// Nodes are QKD endpoints, trusted relays, or untrusted photonic switches;
+// links are point-to-point QKD channels characterized by their optics
+// (length, loss) via the analytic LinkModel. Mesh experiments (E12-E14) run
+// on this graph: link failures and eavesdropping flip link state, routing
+// finds alternate paths, and the topology-cost analysis (N*(N-1)/2 vs. N
+// links) enumerates construction costs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/optics/link_model.hpp"
+
+namespace qkd::network {
+
+using NodeId = std::uint32_t;
+using LinkId = std::uint32_t;
+
+enum class NodeKind : std::uint8_t {
+  kEndpoint,        // holds user keys, terminates QKD
+  kTrustedRelay,    // terminates QKD per hop; sees transported keys
+  kUntrustedSwitch  // all-optical; never sees photons' values
+};
+
+struct Node {
+  NodeId id = 0;
+  std::string name;
+  NodeKind kind = NodeKind::kEndpoint;
+};
+
+enum class LinkState : std::uint8_t {
+  kUp,
+  kCut,           // fiber cut (DoS)
+  kEavesdropped,  // QBER alarm raised; abandoned per Sec. 8
+};
+
+struct Link {
+  LinkId id = 0;
+  NodeId a = 0;
+  NodeId b = 0;
+  qkd::optics::LinkParams optics;
+  LinkState state = LinkState::kUp;
+
+  NodeId other(NodeId node) const { return node == a ? b : a; }
+  bool connects(NodeId node) const { return node == a || node == b; }
+  bool usable() const { return state == LinkState::kUp; }
+};
+
+class Topology {
+ public:
+  NodeId add_node(std::string name, NodeKind kind);
+  LinkId add_link(NodeId a, NodeId b, qkd::optics::LinkParams optics = {});
+
+  const Node& node(NodeId id) const { return nodes_.at(id); }
+  Node& node(NodeId id) { return nodes_.at(id); }
+  const Link& link(LinkId id) const { return links_.at(id); }
+  Link& link(LinkId id) { return links_.at(id); }
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t link_count() const { return links_.size(); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const std::vector<Link>& links() const { return links_; }
+
+  /// Links touching `node`.
+  std::vector<LinkId> links_of(NodeId node) const;
+
+  /// Looks up the (first) link between two nodes, if any.
+  std::optional<LinkId> link_between(NodeId a, NodeId b) const;
+
+  // --- Canned topologies for the benches ---------------------------------
+
+  /// Complete graph over `n` endpoints: the N*(N-1)/2 point-to-point cost
+  /// baseline of Section 8.
+  static Topology full_mesh(std::size_t n, double link_km = 10.0);
+
+  /// Star: one central relay, N spokes — "as few as N links".
+  static Topology star(std::size_t n, double link_km = 10.0);
+
+  /// Ring of relays with endpoints attached, at least 2 disjoint paths.
+  static Topology relay_ring(std::size_t n, double link_km = 10.0);
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<Link> links_;
+};
+
+}  // namespace qkd::network

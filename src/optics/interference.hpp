@@ -1,0 +1,41 @@
+// The Mach-Zehnder interference law of Figs. 4-7.
+//
+// After Bob's 50/50 coupler the central (self-interfering) peak routes a
+// photon to detector D1 with probability (1 - V cos(delta)) / 2, where delta
+// is the phase difference between the S_A L_B and L_A S_B paths and V is the
+// interferometer visibility. With delta = 0 the interference is fully
+// constructive at D0 ("no click" at D1 in Fig. 7); with delta = pi it is
+// fully destructive at D0; with delta = pi/2 or 3pi/2 (incompatible bases)
+// the photon strikes one of the two APDs at random.
+#pragma once
+
+namespace qkd::optics {
+
+/// cos(q * pi/2) for integer quarter turns, exact.
+inline int cos_quarter(unsigned quarters) {
+  switch (quarters % 4) {
+    case 0:
+      return 1;
+    case 2:
+      return -1;
+    default:
+      return 0;
+  }
+}
+
+/// Probability that a central-peak photon exits toward detector D1, given
+/// Alice's and Bob's modulator settings in quarter turns of pi/2 and the
+/// interferometer visibility V in [0,1].
+inline double p_route_to_d1(unsigned alice_quarters, unsigned bob_quarters,
+                            double visibility) {
+  const unsigned delta = (alice_quarters + 4 - (bob_quarters % 4)) % 4;
+  return (1.0 - visibility * cos_quarter(delta)) / 2.0;
+}
+
+/// True when the two phase settings form a compatible measurement: the phase
+/// difference is 0 or pi, so the outcome is deterministic (up to visibility).
+inline bool compatible_phases(unsigned alice_quarters, unsigned bob_quarters) {
+  return (alice_quarters + 4 - (bob_quarters % 4)) % 2 == 0;
+}
+
+}  // namespace qkd::optics

@@ -1,0 +1,130 @@
+#include "src/optics/link.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "src/optics/interference.hpp"
+
+namespace qkd::optics {
+
+double LinkParams::transmittance() const {
+  const double total_db = attenuation_db_per_km * fiber_km + insertion_loss_db;
+  return std::pow(10.0, -total_db / 10.0);
+}
+
+WeakCoherentLink::WeakCoherentLink(LinkParams params, std::uint64_t seed)
+    : params_(params), rng_(seed) {
+  if (params_.mean_photon_number < 0.0)
+    throw std::invalid_argument("WeakCoherentLink: negative photon number");
+  if (params_.detector_efficiency < 0.0 || params_.detector_efficiency > 1.0)
+    throw std::invalid_argument("WeakCoherentLink: efficiency not in [0,1]");
+  if (params_.interferometer_visibility < 0.0 ||
+      params_.interferometer_visibility > 1.0)
+    throw std::invalid_argument("WeakCoherentLink: visibility not in [0,1]");
+}
+
+FrameResult WeakCoherentLink::run_frame(std::size_t n_slots, Attack* attack) {
+  FrameResult frame;
+  frame.alice.bases.resize(n_slots);
+  frame.alice.values.resize(n_slots);
+  frame.alice.photon_counts.resize(n_slots);
+  frame.bob.detected.resize(n_slots);
+  frame.bob.bases.resize(n_slots);
+  frame.bob.bits.resize(n_slots);
+  frame.eve.resize(n_slots);
+
+  const double transmittance = params_.transmittance();
+  const double capture = params_.central_peak_fraction * params_.detector_efficiency;
+  const double dark = params_.dark_count_prob;
+
+  for (std::size_t slot = 0; slot < n_slots; ++slot) {
+    ++stats_.pulses;
+
+    // --- Transmitter suite: random (basis, value), Poisson photon number.
+    const bool alice_basis_bit = rng_.next_bool();
+    const bool alice_value = rng_.next_bool();
+    const unsigned emitted = rng_.next_poisson(params_.mean_photon_number);
+    frame.alice.bases.set(slot, alice_basis_bit);
+    frame.alice.values.set(slot, alice_value);
+    frame.alice.photon_counts[slot] =
+        static_cast<std::uint8_t>(emitted > 255 ? 255 : emitted);
+
+    InFlightPulse pulse{basis_from_bit(alice_basis_bit), alice_value, emitted,
+                        /*lossless_delivery=*/false};
+    if (attack != nullptr) attack->apply(slot, pulse, frame.eve, rng_);
+
+    // --- Receiver: Bob modulates his interferometer every gate.
+    const bool bob_basis_bit = rng_.next_bool();
+    frame.bob.bases.set(slot, bob_basis_bit);
+
+    // Bright-pulse framing failure: the gate never opens for this slot.
+    if (params_.misframe_prob > 0.0 && rng_.next_bool(params_.misframe_prob)) {
+      ++stats_.misframed_slots;
+      afterpulse_pending_[0] = afterpulse_pending_[1] = false;
+      continue;
+    }
+
+    // --- Fiber + receiver optics, photon by photon.
+    const double survive = pulse.lossless_delivery ? 1.0 : transmittance;
+    const unsigned alice_q =
+        alice_phase_quarter(pulse.basis, pulse.value);
+    const unsigned bob_q =
+        bob_phase_quarter(basis_from_bit(bob_basis_bit));
+    const double p_d1 =
+        p_route_to_d1(alice_q, bob_q, params_.interferometer_visibility);
+
+    bool click[2] = {false, false};
+    bool any_signal = false;
+    for (unsigned photon = 0; photon < pulse.photons; ++photon) {
+      if (!rng_.next_bool(survive * capture)) continue;
+      const bool to_d1 = rng_.next_bool(p_d1);
+      click[to_d1 ? 1 : 0] = true;
+      any_signal = true;
+    }
+
+    // --- Dark counts: one uniform draw covers the common no-signal case.
+    if (!click[0] && !click[1]) {
+      const double u = rng_.next_double();
+      if (u < dark)
+        click[0] = true;
+      else if (u < 2 * dark)
+        click[1] = true;
+    } else {
+      if (rng_.next_bool(dark)) click[0] = true;
+      if (rng_.next_bool(dark)) click[1] = true;
+    }
+
+    // --- Afterpulsing from the previous gate.
+    if (params_.afterpulse_prob > 0.0) {
+      for (int d = 0; d < 2; ++d) {
+        if (afterpulse_pending_[d] && rng_.next_bool(params_.afterpulse_prob))
+          click[d] = true;
+      }
+    }
+    afterpulse_pending_[0] = click[0];
+    afterpulse_pending_[1] = click[1];
+
+    // --- Click resolution: exactly one APD firing yields a usable bit.
+    if (click[0] && click[1]) {
+      ++stats_.double_clicks;
+      ++frame.bob.double_clicks;
+      continue;
+    }
+    if (!click[0] && !click[1]) continue;
+
+    frame.bob.detected.set(slot, true);
+    frame.bob.bits.set(slot, click[1]);
+    ++stats_.detections;
+    if (any_signal) {
+      ++stats_.signal_clicks;
+      ++frame.bob.signal_clicks;
+    } else {
+      ++stats_.dark_only_clicks;
+      ++frame.bob.dark_only_clicks;
+    }
+  }
+  if (attack != nullptr) attack->resolve_bases(frame.alice.bases, frame.eve);
+  return frame;
+}
+
+}  // namespace qkd::optics

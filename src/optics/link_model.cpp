@@ -1,0 +1,85 @@
+#include "src/optics/link_model.hpp"
+
+#include <cmath>
+
+namespace qkd::optics {
+
+double LinkModel::detected_mean() const {
+  return params_.mean_photon_number * transmittance() *
+         params_.central_peak_fraction * params_.detector_efficiency;
+}
+
+double LinkModel::p_signal() const { return 1.0 - std::exp(-detected_mean()); }
+
+double LinkModel::multi_photon_prob() const {
+  const double mu = params_.mean_photon_number;
+  return 1.0 - std::exp(-mu) * (1.0 + mu);
+}
+
+LinkModel::ClickProbs LinkModel::click_probs(double p_wrong) const {
+  // Poisson thinning: photons detected at the "right" APD ~ Poisson(lr),
+  // at the "wrong" APD ~ Poisson(lw), independent.
+  const double lambda = detected_mean();
+  const double lr = lambda * (1.0 - p_wrong);
+  const double lw = lambda * p_wrong;
+  const double dark = params_.dark_count_prob;
+  // Probability each APD fires at least once (signal or dark):
+  const double p_right_fires = 1.0 - std::exp(-lr) * (1.0 - dark);
+  const double p_wrong_fires = 1.0 - std::exp(-lw) * (1.0 - dark);
+  ClickProbs out;
+  out.single = p_right_fires * (1.0 - p_wrong_fires) +
+               p_wrong_fires * (1.0 - p_right_fires);
+  out.error = p_wrong_fires * (1.0 - p_right_fires);
+  return out;
+}
+
+double LinkModel::p_single_click() const {
+  // Compatible bases (prob 1/2): p_wrong = (1-V)/2.
+  // Incompatible (prob 1/2): photons route 50/50.
+  const double ev = (1.0 - params_.interferometer_visibility) / 2.0;
+  const ClickProbs compat = click_probs(ev);
+  const ClickProbs mismatch = click_probs(0.5);
+  return 0.5 * compat.single + 0.5 * mismatch.single;
+}
+
+double LinkModel::expected_qber() const {
+  const double ev = (1.0 - params_.interferometer_visibility) / 2.0;
+  const ClickProbs compat = click_probs(ev);
+  return compat.single > 0.0 ? compat.error / compat.single : 0.0;
+}
+
+double LinkModel::sift_fraction() const {
+  // Sifted bits arise from single clicks where Bob's basis matched Alice's.
+  const double ev = (1.0 - params_.interferometer_visibility) / 2.0;
+  const ClickProbs compat = click_probs(ev);
+  return 0.5 * compat.single;
+}
+
+double LinkModel::sifted_rate_bps() const {
+  return params_.pulse_rate_hz * sift_fraction();
+}
+
+double LinkModel::max_range_km(double qber_threshold) const {
+  LinkParams p = params_;
+  p.fiber_km = 0.0;
+  if (LinkModel(p).expected_qber() >= qber_threshold) return 0.0;
+  double lo = 0.0, hi = 1.0;
+  // Exponential search for an upper bracket, then bisection.
+  while (hi < 1e4) {
+    p.fiber_km = hi;
+    if (LinkModel(p).expected_qber() >= qber_threshold) break;
+    lo = hi;
+    hi *= 2.0;
+  }
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    p.fiber_km = mid;
+    if (LinkModel(p).expected_qber() >= qber_threshold)
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return (lo + hi) / 2.0;
+}
+
+}  // namespace qkd::optics

@@ -1,0 +1,64 @@
+// Closed-form link-budget model of the weak-coherent link.
+//
+// This is the analytic companion to the Monte-Carlo WeakCoherentLink. The
+// protocol benches use it for fast parameter sweeps (e.g. the key-rate vs.
+// distance curve of experiment E4), and property tests cross-validate the
+// Monte-Carlo link against it. All formulas treat the attenuated laser as a
+// Poisson source and the two APDs as independent thresholded detectors.
+#pragma once
+
+#include "src/optics/link_params.hpp"
+
+namespace qkd::optics {
+
+class LinkModel {
+ public:
+  explicit LinkModel(LinkParams params) : params_(params) {}
+
+  const LinkParams& params() const { return params_; }
+
+  /// End-to-end linear transmittance (fiber + insertion losses).
+  double transmittance() const { return params_.transmittance(); }
+
+  /// Mean detected signal photons per pulse: mu * T * central-peak * eta.
+  double detected_mean() const;
+
+  /// Probability a pulse produces >= 1 detected signal photon.
+  double p_signal() const;
+
+  /// Probability a pulse produces a usable single click (exactly one APD,
+  /// signal or dark), marginalized over basis match/mismatch.
+  double p_single_click() const;
+
+  /// Expected quantum bit error rate measured on sifted bits.
+  double expected_qber() const;
+
+  /// Expected sifted-bit rate (bits/s): rate * P(single click) * P(match).
+  double sifted_rate_bps() const;
+
+  /// Sifted bits per transmitted pulse (the paper's "1 photon in 200" worked
+  /// example corresponds to this quantity at 1 % detection probability).
+  double sift_fraction() const;
+
+  /// Multi-photon pulse probability P[N >= 2] for the configured mu — the
+  /// PNS-vulnerable fraction used by the transparent-leakage entropy term.
+  double multi_photon_prob() const;
+
+  /// Largest fiber length (km) at which the expected QBER stays below
+  /// `qber_threshold` (11 % is the canonical BB84 abort point). Returns 0
+  /// if even back-to-back operation exceeds the threshold.
+  double max_range_km(double qber_threshold = 0.11) const;
+
+ private:
+  struct ClickProbs {
+    double single;  // exactly one APD fired
+    double error;   // the wrong APD fired alone (compatible bases)
+  };
+  /// Click distribution for a pulse, given the probability `p_wrong` that a
+  /// detected photon routes to the wrong APD.
+  ClickProbs click_probs(double p_wrong) const;
+
+  LinkParams params_;
+};
+
+}  // namespace qkd::optics

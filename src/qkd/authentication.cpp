@@ -1,0 +1,111 @@
+#include "src/qkd/authentication.hpp"
+
+#include <stdexcept>
+
+namespace qkd::proto {
+namespace {
+
+qkd::crypto::WegmanCarterAuthenticator make_direction(
+    const AuthenticationService::Config& config,
+    const qkd::BitVector& shared_secret, std::size_t index) {
+  const std::size_t per_direction = shared_secret.size() / 2;
+  const qkd::crypto::WegmanCarterAuthenticator::Config wc{
+      .tag_bits = config.tag_bits,
+      .max_message_bits = config.max_message_bits};
+  return qkd::crypto::WegmanCarterAuthenticator(
+      wc, shared_secret.slice(index * per_direction, per_direction));
+}
+
+}  // namespace
+
+std::size_t AuthenticationService::required_secret_bits(const Config& config) {
+  // Per direction: Toeplitz key plus at least one tag of pad.
+  const std::size_t per_direction =
+      (config.tag_bits + config.max_message_bits - 1) + config.tag_bits;
+  return 2 * per_direction;
+}
+
+AuthenticationService::AuthenticationService(Config config,
+                                             const qkd::BitVector& shared_secret,
+                                             bool is_initiator)
+    : config_(config),
+      is_initiator_(is_initiator),
+      send_auth_(make_direction(config, shared_secret, is_initiator ? 0 : 1)),
+      recv_auth_(make_direction(config, shared_secret, is_initiator ? 1 : 0)) {
+  if (shared_secret.size() < required_secret_bits(config))
+    throw std::invalid_argument(
+        "AuthenticationService: prepositioned secret too small");
+}
+
+std::optional<Bytes> AuthenticationService::protect(const Bytes& message) {
+  Bytes framed;
+  put_u64(framed, send_seq_);
+  put_bytes(framed, message);
+  const auto tag = send_auth_.tag(framed);
+  if (!tag.has_value()) {
+    ++stats_.stalls;
+    return std::nullopt;
+  }
+  ++send_seq_;
+  ++stats_.tagged;
+  put_bytes(framed, tag->to_bytes());
+  return framed;
+}
+
+std::optional<Bytes> AuthenticationService::verify(const Bytes& framed) {
+  const std::size_t tag_bytes = (config_.tag_bits + 7) / 8;
+  if (framed.size() < 8 + tag_bytes) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  const std::size_t body_len = framed.size() - tag_bytes;
+  const Bytes body(framed.begin(),
+                   framed.begin() + static_cast<std::ptrdiff_t>(body_len));
+  qkd::BitVector tag = qkd::BitVector::from_bytes(
+      std::span<const std::uint8_t>(framed.data() + body_len, tag_bytes));
+  tag.resize(config_.tag_bits);
+
+  ByteReader reader(body);
+  const std::uint64_t seq = reader.u64();
+  if (seq != recv_seq_expected_) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  if (!recv_auth_.verify(body, tag)) {
+    ++stats_.rejected;
+    return std::nullopt;
+  }
+  ++recv_seq_expected_;
+  ++stats_.verified;
+  return reader.bytes(reader.remaining());
+}
+
+void AuthenticationService::replenish(const qkd::BitVector& bits) {
+  // Split replenishment between the two directions. Both endpoints call this
+  // with the same bits; the initiator's send pool must pair with the
+  // responder's receive pool, so the halves swap with the role.
+  const std::size_t half = bits.size() / 2;
+  const qkd::BitVector first = bits.slice(0, half);
+  const qkd::BitVector second = bits.slice(half, bits.size() - half);
+  if (is_initiator_) {
+    send_auth_.replenish(first);
+    recv_auth_.replenish(second);
+  } else {
+    send_auth_.replenish(second);
+    recv_auth_.replenish(first);
+  }
+}
+
+bool AuthenticationService::needs_replenishment() const {
+  return pad_bits_available() < config_.low_water_bits;
+}
+
+std::size_t AuthenticationService::pad_bits_available() const {
+  return send_auth_.pad_bits_available() + recv_auth_.pad_bits_available();
+}
+
+std::size_t AuthenticationService::pad_bits_consumed() const {
+  return send_auth_.pad_bits_consumed() + recv_auth_.pad_bits_consumed();
+}
+
+}  // namespace qkd::proto

@@ -1,0 +1,73 @@
+// Ongoing authentication of key-management traffic (Section 5).
+//
+// "Authentication must be performed on an ongoing basis for all key
+// management traffic, since Eve may insert herself into the conversation
+// between Alice and Bob at any stage." Both directions carry Wegman-Carter
+// tags keyed from a prepositioned shared secret; "a complete authenticated
+// conversation can validate a large number of new, shared secret bits from
+// QKD, and a small number of these may be used to replenish the pool."
+//
+// Framing: seq (u64) | payload | tag(tag_bits). Sequence numbers are per
+// direction and strictly increasing, defeating replay and reflection.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/bytes.hpp"
+#include "src/crypto/universal_hash.hpp"
+
+namespace qkd::proto {
+
+class AuthenticationService {
+ public:
+  struct Config {
+    unsigned tag_bits = 64;
+    unsigned max_message_bits = 1 << 16;
+    /// Pad bits below which needs_replenishment() turns on.
+    std::size_t low_water_bits = 1024;
+  };
+
+  struct Stats {
+    std::size_t tagged = 0;
+    std::size_t verified = 0;
+    std::size_t rejected = 0;
+    std::size_t stalls = 0;  // tag requests refused for lack of pad
+  };
+
+  /// Both endpoints construct from the same prepositioned secret; the
+  /// initiator flag splits it into two direction-specific authenticators.
+  AuthenticationService(Config config, const qkd::BitVector& shared_secret,
+                        bool is_initiator);
+
+  /// Bits of prepositioned secret a Config requires.
+  static std::size_t required_secret_bits(const Config& config);
+
+  /// Frames and tags an outbound message; nullopt when the pad pool is
+  /// exhausted (the exhaustion DoS of Sec. 2).
+  std::optional<Bytes> protect(const Bytes& message);
+
+  /// Verifies an inbound frame; returns the payload, or nullopt on bad tag,
+  /// replayed sequence number, or malformed frame.
+  std::optional<Bytes> verify(const Bytes& framed);
+
+  /// Feeds fresh distilled bits into both directions' pad pools.
+  void replenish(const qkd::BitVector& bits);
+
+  bool needs_replenishment() const;
+  std::size_t pad_bits_available() const;
+  std::size_t pad_bits_consumed() const;
+  const Stats& stats() const { return stats_; }
+
+ private:
+  Config config_;
+  bool is_initiator_;
+  qkd::crypto::WegmanCarterAuthenticator send_auth_;
+  qkd::crypto::WegmanCarterAuthenticator recv_auth_;
+  std::uint64_t send_seq_ = 0;
+  std::uint64_t recv_seq_expected_ = 0;
+  Stats stats_;
+};
+
+}  // namespace qkd::proto

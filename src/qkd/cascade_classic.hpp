@@ -1,0 +1,38 @@
+// Classic Cascade (Brassard & Salvail [19]) — the baseline the paper's
+// variant is measured against in the E5 ablation bench.
+//
+// Pass 1 splits a seeded pseudo-random permutation of the bits into blocks
+// of size k1 ~ 0.73/QBER; each block's parity is compared and mismatching
+// blocks are bisected to fix one error. Later passes double the block size
+// under fresh permutations. The protocol's namesake effect: fixing an error
+// in pass i flips the parity of the blocks containing that bit in earlier
+// passes, whose (already known) parities now mismatch and can be searched
+// again, each fix potentially cascading further corrections.
+#pragma once
+
+#include <cstdint>
+
+#include "src/common/bitvector.hpp"
+#include "src/qkd/ec.hpp"
+
+namespace qkd::proto {
+
+struct ClassicCascadeConfig {
+  /// Number of passes; Brassard & Salvail found 4 sufficient in practice.
+  unsigned passes = 4;
+  /// Initial block size is chosen as ~ alpha / estimated QBER.
+  double block_factor = 0.73;
+  /// Clamp for pathological estimates.
+  std::size_t min_block = 4;
+  /// Permutation seeds are derived from this announced base.
+  std::uint32_t seed_base = 0xCA5CADEu;
+};
+
+/// Corrects `bob_bits` in place against Alice's parity oracle.
+/// `qber_estimate` sizes the first-pass blocks (from sacrificial sampling or
+/// a prior batch); it only affects efficiency, not correctness.
+EcStats classic_cascade_correct(qkd::BitVector& bob_bits, ParityOracle& alice,
+                                double qber_estimate,
+                                const ClassicCascadeConfig& config = {});
+
+}  // namespace qkd::proto

@@ -1,0 +1,97 @@
+#include "src/qkd/ec.hpp"
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::proto {
+
+Bytes ParityQuery::serialize() const {
+  Bytes out;
+  put_u8(out, static_cast<std::uint8_t>(kind));
+  put_u32(out, seed);
+  put_u32(out, begin);
+  put_u32(out, end);
+  return out;
+}
+
+ParityQuery ParityQuery::deserialize(const Bytes& wire) {
+  try {
+    ByteReader reader(wire);
+    ParityQuery q;
+    const std::uint8_t kind = reader.u8();
+    if (kind > 1) throw std::invalid_argument("ParityQuery: bad kind");
+    q.kind = static_cast<Kind>(kind);
+    q.seed = reader.u32();
+    q.begin = reader.u32();
+    q.end = reader.u32();
+    if (!reader.done()) throw std::invalid_argument("ParityQuery: trailing");
+    return q;
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("ParityQuery: truncated");
+  }
+}
+
+qkd::BitVector subset_mask_from_seed(std::uint32_t seed, std::size_t n) {
+  std::uint64_t mix = 0x5eedba5e00000000ULL | seed;
+  qkd::Rng rng(splitmix64(mix));
+  return rng.next_bits(n);
+}
+
+std::vector<std::uint32_t> lfsr_members(std::uint32_t seed, std::size_t n) {
+  const qkd::BitVector mask = subset_mask_from_seed(seed, n);
+  std::vector<std::uint32_t> members;
+  members.reserve(n / 2 + 1);
+  for (std::size_t i = 0; i < n; ++i)
+    if (mask.get(i)) members.push_back(static_cast<std::uint32_t>(i));
+  return members;
+}
+
+std::vector<std::uint32_t> seeded_permutation(std::uint32_t seed,
+                                              std::size_t n) {
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t i = 0; i < n; ++i) perm[i] = static_cast<std::uint32_t>(i);
+  qkd::Rng rng(0x9e3779b97f4a7c15ULL ^ (static_cast<std::uint64_t>(seed) << 16));
+  for (std::size_t i = n; i > 1; --i) {
+    const std::size_t j = rng.next_below(i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  return perm;
+}
+
+bool parity_of_members(const qkd::BitVector& bits,
+                       const std::vector<std::uint32_t>& members,
+                       std::size_t begin, std::size_t end) {
+  if (begin > end || end > members.size())
+    throw std::out_of_range("parity_of_members: bad range");
+  bool p = false;
+  for (std::size_t i = begin; i < end; ++i) p ^= bits.get(members[i]);
+  return p;
+}
+
+LocalParityOracle::LocalParityOracle(const qkd::BitVector& bits)
+    : bits_(bits) {}
+
+bool LocalParityOracle::parity(const ParityQuery& query) {
+  auto& cache = query.kind == ParityQuery::Kind::kLfsrSubset ? lfsr_cache_
+                                                             : perm_cache_;
+  const std::vector<std::uint32_t>* members = nullptr;
+  for (const auto& [seed, m] : cache) {
+    if (seed == query.seed) {
+      members = &m;
+      break;
+    }
+  }
+  if (members == nullptr) {
+    if (cache.size() >= 128) cache.erase(cache.begin());
+    auto expanded = query.kind == ParityQuery::Kind::kLfsrSubset
+                        ? lfsr_members(query.seed, bits_.size())
+                        : seeded_permutation(query.seed, bits_.size());
+    cache.emplace_back(query.seed, std::move(expanded));
+    members = &cache.back().second;
+  }
+  ++disclosed_;
+  return parity_of_members(bits_, *members, query.begin, query.end);
+}
+
+}  // namespace qkd::proto

@@ -1,0 +1,55 @@
+#include "src/qkd/parity_ec.hpp"
+
+#include <algorithm>
+
+namespace qkd::proto {
+
+EcStats naive_parity_correct(qkd::BitVector& bob_bits, ParityOracle& alice,
+                             const NaiveParityConfig& config) {
+  EcStats stats;
+  const std::size_t n = bob_bits.size();
+  if (n == 0) {
+    stats.converged = true;
+    return stats;
+  }
+  stats.rounds = 1;
+  const auto perm = seeded_permutation(config.perm_seed, n);
+  const std::size_t block = std::max<std::size_t>(2, config.block_size);
+
+  for (std::size_t lo = 0; lo < n; lo += block) {
+    const std::size_t hi = std::min(n, lo + block);
+    ParityQuery q;
+    q.kind = ParityQuery::Kind::kPermutedRange;
+    q.seed = config.perm_seed;
+    q.begin = static_cast<std::uint32_t>(lo);
+    q.end = static_cast<std::uint32_t>(hi);
+    const bool alice_parity = alice.parity(q);
+    ++stats.parity_queries;
+    const bool bob_parity = parity_of_members(bob_bits, perm, lo, hi);
+    if (alice_parity == bob_parity) continue;
+
+    // Bisect to one error.
+    std::size_t a = lo, b = hi;
+    while (b - a > 1) {
+      const std::size_t mid = a + (b - a) / 2;
+      ParityQuery sub = q;
+      sub.begin = static_cast<std::uint32_t>(a);
+      sub.end = static_cast<std::uint32_t>(mid);
+      const bool alice_left = alice.parity(sub);
+      ++stats.parity_queries;
+      const bool bob_left = parity_of_members(bob_bits, perm, a, mid);
+      if (alice_left != bob_left)
+        b = mid;
+      else
+        a = mid;
+    }
+    bob_bits.flip(perm[a]);
+    ++stats.corrections;
+  }
+  // The single pass cannot certify equality (even-error blocks pass
+  // silently); report convergence honestly as unknown.
+  stats.converged = false;
+  return stats;
+}
+
+}  // namespace qkd::proto

@@ -1,0 +1,28 @@
+// Conventional block-parity error correction — the Appendix's "Parity
+// Checks: a conventional parity-checking scheme as widely employed in
+// telecommunications systems".
+//
+// A single pass of fixed-size blocks in natural order: compare parities,
+// bisect mismatching blocks to fix one error each. Blocks containing an even
+// number of errors go undetected, so this baseline leaves residual errors —
+// which is exactly why the paper built a Cascade variant instead (bench E5
+// quantifies the difference).
+#pragma once
+
+#include "src/common/bitvector.hpp"
+#include "src/qkd/ec.hpp"
+
+namespace qkd::proto {
+
+struct NaiveParityConfig {
+  std::size_t block_size = 64;
+  /// Permutation seed for the single pass (identity-order blocks would
+  /// correlate with burst errors; a fixed seeded shuffle is still "one
+  /// conventional pass" but fairer to the baseline).
+  std::uint32_t perm_seed = 0xBA5E11E5u;
+};
+
+EcStats naive_parity_correct(qkd::BitVector& bob_bits, ParityOracle& alice,
+                             const NaiveParityConfig& config = {});
+
+}  // namespace qkd::proto

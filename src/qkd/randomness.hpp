@@ -1,0 +1,40 @@
+// Randomness testing of the raw QKD bits (Section 6).
+//
+// "The fourth [entropy component] — the non-randomness measure — is only a
+// placeholder at the moment, until randomness testing is put into the
+// system. We assume that this testing will produce a measure in the form of
+// a number of bits by which to shorten the string." This module puts that
+// testing into the system: FIPS 140-1-style statistical tests (monobit,
+// runs, poker/serial) over the sifted bits, converted into exactly such a
+// shortening measure. Detector bias — the paper's example source of
+// non-randomness — shows up first in the monobit statistic.
+#pragma once
+
+#include <cstddef>
+
+#include "src/common/bitvector.hpp"
+
+namespace qkd::proto {
+
+struct RandomnessReport {
+  /// Normalized monobit excess: |ones - n/2| in standard deviations.
+  double monobit_sigma = 0.0;
+  /// Longest run of identical bits observed.
+  std::size_t longest_run = 0;
+  /// Chi-square statistic of 4-bit block frequencies (poker test, 15 dof).
+  double poker_chi2 = 0.0;
+  /// True when every statistic is within its FIPS-style acceptance band.
+  bool passed = true;
+
+  /// The paper's r: "a number of bits by which to shorten the string".
+  /// Zero when all tests pass; otherwise estimates the min-entropy
+  /// shortfall from the observed bias (monobit) plus a fixed penalty per
+  /// failed structural test.
+  double non_randomness_bits = 0.0;
+};
+
+/// Runs the test battery over `bits`. Small inputs (< 64 bits) are always
+/// reported as passed with r = 0 (no statistical power).
+RandomnessReport test_randomness(const qkd::BitVector& bits);
+
+}  // namespace qkd::proto

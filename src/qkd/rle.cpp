@@ -1,0 +1,56 @@
+#include "src/qkd/rle.hpp"
+
+#include <stdexcept>
+
+namespace qkd::proto {
+
+Bytes rle_encode(const qkd::BitVector& bits) {
+  Bytes out;
+  put_varint(out, bits.size());
+  if (bits.empty()) return out;
+  bool current = false;  // runs start with a (possibly empty) 0-run
+  std::uint64_t run = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits.get(i) == current) {
+      ++run;
+    } else {
+      put_varint(out, run);
+      current = !current;
+      run = 1;
+    }
+  }
+  put_varint(out, run);
+  return out;
+}
+
+qkd::BitVector rle_decode(const Bytes& encoded) {
+  ByteReader reader(encoded);
+  std::uint64_t n;
+  try {
+    n = reader.varint();
+  } catch (const std::out_of_range&) {
+    throw std::invalid_argument("rle_decode: truncated header");
+  }
+  qkd::BitVector out(n);
+  std::size_t pos = 0;
+  bool current = false;
+  while (pos < n) {
+    std::uint64_t run;
+    try {
+      run = reader.varint();
+    } catch (const std::out_of_range&) {
+      throw std::invalid_argument("rle_decode: truncated run");
+    }
+    if (run > n - pos)
+      throw std::invalid_argument("rle_decode: run overflows bitmap");
+    if (current) {
+      for (std::uint64_t i = 0; i < run; ++i) out.set(pos + i, true);
+    }
+    pos += run;
+    current = !current;
+  }
+  if (!reader.done()) throw std::invalid_argument("rle_decode: trailing bytes");
+  return out;
+}
+
+}  // namespace qkd::proto

@@ -1,0 +1,30 @@
+// Run-length encoding for sifting messages.
+//
+// Appendix, "Sifting / Run-Length Encoding": "Encode the sifting messages,
+// as sent between Bob and Alice, efficiently so that runs of identical
+// values (and in particular of 'no detection' values) are compressed to take
+// very little space." At the paper's operating point only ~0.3 % of slots
+// produce a detection, so the detection bitmap is overwhelmingly zero runs.
+//
+// Wire format: varint count of bits, then alternating varint run lengths
+// starting with the length of the initial 0-run (possibly zero if the bitmap
+// starts with a 1).
+#pragma once
+
+#include "src/common/bitvector.hpp"
+#include "src/common/bytes.hpp"
+
+namespace qkd::proto {
+
+/// Encodes a bitmap; worst case ~2 bytes per transition.
+Bytes rle_encode(const qkd::BitVector& bits);
+
+/// Decodes; throws std::invalid_argument on malformed input.
+qkd::BitVector rle_decode(const Bytes& encoded);
+
+/// Size in bytes of the naive (unencoded) bitmap, for the E9 comparison.
+inline std::size_t raw_bitmap_bytes(std::size_t n_bits) {
+  return (n_bits + 7) / 8;
+}
+
+}  // namespace qkd::proto

@@ -1,0 +1,179 @@
+#include "src/common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "src/common/rng.hpp"
+
+namespace qkd {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+}
+
+TEST(BitVector, InitializerListOrdersBitsLsbFirst) {
+  BitVector v{1, 0, 1, 1};
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_TRUE(v.get(2));
+  EXPECT_TRUE(v.get(3));
+  EXPECT_EQ(v.to_uint64(), 0b1101u);
+}
+
+TEST(BitVector, FromStringRoundTrips) {
+  const std::string s = "011010001111";
+  EXPECT_EQ(BitVector::from_string(s).to_string(), s);
+}
+
+TEST(BitVector, FromStringRejectsGarbage) {
+  EXPECT_THROW(BitVector::from_string("01x"), std::invalid_argument);
+}
+
+TEST(BitVector, FromUint64MasksHighBits) {
+  const BitVector v = BitVector::from_uint64(0xff, 4);
+  EXPECT_EQ(v.size(), 4u);
+  EXPECT_EQ(v.to_uint64(), 0xfu);
+}
+
+TEST(BitVector, FromBytesLsbFirstWithinByte) {
+  const std::uint8_t data[] = {0x01, 0x80};
+  const BitVector v = BitVector::from_bytes(data);
+  EXPECT_EQ(v.size(), 16u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(7));
+  EXPECT_FALSE(v.get(8));
+  EXPECT_TRUE(v.get(15));
+}
+
+TEST(BitVector, ToBytesRoundTrips) {
+  Rng rng(7);
+  const BitVector v = rng.next_bits(128);
+  EXPECT_EQ(BitVector::from_bytes(v.to_bytes()), v);
+}
+
+TEST(BitVector, SetGetFlipAcrossWordBoundary) {
+  BitVector v(130);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  v.flip(64);
+  EXPECT_FALSE(v.get(64));
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, OutOfRangeAccessThrows) {
+  BitVector v(8);
+  EXPECT_THROW(v.get(8), std::out_of_range);
+  EXPECT_THROW(v.set(8, true), std::out_of_range);
+  EXPECT_THROW(v.flip(100), std::out_of_range);
+}
+
+TEST(BitVector, PushBackGrows) {
+  BitVector v;
+  for (int i = 0; i < 100; ++i) v.push_back(i % 3 == 0);
+  EXPECT_EQ(v.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(v.get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, AppendAlignedAndUnaligned) {
+  Rng rng(11);
+  for (std::size_t left : {0u, 1u, 63u, 64u, 65u, 128u}) {
+    const BitVector a = rng.next_bits(left);
+    const BitVector b = rng.next_bits(97);
+    BitVector joined = a;
+    joined.append(b);
+    ASSERT_EQ(joined.size(), left + 97);
+    for (std::size_t i = 0; i < left; ++i) EXPECT_EQ(joined.get(i), a.get(i));
+    for (std::size_t i = 0; i < 97; ++i)
+      EXPECT_EQ(joined.get(left + i), b.get(i));
+  }
+}
+
+TEST(BitVector, SliceMatchesBitwiseExtraction) {
+  Rng rng(13);
+  const BitVector v = rng.next_bits(300);
+  for (std::size_t begin : {0u, 1u, 63u, 64u, 65u, 130u}) {
+    const BitVector s = v.slice(begin, 100);
+    for (std::size_t i = 0; i < 100; ++i)
+      EXPECT_EQ(s.get(i), v.get(begin + i)) << begin << "+" << i;
+  }
+  EXPECT_THROW(v.slice(250, 100), std::out_of_range);
+}
+
+TEST(BitVector, ParityAndPopcount) {
+  BitVector v(200);
+  EXPECT_FALSE(v.parity());
+  v.set(3, true);
+  EXPECT_TRUE(v.parity());
+  v.set(199, true);
+  EXPECT_FALSE(v.parity());
+  EXPECT_EQ(v.popcount(), 2u);
+}
+
+TEST(BitVector, MaskedParityCountsIntersection) {
+  BitVector v = BitVector::from_string("110100");
+  BitVector mask = BitVector::from_string("101010");
+  // Intersection = positions {0, 3(off), ...}: v&mask = 1,0,0,1? v=1,1,0,1,0,0
+  // mask selects 0,2,4 -> bits 1,0,0 -> parity 1.
+  EXPECT_TRUE(v.masked_parity(mask));
+  EXPECT_THROW(v.masked_parity(BitVector(5)), std::invalid_argument);
+}
+
+TEST(BitVector, MaskedRangeParityMatchesBruteForce) {
+  Rng rng(17);
+  const BitVector v = rng.next_bits(257);
+  const BitVector mask = rng.next_bits(257);
+  for (std::size_t begin : {0u, 5u, 64u, 100u}) {
+    for (std::size_t end : std::vector<std::size_t>{begin, begin + 1, 128, 256, 257}) {
+      if (end < begin || end > 257) continue;
+      bool expected = false;
+      for (std::size_t i = begin; i < end; ++i)
+        expected ^= v.get(i) && mask.get(i);
+      EXPECT_EQ(v.masked_range_parity(mask, begin, end), expected)
+          << begin << ".." << end;
+    }
+  }
+}
+
+TEST(BitVector, XorAndHammingDistance) {
+  Rng rng(19);
+  const BitVector a = rng.next_bits(500);
+  BitVector b = a;
+  b.flip(0);
+  b.flip(255);
+  b.flip(499);
+  EXPECT_EQ(a.hamming_distance(b), 3u);
+  const BitVector x = a ^ b;
+  EXPECT_EQ(x.popcount(), 3u);
+}
+
+TEST(BitVector, ResizeShrinkClearsTailBits) {
+  BitVector v(100);
+  for (std::size_t i = 0; i < 100; ++i) v.set(i, true);
+  v.resize(70);
+  EXPECT_EQ(v.size(), 70u);
+  EXPECT_EQ(v.popcount(), 70u);
+  v.resize(100);
+  // Re-grown bits must be zero.
+  EXPECT_EQ(v.popcount(), 70u);
+}
+
+TEST(BitVector, EqualityIsValueBased) {
+  BitVector a = BitVector::from_string("1010");
+  BitVector b = BitVector::from_string("1010");
+  BitVector c = BitVector::from_string("1011");
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+  EXPECT_FALSE(a == BitVector::from_string("10100"));
+}
+
+}  // namespace
+}  // namespace qkd

@@ -1,0 +1,78 @@
+#include "src/common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace qkd {
+namespace {
+
+TEST(Hex, RoundTrip) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(data), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), data);
+  EXPECT_EQ(from_hex("0001ABFF"), data);
+}
+
+TEST(Hex, RejectsBadInput) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(ByteWriter, BigEndianOrder) {
+  Bytes out;
+  put_u16(out, 0x0102);
+  put_u32(out, 0x03040506);
+  put_u64(out, 0x0708090a0b0c0d0eULL);
+  EXPECT_EQ(to_hex(out), "0102030405060708090a0b0c0d0e");
+}
+
+TEST(ByteReader, ReadsBackWhatWriterWrote) {
+  Bytes out;
+  put_u8(out, 0x7f);
+  put_u16(out, 0xbeef);
+  put_u32(out, 0xdeadbeef);
+  put_u64(out, 0x0123456789abcdefULL);
+  ByteReader r(out);
+  EXPECT_EQ(r.u8(), 0x7f);
+  EXPECT_EQ(r.u16(), 0xbeef);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, UnderrunThrows) {
+  Bytes out;
+  put_u16(out, 1);
+  ByteReader r(out);
+  EXPECT_THROW(r.u32(), std::out_of_range);
+}
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, 0xffffffffULL,
+        0xffffffffffffffffULL}) {
+    Bytes out;
+    put_varint(out, v);
+    ByteReader r(out);
+    EXPECT_EQ(r.varint(), v);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(Varint, SmallValuesAreOneByte) {
+  Bytes out;
+  put_varint(out, 100);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+TEST(ByteReader, BytesExtractsExactSpan) {
+  Bytes out = {1, 2, 3, 4, 5};
+  ByteReader r(out);
+  EXPECT_EQ(r.bytes(2), (Bytes{1, 2}));
+  EXPECT_EQ(r.remaining(), 3u);
+  EXPECT_THROW(r.bytes(4), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace qkd

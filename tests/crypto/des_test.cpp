@@ -1,0 +1,91 @@
+#include "src/crypto/des.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::crypto {
+namespace {
+
+TEST(Des, ClassicWorkedExample) {
+  // The standard worked example (used in countless DES walkthroughs):
+  // key 133457799BBCDFF1, plaintext 0123456789ABCDEF -> 85E813540F0AB405.
+  const Des des(from_hex("133457799bbcdff1"));
+  EXPECT_EQ(des.encrypt(0x0123456789ABCDEFULL), 0x85E813540F0AB405ULL);
+  EXPECT_EQ(des.decrypt(0x85E813540F0AB405ULL), 0x0123456789ABCDEFULL);
+}
+
+TEST(Des, AllZeroKeyVector) {
+  // Known vector: K = 00..00, P = 00..00 -> C = 8CA64DE9C1B123A7.
+  const Des des(Bytes(8, 0));
+  EXPECT_EQ(des.encrypt(0), 0x8CA64DE9C1B123A7ULL);
+}
+
+TEST(Des, RejectsBadKeySize) {
+  EXPECT_THROW(Des(Bytes(7)), std::invalid_argument);
+  EXPECT_THROW(Des(Bytes(9)), std::invalid_argument);
+}
+
+TEST(Des, RoundTripRandomBlocks) {
+  qkd::Rng rng(555);
+  Bytes key(8);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Des des(key);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t p = rng.next_u64();
+    EXPECT_EQ(des.decrypt(des.encrypt(p)), p);
+  }
+}
+
+TEST(TripleDes, DegeneratesToSingleDesWithEqualKeys) {
+  const Bytes k8 = from_hex("133457799bbcdff1");
+  Bytes k24;
+  for (int i = 0; i < 3; ++i) k24.insert(k24.end(), k8.begin(), k8.end());
+  const TripleDes tdes(k24);
+  const Des des(k8);
+  const std::uint64_t p = 0x0123456789ABCDEFULL;
+  EXPECT_EQ(tdes.encrypt(p), des.encrypt(p));
+}
+
+TEST(TripleDes, RoundTripDistinctKeys) {
+  qkd::Rng rng(777);
+  Bytes key(24);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  const TripleDes tdes(key);
+  for (int i = 0; i < 50; ++i) {
+    const std::uint64_t p = rng.next_u64();
+    EXPECT_EQ(tdes.decrypt(tdes.encrypt(p)), p);
+  }
+}
+
+TEST(TripleDes, RejectsBadKeySize) {
+  EXPECT_THROW(TripleDes(Bytes(16)), std::invalid_argument);
+}
+
+TEST(TripleDesCbc, RoundTrip) {
+  qkd::Rng rng(888);
+  Bytes key(24);
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
+  const TripleDes tdes(key);
+  const std::uint64_t iv = rng.next_u64();
+  Bytes plain(64);
+  for (auto& b : plain) b = static_cast<std::uint8_t>(rng.next_u64());
+  const Bytes cipher = des3_cbc_encrypt(tdes, iv, plain);
+  EXPECT_NE(cipher, plain);
+  EXPECT_EQ(des3_cbc_decrypt(tdes, iv, cipher), plain);
+}
+
+TEST(TripleDesCbc, IvChangesCiphertext) {
+  const TripleDes tdes(Bytes(24, 0x42));
+  const Bytes plain(32, 0x11);
+  EXPECT_NE(des3_cbc_encrypt(tdes, 0, plain), des3_cbc_encrypt(tdes, 1, plain));
+}
+
+TEST(TripleDesCbc, RejectsMisalignedInput) {
+  const TripleDes tdes(Bytes(24, 0));
+  EXPECT_THROW(des3_cbc_encrypt(tdes, 0, Bytes(9)), std::invalid_argument);
+  EXPECT_THROW(des3_cbc_decrypt(tdes, 0, Bytes(15)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::crypto

@@ -1,0 +1,54 @@
+#include "src/crypto/drbg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::crypto {
+namespace {
+
+TEST(Drbg, DeterministicForSeed) {
+  Drbg a(42u), b(42u);
+  EXPECT_EQ(a.generate(100), b.generate(100));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  Drbg a(1u), b(2u);
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, SequentialCallsDiffer) {
+  Drbg d(7u);
+  const Bytes first = d.generate(32);
+  const Bytes second = d.generate(32);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, GenerateBitsExactLength) {
+  Drbg d(9u);
+  for (std::size_t n : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 1000u}) {
+    EXPECT_EQ(d.generate_bits(n).size(), n);
+  }
+}
+
+TEST(Drbg, ReseedChangesStream) {
+  Drbg a(5u), b(5u);
+  const Bytes extra = {1, 2, 3};
+  b.reseed(extra);
+  EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(Drbg, OutputLooksBalanced) {
+  Drbg d(11u);
+  const qkd::BitVector bits = d.generate_bits(80000);
+  const double ones = static_cast<double>(bits.popcount()) / bits.size();
+  EXPECT_NEAR(ones, 0.5, 0.02);
+}
+
+TEST(Drbg, ByteSeedConstructor) {
+  const Bytes seed = {0xde, 0xad};
+  Drbg a(seed), b(seed);
+  EXPECT_EQ(a.next_u64(), b.next_u64());
+  EXPECT_NE(a.next_u32(), 0u);  // vanishingly unlikely to be zero
+}
+
+}  // namespace
+}  // namespace qkd::crypto

@@ -1,0 +1,70 @@
+#include "src/crypto/lfsr.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::crypto {
+namespace {
+
+TEST(Lfsr32, DeterministicForSeed) {
+  Lfsr32 a(0xdeadbeef), b(0xdeadbeef);
+  for (int i = 0; i < 256; ++i) EXPECT_EQ(a.next_bit(), b.next_bit());
+}
+
+TEST(Lfsr32, DifferentSeedsGiveDifferentStreams) {
+  Lfsr32 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 256; ++i) same += a.next_bit() == b.next_bit();
+  EXPECT_LT(same, 200);
+  EXPECT_GT(same, 56);
+}
+
+TEST(Lfsr32, ZeroSeedDoesNotLockUp) {
+  Lfsr32 lfsr(0);
+  const qkd::BitVector bits = lfsr.next_bits(256);
+  EXPECT_GT(bits.popcount(), 0u);
+  EXPECT_LT(bits.popcount(), 256u);
+}
+
+TEST(Lfsr32, StateNeverReachesZero) {
+  Lfsr32 lfsr(0x12345678);
+  for (int i = 0; i < 100000; ++i) {
+    lfsr.next_bit();
+    ASSERT_NE(lfsr.state(), 0u);
+  }
+}
+
+TEST(Lfsr32, StreamIsBalancedOverLongRun) {
+  Lfsr32 lfsr(0xace1);
+  const qkd::BitVector bits = lfsr.next_bits(100000);
+  const double ones = static_cast<double>(bits.popcount()) / bits.size();
+  EXPECT_NEAR(ones, 0.5, 0.02);
+}
+
+TEST(Lfsr32, SubsetMaskMatchesStream) {
+  // The subset mask both Cascade peers derive from an announced seed must be
+  // exactly the LFSR output stream.
+  const std::uint32_t seed = 0xfeedface;
+  Lfsr32 lfsr(seed);
+  const qkd::BitVector stream = lfsr.next_bits(500);
+  EXPECT_EQ(Lfsr32::subset_mask(seed, 500), stream);
+}
+
+TEST(Lfsr32, SubsetMaskSelectsRoughlyHalf) {
+  const qkd::BitVector mask = Lfsr32::subset_mask(12345, 10000);
+  EXPECT_GT(mask.popcount(), 4500u);
+  EXPECT_LT(mask.popcount(), 5500u);
+}
+
+TEST(Lfsr32, DistinctSeedsGiveDistinctMasks) {
+  // 64 subsets per Cascade round must genuinely differ.
+  const std::size_t n = 1000;
+  std::vector<qkd::BitVector> masks;
+  for (std::uint32_t s = 1; s <= 64; ++s)
+    masks.push_back(Lfsr32::subset_mask(s * 0x9e3779b9u, n));
+  for (std::size_t i = 0; i < masks.size(); ++i)
+    for (std::size_t j = i + 1; j < masks.size(); ++j)
+      EXPECT_NE(masks[i], masks[j]) << i << "," << j;
+}
+
+}  // namespace
+}  // namespace qkd::crypto

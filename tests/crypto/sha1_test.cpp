@@ -1,0 +1,75 @@
+#include "src/crypto/sha1.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "src/common/bytes.hpp"
+
+namespace qkd::crypto {
+namespace {
+
+Bytes ascii(std::string_view s) { return Bytes(s.begin(), s.end()); }
+
+std::string digest_hex(const Sha1::Digest& d) {
+  return to_hex(std::span<const std::uint8_t>(d.data(), d.size()));
+}
+
+// FIPS 180-1 / RFC 3174 test vectors.
+TEST(Sha1, EmptyString) {
+  EXPECT_EQ(digest_hex(Sha1::hash(ascii(""))),
+            "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
+TEST(Sha1, Abc) {
+  EXPECT_EQ(digest_hex(Sha1::hash(ascii("abc"))),
+            "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(Sha1::hash(ascii(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+}
+
+TEST(Sha1, MillionAs) {
+  Sha1 s;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) s.update(chunk);
+  EXPECT_EQ(digest_hex(s.finish()),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+TEST(Sha1, StreamingMatchesOneShot) {
+  const Bytes data = ascii("The quick brown fox jumps over the lazy dog");
+  Sha1 s;
+  for (std::size_t i = 0; i < data.size(); ++i)
+    s.update(std::span<const std::uint8_t>(&data[i], 1));
+  EXPECT_EQ(digest_hex(s.finish()), digest_hex(Sha1::hash(data)));
+}
+
+TEST(Sha1, PaddingBoundaries) {
+  // Lengths around the 55/56/63/64 padding boundaries must all work.
+  for (std::size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 127u, 128u}) {
+    const Bytes data(len, 0x5a);
+    Sha1 a;
+    a.update(data);
+    const auto one = a.finish();
+    Sha1 b;
+    b.update(std::span<const std::uint8_t>(data.data(), len / 2));
+    b.update(std::span<const std::uint8_t>(data.data() + len / 2,
+                                           len - len / 2));
+    EXPECT_EQ(one, b.finish()) << "len=" << len;
+  }
+}
+
+TEST(Sha1, UseAfterFinishThrows) {
+  Sha1 s;
+  s.update(ascii("x"));
+  (void)s.finish();
+  EXPECT_THROW(s.update(ascii("y")), std::logic_error);
+  EXPECT_THROW(s.finish(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace qkd::crypto

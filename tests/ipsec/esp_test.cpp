@@ -1,0 +1,192 @@
+#include "src/ipsec/esp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+IpPacket sample_packet(std::size_t payload_len = 100) {
+  IpPacket packet;
+  packet.src = parse_ipv4("10.1.1.5");
+  packet.dst = parse_ipv4("10.2.2.9");
+  packet.payload.assign(payload_len, 0x5a);
+  return packet;
+}
+
+SecurityAssociation make_sa(CipherAlgo cipher, std::uint64_t seed = 7) {
+  qkd::Rng rng(seed);
+  SecurityAssociation sa;
+  sa.spi = 0xabcd0001;
+  sa.cipher = cipher;
+  sa.encryption_key.resize(cipher_key_bytes(cipher));
+  for (auto& b : sa.encryption_key) b = static_cast<std::uint8_t>(rng.next_u64());
+  sa.authentication_key.resize(20);
+  for (auto& b : sa.authentication_key)
+    b = static_cast<std::uint8_t>(rng.next_u64());
+  if (cipher == CipherAlgo::kOneTimePad) sa.otp_pool = rng.next_bits(1 << 16);
+  return sa;
+}
+
+/// A mirrored receive-side SA (same keys, fresh counters).
+SecurityAssociation mirror(const SecurityAssociation& sa) {
+  SecurityAssociation rx = sa;
+  rx.send_seq = 0;
+  rx.replay_highest = 0;
+  rx.replay_window = 0;
+  rx.otp_cursor = 0;
+  return rx;
+}
+
+class EspCipherSweep : public ::testing::TestWithParam<CipherAlgo> {};
+
+TEST_P(EspCipherSweep, EncapDecapRoundTrip) {
+  SecurityAssociation tx = make_sa(GetParam());
+  SecurityAssociation rx = mirror(tx);
+  const IpPacket inner = sample_packet();
+  const auto wire = esp_encapsulate(tx, inner, 42);
+  ASSERT_TRUE(wire.has_value());
+  const EspResult result = esp_decapsulate(rx, *wire);
+  ASSERT_TRUE(result.ok()) << static_cast<int>(*result.error);
+  EXPECT_EQ(*result.packet, inner);
+}
+
+TEST_P(EspCipherSweep, VariousPayloadSizes) {
+  SecurityAssociation tx = make_sa(GetParam());
+  SecurityAssociation rx = mirror(tx);
+  for (std::size_t len : {0u, 1u, 15u, 16u, 17u, 63u, 64u, 1499u}) {
+    const IpPacket inner = sample_packet(len);
+    const auto wire = esp_encapsulate(tx, inner, len);
+    ASSERT_TRUE(wire.has_value()) << len;
+    const EspResult result = esp_decapsulate(rx, *wire);
+    ASSERT_TRUE(result.ok()) << len;
+    EXPECT_EQ(*result.packet, inner) << len;
+  }
+}
+
+TEST_P(EspCipherSweep, CiphertextHidesPlaintext) {
+  SecurityAssociation tx = make_sa(GetParam());
+  IpPacket inner = sample_packet(64);
+  const Bytes inner_wire = inner.serialize();
+  const auto wire = esp_encapsulate(tx, inner, 9);
+  ASSERT_TRUE(wire.has_value());
+  // The inner bytes must not appear in the ESP payload.
+  const auto it = std::search(wire->begin(), wire->end(), inner_wire.begin(),
+                              inner_wire.end());
+  EXPECT_EQ(it, wire->end());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ciphers, EspCipherSweep,
+                         ::testing::Values(CipherAlgo::kAes128,
+                                           CipherAlgo::kAes256,
+                                           CipherAlgo::kTripleDes,
+                                           CipherAlgo::kOneTimePad),
+                         [](const auto& info) {
+                           return std::string(cipher_name(info.param)) == "3DES"
+                                      ? "TripleDes"
+                                      : std::string(
+                                            cipher_name(info.param)) == "OTP"
+                                            ? "Otp"
+                                            : cipher_name(info.param)[4] == '1'
+                                                  ? "Aes128"
+                                                  : "Aes256";
+                         });
+
+TEST(Esp, TamperedPacketFailsIntegrity) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kAes128);
+  SecurityAssociation rx = mirror(tx);
+  auto wire = esp_encapsulate(tx, sample_packet(), 1);
+  ASSERT_TRUE(wire.has_value());
+  (*wire)[wire->size() / 2] ^= 0x40;
+  const EspResult result = esp_decapsulate(rx, *wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(*result.error, EspError::kBadIntegrity);
+}
+
+TEST(Esp, WrongKeyFailsIntegrity) {
+  // The Section 7 mismatched-bits symptom: keys derived from different
+  // Qblocks fail authentication on every packet.
+  SecurityAssociation tx = make_sa(CipherAlgo::kAes128, 7);
+  SecurityAssociation rx = make_sa(CipherAlgo::kAes128, 8);  // different keys
+  const auto wire = esp_encapsulate(tx, sample_packet(), 1);
+  ASSERT_TRUE(wire.has_value());
+  const EspResult result = esp_decapsulate(rx, *wire);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(*result.error, EspError::kBadIntegrity);
+}
+
+TEST(Esp, ReplayedPacketRejected) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kAes128);
+  SecurityAssociation rx = mirror(tx);
+  const auto wire = esp_encapsulate(tx, sample_packet(), 1);
+  ASSERT_TRUE(wire.has_value());
+  EXPECT_TRUE(esp_decapsulate(rx, *wire).ok());
+  const EspResult replay = esp_decapsulate(rx, *wire);
+  EXPECT_FALSE(replay.ok());
+  EXPECT_EQ(*replay.error, EspError::kReplay);
+}
+
+TEST(Esp, SequenceNumbersIncrease) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kAes128);
+  SecurityAssociation rx = mirror(tx);
+  for (int i = 0; i < 5; ++i) {
+    const auto wire = esp_encapsulate(tx, sample_packet(), i);
+    ASSERT_TRUE(wire.has_value());
+    EXPECT_TRUE(esp_decapsulate(rx, *wire).ok()) << i;
+  }
+  EXPECT_EQ(tx.send_seq, 5u);
+  EXPECT_EQ(rx.replay_highest, 5u);
+}
+
+TEST(Esp, OtpConsumesPadProportionally) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kOneTimePad);
+  const std::size_t before = tx.otp_bits_available();
+  const IpPacket inner = sample_packet(100);
+  const auto wire = esp_encapsulate(tx, inner, 1);
+  ASSERT_TRUE(wire.has_value());
+  // Pad consumed = padded inner packet size (bits).
+  const std::size_t consumed = before - tx.otp_bits_available();
+  EXPECT_GE(consumed, (inner.total_length() + 2) * 8);
+  EXPECT_LT(consumed, (inner.total_length() + 10) * 8);
+}
+
+TEST(Esp, OtpExhaustionRefusesToSend) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kOneTimePad);
+  tx.otp_pool = qkd::BitVector(100);  // hopelessly small pad
+  const auto wire = esp_encapsulate(tx, sample_packet(), 1);
+  EXPECT_FALSE(wire.has_value());
+}
+
+TEST(Esp, OtpPadNeverReused) {
+  // Two packets must draw disjoint pad ranges (cursor strictly advances).
+  SecurityAssociation tx = make_sa(CipherAlgo::kOneTimePad);
+  const std::size_t c0 = tx.otp_cursor;
+  ASSERT_TRUE(esp_encapsulate(tx, sample_packet(50), 1).has_value());
+  const std::size_t c1 = tx.otp_cursor;
+  ASSERT_TRUE(esp_encapsulate(tx, sample_packet(50), 2).has_value());
+  const std::size_t c2 = tx.otp_cursor;
+  EXPECT_GT(c1, c0);
+  EXPECT_GT(c2, c1);
+}
+
+TEST(Esp, MalformedWireRejected) {
+  SecurityAssociation rx = make_sa(CipherAlgo::kAes128);
+  const EspResult result = esp_decapsulate(rx, Bytes(10));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(*result.error, EspError::kMalformed);
+}
+
+TEST(Esp, ByteCountersDriveLifetime) {
+  SecurityAssociation tx = make_sa(CipherAlgo::kAes128);
+  tx.lifetime_seconds = 0.0;
+  tx.lifetime_bytes = 500;
+  ASSERT_TRUE(esp_encapsulate(tx, sample_packet(100), 1).has_value());
+  EXPECT_FALSE(tx.expired(0));
+  for (int i = 0; i < 4; ++i)
+    ASSERT_TRUE(esp_encapsulate(tx, sample_packet(100), i).has_value());
+  EXPECT_TRUE(tx.expired(0));  // > 500 bytes protected
+}
+
+}  // namespace
+}  // namespace qkd::ipsec

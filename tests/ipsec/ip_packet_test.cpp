@@ -1,0 +1,73 @@
+#include "src/ipsec/ip_packet.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::ipsec {
+namespace {
+
+TEST(Ipv4Address, ParseAndFormatRoundTrip) {
+  EXPECT_EQ(parse_ipv4("192.1.99.34"), 0xC0016322u);
+  EXPECT_EQ(format_ipv4(0xC0016322u), "192.1.99.34");
+  EXPECT_EQ(parse_ipv4("0.0.0.0"), 0u);
+  EXPECT_EQ(parse_ipv4("255.255.255.255"), 0xFFFFFFFFu);
+}
+
+TEST(Ipv4Address, RejectsMalformed) {
+  EXPECT_THROW(parse_ipv4("192.1.99"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("192.1.99.256"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("192.1.99.34.5"), std::invalid_argument);
+  EXPECT_THROW(parse_ipv4("a.b.c.d"), std::invalid_argument);
+}
+
+TEST(IpPacket, SerializeParseRoundTrip) {
+  IpPacket packet;
+  packet.protocol = IpPacket::kProtoUdp;
+  packet.ttl = 31;
+  packet.src = parse_ipv4("10.0.0.1");
+  packet.dst = parse_ipv4("10.0.1.2");
+  packet.payload = {1, 2, 3, 4, 5};
+  EXPECT_EQ(IpPacket::parse(packet.serialize()), packet);
+}
+
+TEST(IpPacket, EmptyPayload) {
+  IpPacket packet;
+  packet.src = 1;
+  packet.dst = 2;
+  packet.payload.clear();
+  const IpPacket back = IpPacket::parse(packet.serialize());
+  EXPECT_TRUE(back.payload.empty());
+}
+
+TEST(IpPacket, ChecksumIsValidOnWire) {
+  IpPacket packet;
+  packet.src = parse_ipv4("192.168.0.1");
+  packet.dst = parse_ipv4("192.168.0.2");
+  packet.payload = {0xaa};
+  const Bytes wire = packet.serialize();
+  EXPECT_EQ(ipv4_header_checksum(wire.data()), 0u);
+}
+
+TEST(IpPacket, CorruptedHeaderRejected) {
+  IpPacket packet;
+  packet.src = 1;
+  packet.dst = 2;
+  packet.payload = {1};
+  Bytes wire = packet.serialize();
+  wire[12] ^= 0x01;  // flip a src-address bit; checksum now fails
+  EXPECT_THROW(IpPacket::parse(wire), std::invalid_argument);
+}
+
+TEST(IpPacket, TruncatedAndWrongVersionRejected) {
+  EXPECT_THROW(IpPacket::parse(Bytes(10)), std::invalid_argument);
+  IpPacket packet;
+  packet.payload = {1};
+  Bytes wire = packet.serialize();
+  wire[0] = 0x65;  // version 6
+  EXPECT_THROW(IpPacket::parse(wire), std::invalid_argument);
+  wire = packet.serialize();
+  wire.pop_back();  // length mismatch
+  EXPECT_THROW(IpPacket::parse(wire), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::ipsec

@@ -1,0 +1,143 @@
+#include "src/ipsec/key_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+TEST(KeyPool, StartsEmpty) {
+  KeyPool pool;
+  EXPECT_EQ(pool.available_bits(), 0u);
+  EXPECT_EQ(pool.available_qblocks(), 0u);
+  EXPECT_FALSE(pool.withdraw_bits(1).has_value());
+}
+
+TEST(KeyPool, DepositWithdrawFifoOrder) {
+  qkd::Rng rng(1);
+  KeyPool pool;
+  const auto bits = rng.next_bits(4096);
+  pool.deposit(bits);
+  const auto first = pool.withdraw_bits(1000);
+  const auto second = pool.withdraw_bits(1000);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(*first, bits.slice(0, 1000));
+  EXPECT_EQ(*second, bits.slice(1000, 1000));
+}
+
+TEST(KeyPool, QblockAccountingMatchesFig12Units) {
+  qkd::Rng rng(2);
+  KeyPool pool;
+  pool.deposit(rng.next_bits(4 * KeyPool::kQblockBits + 100));
+  // Four complete blocks interleave into two lanes of two.
+  EXPECT_EQ(pool.available_qblocks(0), 2u);
+  EXPECT_EQ(pool.available_qblocks(1), 2u);
+  const auto block = pool.withdraw_qblocks(1, 0);
+  ASSERT_TRUE(block.has_value());
+  EXPECT_EQ(block->size(), 1024u);  // "reply 1 Qblocks 1024 bits"
+  EXPECT_EQ(pool.available_qblocks(0), 1u);
+  EXPECT_EQ(pool.available_qblocks(1), 2u);  // other lane untouched
+}
+
+TEST(KeyPool, LanesAreDisjointAndDeterministic) {
+  // Two mirrored pools serving concurrent opposite-direction negotiations:
+  // lane withdrawals must commute — any interleaving yields the same blocks.
+  qkd::Rng rng(21);
+  const auto stream = rng.next_bits(8 * KeyPool::kQblockBits);
+  KeyPool alice, bob;
+  alice.deposit(stream);
+  bob.deposit(stream);
+  // Alice services lane 0 then lane 1; Bob the reverse order.
+  const auto a0 = alice.withdraw_qblocks(2, 0);
+  const auto a1 = alice.withdraw_qblocks(1, 1);
+  const auto b1 = bob.withdraw_qblocks(1, 1);
+  const auto b0 = bob.withdraw_qblocks(2, 0);
+  ASSERT_TRUE(a0 && a1 && b0 && b1);
+  EXPECT_EQ(*a0, *b0);
+  EXPECT_EQ(*a1, *b1);
+  // Lane 0 got absolute blocks 0 and 2; lane 1 got block 1.
+  EXPECT_EQ(*a1, stream.slice(KeyPool::kQblockBits, KeyPool::kQblockBits));
+}
+
+TEST(KeyPool, MixingLinearAndLanedModesThrows) {
+  qkd::Rng rng(22);
+  KeyPool linear_first;
+  linear_first.deposit(rng.next_bits(4096));
+  ASSERT_TRUE(linear_first.withdraw_bits(10).has_value());
+  EXPECT_THROW(linear_first.withdraw_qblocks(1, 0), std::logic_error);
+
+  KeyPool laned_first;
+  laned_first.deposit(rng.next_bits(4096));
+  ASSERT_TRUE(laned_first.withdraw_qblocks(1, 0).has_value());
+  EXPECT_THROW(laned_first.withdraw_bits(10), std::logic_error);
+}
+
+TEST(KeyPool, LaneRefusalLeavesStateIntact) {
+  qkd::Rng rng(23);
+  KeyPool pool;
+  pool.deposit(rng.next_bits(3 * KeyPool::kQblockBits));  // lanes: 2 / 1
+  EXPECT_FALSE(pool.withdraw_qblocks(2, 1).has_value());
+  EXPECT_EQ(pool.available_qblocks(1), 1u);
+  EXPECT_TRUE(pool.withdraw_qblocks(1, 1).has_value());
+}
+
+TEST(KeyPool, RefusesPartialWithdrawal) {
+  qkd::Rng rng(3);
+  KeyPool pool;
+  pool.deposit(rng.next_bits(100));
+  EXPECT_FALSE(pool.withdraw_bits(101).has_value());
+  EXPECT_EQ(pool.available_bits(), 100u);  // untouched after refusal
+  EXPECT_EQ(pool.stats().failed_withdrawals, 1u);
+}
+
+TEST(KeyPool, MirroredPoolsStayInLockstep) {
+  // The property the whole Qblock design rests on: two pools fed the same
+  // deposits return the same bits for the same withdrawal sequence.
+  qkd::Rng rng(4);
+  KeyPool a, b;
+  for (int i = 0; i < 10; ++i) {
+    const auto bits = rng.next_bits(500 + i * 37);
+    a.deposit(bits);
+    b.deposit(bits);
+  }
+  for (std::size_t n : {100u, 1024u, 7u, 2048u, 333u}) {
+    const auto from_a = a.withdraw_bits(n);
+    const auto from_b = b.withdraw_bits(n);
+    ASSERT_TRUE(from_a && from_b);
+    EXPECT_EQ(*from_a, *from_b);
+  }
+}
+
+TEST(KeyPool, StatsTrackVolumes) {
+  qkd::Rng rng(5);
+  KeyPool pool;
+  pool.deposit(rng.next_bits(8192));
+  pool.withdraw_qblocks(2);
+  EXPECT_EQ(pool.stats().bits_deposited, 8192u);
+  EXPECT_EQ(pool.stats().bits_withdrawn, 2048u);
+  EXPECT_EQ(pool.stats().qblocks_withdrawn, 2u);
+}
+
+TEST(KeyPool, CompactionPreservesContent) {
+  // Push enough through the pool to trigger internal compaction and verify
+  // the stream stays correct across it.
+  qkd::Rng rng(6);
+  KeyPool pool;
+  qkd::BitVector reference;
+  for (int i = 0; i < 40; ++i) {
+    const auto bits = rng.next_bits(100000);
+    pool.deposit(bits);
+    reference.append(bits);
+  }
+  std::size_t cursor = 0;
+  while (pool.available_bits() >= 70000) {
+    const auto chunk = pool.withdraw_bits(70000);
+    ASSERT_TRUE(chunk.has_value());
+    EXPECT_EQ(*chunk, reference.slice(cursor, 70000));
+    cursor += 70000;
+  }
+}
+
+}  // namespace
+}  // namespace qkd::ipsec

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "src/ipsec/sad.hpp"
+#include "src/ipsec/spd.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+IpPacket make_packet(const std::string& src, const std::string& dst,
+                     std::uint8_t proto = IpPacket::kProtoUdp) {
+  IpPacket packet;
+  packet.src = parse_ipv4(src);
+  packet.dst = parse_ipv4(dst);
+  packet.protocol = proto;
+  return packet;
+}
+
+TrafficSelector subnet_selector(const std::string& src_net,
+                                const std::string& dst_net) {
+  TrafficSelector sel;
+  sel.src_prefix = parse_ipv4(src_net);
+  sel.src_mask = 0xffffff00;
+  sel.dst_prefix = parse_ipv4(dst_net);
+  sel.dst_mask = 0xffffff00;
+  return sel;
+}
+
+TEST(TrafficSelector, SubnetMatching) {
+  const TrafficSelector sel = subnet_selector("10.1.1.0", "10.2.2.0");
+  EXPECT_TRUE(sel.matches(make_packet("10.1.1.7", "10.2.2.200")));
+  EXPECT_FALSE(sel.matches(make_packet("10.1.2.7", "10.2.2.200")));
+  EXPECT_FALSE(sel.matches(make_packet("10.1.1.7", "10.3.2.200")));
+}
+
+TEST(TrafficSelector, ProtocolFilter) {
+  TrafficSelector sel;  // wildcard addresses
+  sel.protocol = IpPacket::kProtoTcp;
+  EXPECT_TRUE(sel.matches(make_packet("1.2.3.4", "5.6.7.8", IpPacket::kProtoTcp)));
+  EXPECT_FALSE(sel.matches(make_packet("1.2.3.4", "5.6.7.8", IpPacket::kProtoUdp)));
+}
+
+TEST(Spd, FirstMatchWins) {
+  SecurityPolicyDatabase spd;
+  SpdEntry discard;
+  discard.name = "discard-tcp";
+  discard.selector.protocol = IpPacket::kProtoTcp;
+  discard.action = PolicyAction::kDiscard;
+  spd.add(discard);
+  SpdEntry protect;
+  protect.name = "protect-all";
+  protect.action = PolicyAction::kProtect;
+  spd.add(protect);
+
+  const SpdEntry* hit = spd.lookup(make_packet("1.1.1.1", "2.2.2.2",
+                                               IpPacket::kProtoTcp));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "discard-tcp");
+  hit = spd.lookup(make_packet("1.1.1.1", "2.2.2.2", IpPacket::kProtoUdp));
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->name, "protect-all");
+}
+
+TEST(Spd, NoMatchReturnsNull) {
+  SecurityPolicyDatabase spd;
+  SpdEntry entry;
+  entry.selector = subnet_selector("10.1.1.0", "10.2.2.0");
+  spd.add(entry);
+  EXPECT_EQ(spd.lookup(make_packet("172.16.0.1", "172.16.0.2")), nullptr);
+}
+
+TEST(CipherParams, KeySizes) {
+  EXPECT_EQ(cipher_key_bytes(CipherAlgo::kAes128), 16u);
+  EXPECT_EQ(cipher_key_bytes(CipherAlgo::kAes256), 32u);
+  EXPECT_EQ(cipher_key_bytes(CipherAlgo::kTripleDes), 24u);
+  EXPECT_EQ(cipher_key_bytes(CipherAlgo::kOneTimePad), 0u);
+}
+
+TEST(Sad, InstallFindRemove) {
+  SecurityAssociationDatabase sad;
+  SecurityAssociation sa;
+  sa.spi = 0x1234;
+  sad.install(sa);
+  ASSERT_NE(sad.find(0x1234), nullptr);
+  EXPECT_EQ(sad.find(0x9999), nullptr);
+  sad.remove(0x1234);
+  EXPECT_EQ(sad.find(0x1234), nullptr);
+}
+
+TEST(Sad, TimeLifetimeExpiry) {
+  SecurityAssociationDatabase sad;
+  SecurityAssociation sa;
+  sa.spi = 1;
+  sa.established_at = 0;
+  sa.lifetime_seconds = 60.0;  // "about once a minute"
+  sad.install(sa);
+  EXPECT_TRUE(sad.expire(30 * qkd::kSecond).empty());
+  const auto removed = sad.expire(61 * qkd::kSecond);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], 1u);
+}
+
+TEST(Sad, ByteLifetimeExpiry) {
+  SecurityAssociationDatabase sad;
+  SecurityAssociation sa;
+  sa.spi = 2;
+  sa.lifetime_seconds = 0.0;  // unlimited time
+  sa.lifetime_bytes = 1024;   // 1 KB of traffic
+  sa.bytes_protected = 2000;
+  sad.install(sa);
+  EXPECT_EQ(sad.expire(0).size(), 1u);
+}
+
+TEST(ReplayWindow, AcceptsInOrder) {
+  SecurityAssociation sa;
+  for (std::uint64_t seq = 1; seq <= 100; ++seq)
+    EXPECT_TRUE(sa.replay_check_and_update(seq)) << seq;
+}
+
+TEST(ReplayWindow, RejectsReplays) {
+  SecurityAssociation sa;
+  EXPECT_TRUE(sa.replay_check_and_update(5));
+  EXPECT_FALSE(sa.replay_check_and_update(5));
+}
+
+TEST(ReplayWindow, AcceptsBoundedReordering) {
+  SecurityAssociation sa;
+  EXPECT_TRUE(sa.replay_check_and_update(10));
+  EXPECT_TRUE(sa.replay_check_and_update(3));   // late but within window
+  EXPECT_FALSE(sa.replay_check_and_update(3));  // replay of the late packet
+  EXPECT_TRUE(sa.replay_check_and_update(11));
+}
+
+TEST(ReplayWindow, RejectsAncientAndZero) {
+  SecurityAssociation sa;
+  EXPECT_FALSE(sa.replay_check_and_update(0));
+  EXPECT_TRUE(sa.replay_check_and_update(100));
+  EXPECT_FALSE(sa.replay_check_and_update(36));  // 64 behind: outside window
+  EXPECT_TRUE(sa.replay_check_and_update(37));   // exactly inside
+}
+
+}  // namespace
+}  // namespace qkd::ipsec

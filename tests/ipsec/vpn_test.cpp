@@ -1,0 +1,316 @@
+// End-to-end VPN tests: two gateways over the public channel, IKE with
+// Qblock negotiation, ESP traffic, rollover, OTP tunnels, and the Section 7
+// failure modes (mismatched bits, Eve's DoS on the control channel).
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+#include "src/ipsec/vpn_sim.hpp"
+
+namespace qkd::ipsec {
+namespace {
+
+SpdEntry protect_policy(const char* name = "vpn",
+                        CipherAlgo cipher = CipherAlgo::kAes128,
+                        QkdMode mode = QkdMode::kHybrid) {
+  SpdEntry entry;
+  entry.name = name;
+  entry.selector.src_prefix = parse_ipv4("10.1.0.0");
+  entry.selector.src_mask = 0xffff0000;
+  entry.selector.dst_prefix = parse_ipv4("10.2.0.0");
+  entry.selector.dst_mask = 0xffff0000;
+  entry.action = PolicyAction::kProtect;
+  entry.cipher = cipher;
+  entry.qkd_mode = mode;
+  entry.qblocks_per_rekey = 1;
+  entry.lifetime_seconds = 60.0;
+  return entry;
+}
+
+IpPacket red_packet(int tag = 0) {
+  IpPacket packet;
+  packet.src = parse_ipv4("10.1.0.5");
+  packet.dst = parse_ipv4("10.2.0.7");
+  packet.payload = Bytes{static_cast<std::uint8_t>('h'),
+                         static_cast<std::uint8_t>('i'),
+                         static_cast<std::uint8_t>(tag)};
+  return packet;
+}
+
+VpnLinkSimulation make_vpn(std::uint64_t seed = 1,
+                           SpdEntry policy = protect_policy()) {
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, seed);
+  vpn.install_mirrored_policy(policy);
+  qkd::Rng rng(seed ^ 0x9e3779b9ULL);
+  vpn.deposit_key_material(rng.next_bits(64 * 1024));
+  vpn.start();
+  return vpn;
+}
+
+TEST(Vpn, TunnelEstablishesAndCarriesTraffic) {
+  auto vpn = make_vpn(1);
+  vpn.a().submit_plaintext(red_packet(1), vpn.clock().now());
+  vpn.advance(1.0);
+  const auto delivered = vpn.b().drain_delivered();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], red_packet(1));
+  EXPECT_GE(vpn.a().stats().esp_sent, 1u);
+  EXPECT_GE(vpn.b().stats().esp_received, 1u);
+}
+
+TEST(Vpn, TrafficFlowsBothWays) {
+  auto vpn = make_vpn(2);
+  vpn.a().submit_plaintext(red_packet(1), vpn.clock().now());
+  vpn.advance(1.0);
+  IpPacket reverse;
+  reverse.src = parse_ipv4("10.2.0.7");
+  reverse.dst = parse_ipv4("10.1.0.5");
+  reverse.payload = {9, 9};
+  vpn.b().submit_plaintext(reverse, vpn.clock().now());
+  vpn.advance(1.0);
+  const auto at_a = vpn.a().drain_delivered();
+  ASSERT_EQ(at_a.size(), 1u);
+  EXPECT_EQ(at_a[0], reverse);
+}
+
+TEST(Vpn, PlaintextNeverOnTheWire) {
+  auto vpn = make_vpn(3);
+  // Snoop everything Eve sees on the public channel.
+  std::vector<Bytes> snooped;
+  vpn.channel().set_impairment(
+      [&snooped](const Bytes& message, bool) -> std::optional<Bytes> {
+        snooped.push_back(message);
+        return message;
+      });
+  const IpPacket secret = red_packet(42);
+  vpn.a().submit_plaintext(secret, vpn.clock().now());
+  vpn.advance(1.0);
+  ASSERT_EQ(vpn.b().drain_delivered().size(), 1u);
+  const Bytes inner_wire = secret.serialize();
+  for (const Bytes& message : snooped) {
+    const auto hit = std::search(message.begin(), message.end(),
+                                 inner_wire.begin(), inner_wire.end());
+    EXPECT_EQ(hit, message.end()) << "inner packet leaked in the clear";
+  }
+}
+
+TEST(Vpn, QblocksAreConsumedByNegotiation) {
+  auto vpn = make_vpn(4);
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  vpn.advance(1.0);
+  EXPECT_GE(vpn.a().ike().stats().qblocks_consumed, 1u);
+  EXPECT_GE(vpn.b().ike().stats().qblocks_consumed, 1u);
+  EXPECT_GE(vpn.a().key_pool().stats().qblocks_withdrawn, 1u);
+}
+
+TEST(Vpn, KeyRolloverHappensAboutOncePerLifetime) {
+  // "At present we use these keys as input to the IPsec Phase 2 hash, and
+  // update the resultant AES keys about once a minute."
+  auto vpn = make_vpn(5);
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  vpn.advance(1.0);
+  // Run 5 simulated minutes with sporadic traffic to keep the tunnel alive.
+  for (int minute = 0; minute < 5; ++minute) {
+    for (int i = 0; i < 6; ++i) {
+      vpn.a().submit_plaintext(red_packet(i), vpn.clock().now());
+      vpn.advance(10.0);
+    }
+  }
+  EXPECT_GE(vpn.a().stats().sa_rollovers, 3u);
+  EXPECT_LE(vpn.a().stats().sa_rollovers, 8u);
+  // Each rollover consumed fresh Qblocks.
+  EXPECT_GT(vpn.a().ike().stats().qblocks_consumed, 3u);
+}
+
+TEST(Vpn, OtpTunnelCarriesTrafficAndEatsPad) {
+  auto vpn = make_vpn(6, protect_policy("otp-vpn", CipherAlgo::kOneTimePad,
+                                        QkdMode::kOtp));
+  const std::size_t pool_before = vpn.a().key_pool().available_bits();
+  vpn.a().submit_plaintext(red_packet(1), vpn.clock().now());
+  vpn.advance(1.0);
+  ASSERT_EQ(vpn.b().drain_delivered().size(), 1u);
+  // OTP negotiation withdrew keymat + two directions of pad.
+  EXPECT_LT(vpn.a().key_pool().available_bits(), pool_before - 2048);
+}
+
+TEST(Vpn, OtpPadExhaustionForcesRollover) {
+  SpdEntry policy = protect_policy("otp-vpn", CipherAlgo::kOneTimePad,
+                                   QkdMode::kOtp);
+  policy.lifetime_seconds = 3600.0;  // lifetime never expires in this test
+  auto vpn = make_vpn(7, policy);
+  // Each 1024-bit pad direction covers only ~0.8 packets of 128 bytes; a
+  // burst must exhaust the pad and trigger renegotiation.
+  for (int i = 0; i < 20; ++i) {
+    vpn.a().submit_plaintext(red_packet(i), vpn.clock().now());
+    vpn.advance(0.5);
+  }
+  EXPECT_GT(vpn.a().stats().otp_exhausted, 0u);
+  // Traffic still flowed thanks to rollovers drawing fresh pad.
+  EXPECT_GT(vpn.b().stats().delivered, 5u);
+}
+
+TEST(Vpn, MismatchedQblocksBlackoutUntilRollover) {
+  // Section 7: "IKE has no mechanisms for noticing or dealing with such
+  // cases. The result appears to be that all security associations that
+  // employ key bits derived from this corrupted information will fail to
+  // properly encrypt / decrypt traffic ... until the security association
+  // is renewed."
+  SpdEntry policy = protect_policy();
+  policy.lifetime_seconds = 20.0;
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 8);
+  vpn.install_mirrored_policy(policy);
+  qkd::Rng rng(99);
+  // First deposit corrupted: B's pool differs from A's by one bit inside the
+  // first Qblock (deposit_key_material flips the middle bit of the deposit).
+  vpn.deposit_key_material(rng.next_bits(1024), /*corrupt_b=*/true);
+  // Later deposits match (the QKD stack corrected itself).
+  vpn.deposit_key_material(rng.next_bits(64 * 1024));
+  vpn.start();
+
+  // Traffic during the corrupted SA generation: authentication failures.
+  for (int i = 0; i < 5; ++i) {
+    vpn.a().submit_plaintext(red_packet(i), vpn.clock().now());
+    vpn.advance(1.0);
+  }
+  const auto blackout_failures = vpn.b().stats().auth_failures;
+  const auto blackout_delivered = vpn.b().stats().delivered;
+  EXPECT_GT(blackout_failures, 0u);
+  EXPECT_EQ(blackout_delivered, 0u);
+
+  // Ride past the SA lifetime: rollover draws matching bits; traffic heals.
+  vpn.advance(25.0);
+  for (int i = 0; i < 5; ++i) {
+    vpn.a().submit_plaintext(red_packet(i), vpn.clock().now());
+    vpn.advance(1.0);
+  }
+  EXPECT_GT(vpn.b().stats().delivered, 0u);
+}
+
+TEST(Vpn, EveBlockingIkeCausesTimeoutsNotKeys) {
+  // Sec. 7: "this narrow window makes Eve's denial-of-service attacks
+  // somewhat easier since she must block IKE messages during only a
+  // relatively short time in order to bring down the security
+  // association(s)."
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 9);
+  vpn.install_mirrored_policy(protect_policy());
+  qkd::Rng rng(9);
+  vpn.deposit_key_material(rng.next_bits(32 * 1024));
+  vpn.start();
+  // Eve blocks everything.
+  vpn.channel().set_impairment(
+      [](const Bytes&, bool) -> std::optional<Bytes> { return std::nullopt; });
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  vpn.advance(15.0);  // beyond the 10 s Phase-2 deadline
+  EXPECT_GT(vpn.a().ike().stats().phase2_timeouts, 0u);
+  EXPECT_EQ(vpn.b().stats().delivered, 0u);
+  // Eve relents; the next packet re-triggers negotiation and flows.
+  vpn.channel().set_impairment(nullptr);
+  vpn.a().submit_plaintext(red_packet(1), vpn.clock().now());
+  vpn.advance(5.0);
+  EXPECT_GT(vpn.b().stats().delivered, 0u);
+}
+
+TEST(Vpn, LossyChannelRetransmitsRecover) {
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 10);
+  vpn.install_mirrored_policy(protect_policy());
+  qkd::Rng rng(10);
+  vpn.deposit_key_material(rng.next_bits(32 * 1024));
+  vpn.start();
+  vpn.channel().set_impairment(qkd::net::make_drop_impairment(0.3, 10));
+  bool delivered = false;
+  for (int attempt = 0; attempt < 20 && !delivered; ++attempt) {
+    vpn.a().submit_plaintext(red_packet(attempt), vpn.clock().now());
+    vpn.advance(1.0);
+    delivered = vpn.b().stats().delivered > 0;
+  }
+  EXPECT_TRUE(delivered);
+}
+
+TEST(Vpn, BypassAndDiscardPolicies) {
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 11);
+  SpdEntry bypass;
+  bypass.name = "bypass-tcp";
+  bypass.selector.protocol = IpPacket::kProtoTcp;
+  bypass.action = PolicyAction::kBypass;
+  SpdEntry discard;
+  discard.name = "discard-rest";
+  discard.action = PolicyAction::kDiscard;
+  vpn.a().spd().add(bypass);
+  vpn.a().spd().add(discard);
+
+  IpPacket tcp = red_packet();
+  tcp.protocol = IpPacket::kProtoTcp;
+  vpn.a().submit_plaintext(tcp, vpn.clock().now());
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());  // UDP: discard
+  vpn.advance(0.5);
+  EXPECT_EQ(vpn.a().stats().bypassed, 1u);
+  EXPECT_EQ(vpn.a().stats().discarded_policy, 1u);
+  // The bypassed packet arrived in the clear at B.
+  const auto at_b = vpn.b().drain_delivered();
+  ASSERT_EQ(at_b.size(), 1u);
+  EXPECT_EQ(at_b[0], tcp);
+}
+
+TEST(Vpn, NoPolicyMeansDrop) {
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 12);
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  EXPECT_EQ(vpn.a().stats().dropped_no_policy, 1u);
+}
+
+TEST(Vpn, HybridModeDegradesGracefullyOnEmptyPool) {
+  // With an empty pool a kHybrid tunnel still negotiates (0 Qblocks granted,
+  // logged as degraded) — availability over pure-QKD keying.
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 13);
+  vpn.install_mirrored_policy(protect_policy());
+  vpn.start();  // note: no deposit_key_material
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  vpn.advance(2.0);
+  EXPECT_EQ(vpn.b().drain_delivered().size(), 1u);
+  EXPECT_GT(vpn.b().ike().stats().degraded_negotiations, 0u);
+}
+
+TEST(Vpn, OtpModeRefusesOnEmptyPool) {
+  // A pure one-time-pad tunnel must NOT come up without pad material.
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 14);
+  vpn.install_mirrored_policy(
+      protect_policy("otp", CipherAlgo::kOneTimePad, QkdMode::kOtp));
+  vpn.start();
+  vpn.a().submit_plaintext(red_packet(), vpn.clock().now());
+  vpn.advance(2.0);
+  EXPECT_EQ(vpn.b().drain_delivered().size(), 0u);
+  EXPECT_GT(vpn.a().ike().stats().failed_otp_negotiations, 0u);
+}
+
+TEST(Vpn, TripleDesTunnelWorks) {
+  auto vpn = make_vpn(15, protect_policy("3des", CipherAlgo::kTripleDes));
+  vpn.a().submit_plaintext(red_packet(3), vpn.clock().now());
+  vpn.advance(1.0);
+  const auto delivered = vpn.b().drain_delivered();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], red_packet(3));
+}
+
+TEST(Vpn, ReplayedEspPacketsAreDropped) {
+  // Eve captures every A->B message and replays the lot afterwards.
+  VpnLinkSimulation vpn2(VpnLinkSimulation::Params{}, 17);
+  vpn2.install_mirrored_policy(protect_policy());
+  qkd::Rng rng(17);
+  vpn2.deposit_key_material(rng.next_bits(32 * 1024));
+  vpn2.start();
+  std::vector<Bytes> captured;
+  vpn2.channel().set_impairment(
+      [&captured](const Bytes& message, bool to_b) -> std::optional<Bytes> {
+        if (to_b) captured.push_back(message);
+        return message;
+      });
+  vpn2.a().submit_plaintext(red_packet(1), vpn2.clock().now());
+  vpn2.advance(1.0);
+  ASSERT_EQ(vpn2.b().drain_delivered().size(), 1u);
+  // Replay everything Eve captured.
+  for (const Bytes& message : captured)
+    vpn2.b().deliver_from_network(message, vpn2.clock().now());
+  EXPECT_EQ(vpn2.b().drain_delivered().size(), 0u);
+  EXPECT_GT(vpn2.b().stats().replay_drops, 0u);
+}
+
+}  // namespace
+}  // namespace qkd::ipsec

@@ -1,0 +1,93 @@
+#include "src/net/channel.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::net {
+namespace {
+
+TEST(PublicChannel, DeliversInOrderBothDirections) {
+  PublicChannel channel;
+  channel.send_from_a(Bytes{1});
+  channel.send_from_a(Bytes{2});
+  channel.send_from_b(Bytes{3});
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{1}));
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{2}));
+  EXPECT_FALSE(channel.recv_at_b().has_value());
+  EXPECT_EQ(channel.recv_at_a(), (Bytes{3}));
+}
+
+TEST(PublicChannel, StatsCountTraffic) {
+  PublicChannel channel;
+  channel.send_from_a(Bytes(10));
+  channel.send_from_b(Bytes(20));
+  channel.send_from_b(Bytes(30));
+  EXPECT_EQ(channel.stats().messages_ab, 1u);
+  EXPECT_EQ(channel.stats().messages_ba, 2u);
+  EXPECT_EQ(channel.stats().bytes_ab, 10u);
+  EXPECT_EQ(channel.stats().bytes_ba, 50u);
+}
+
+TEST(PublicChannel, EveCanBlock) {
+  PublicChannel channel;
+  channel.set_impairment(
+      [](const Bytes&, bool) -> std::optional<Bytes> { return std::nullopt; });
+  channel.send_from_a(Bytes{1});
+  EXPECT_FALSE(channel.b_has_message());
+  EXPECT_EQ(channel.stats().dropped, 1u);
+}
+
+TEST(PublicChannel, EveCanForge) {
+  PublicChannel channel;
+  channel.set_impairment(
+      [](const Bytes&, bool) -> std::optional<Bytes> {
+        return Bytes{0xEE, 0xEE};  // wholesale replacement
+      });
+  channel.send_from_a(Bytes{1, 2, 3});
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{0xEE, 0xEE}));
+  EXPECT_EQ(channel.stats().modified, 1u);
+}
+
+TEST(PublicChannel, EveSeesDirection) {
+  PublicChannel channel;
+  std::vector<bool> directions;
+  channel.set_impairment(
+      [&directions](const Bytes& message, bool to_b) -> std::optional<Bytes> {
+        directions.push_back(to_b);
+        return message;
+      });
+  channel.send_from_a(Bytes{1});
+  channel.send_from_b(Bytes{2});
+  EXPECT_EQ(directions, (std::vector<bool>{true, false}));
+}
+
+TEST(PublicChannel, DropImpairmentIsProbabilistic) {
+  PublicChannel channel;
+  channel.set_impairment(make_drop_impairment(0.5, 7));
+  for (int i = 0; i < 1000; ++i) channel.send_from_a(Bytes{1});
+  const auto dropped = channel.stats().dropped;
+  EXPECT_GT(dropped, 400u);
+  EXPECT_LT(dropped, 600u);
+}
+
+TEST(PublicChannel, CorruptImpairmentFlipsBytes) {
+  PublicChannel channel;
+  channel.set_impairment(make_corrupt_impairment(1.0, 7));
+  channel.send_from_a(Bytes{1, 2, 3, 4});
+  const auto received = channel.recv_at_b();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_NE(*received, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(received->size(), 4u);
+  EXPECT_EQ(channel.stats().modified, 1u);
+}
+
+TEST(PublicChannel, ClearingImpairmentRestoresDelivery) {
+  PublicChannel channel;
+  channel.set_impairment(make_drop_impairment(1.0, 3));
+  channel.send_from_a(Bytes{1});
+  channel.set_impairment(nullptr);
+  channel.send_from_a(Bytes{2});
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{2}));
+}
+
+}  // namespace
+}  // namespace qkd::net

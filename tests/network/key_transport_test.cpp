@@ -1,0 +1,154 @@
+#include "src/network/key_transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/qkd/engine.hpp"
+
+namespace qkd::network {
+namespace {
+
+TEST(DistillFraction, PositiveAtOperatingPointZeroPastAlarm) {
+  qkd::optics::LinkParams params;  // ~6 % QBER
+  EXPECT_GT(estimated_distill_fraction(qkd::optics::LinkModel(params)), 0.1);
+  params.interferometer_visibility = 0.7;  // 15 % error floor
+  EXPECT_DOUBLE_EQ(estimated_distill_fraction(qkd::optics::LinkModel(params)),
+                   0.0);
+}
+
+TEST(DistillFraction, AgreesWithFullProtocolEngine) {
+  // The analytic mesh model must be in the same ballpark as the real
+  // pipeline (within a factor ~2 at the operating point).
+  qkd::optics::LinkParams params;
+  const qkd::optics::LinkModel model(params);
+  const double analytic_bps =
+      model.sifted_rate_bps() * estimated_distill_fraction(model);
+
+  qkd::proto::QkdLinkConfig config;
+  config.frame_slots = 1 << 20;
+  qkd::proto::QkdLinkSession session(config, 42);
+  for (int i = 0; i < 4; ++i) session.run_batch();
+  const double engine_bps = session.totals().distilled_rate_bps();
+
+  EXPECT_GT(engine_bps, 0.3 * analytic_bps);
+  EXPECT_LT(engine_bps, 2.5 * analytic_bps);
+}
+
+TEST(LinkRate, CutAndEavesdroppedLinksProduceNothing) {
+  Topology topo = Topology::star(2);
+  Link link = topo.link(0);
+  EXPECT_GT(link_distill_rate_bps(link), 0.0);
+  link.state = LinkState::kCut;
+  EXPECT_DOUBLE_EQ(link_distill_rate_bps(link), 0.0);
+  link.state = LinkState::kEavesdropped;
+  EXPECT_DOUBLE_EQ(link_distill_rate_bps(link), 0.0);
+}
+
+TEST(Mesh, LinksAccumulateKeyOverTime) {
+  MeshSimulation mesh(Topology::star(3), 1);
+  mesh.step(10.0);
+  for (LinkId id = 0; id < mesh.topology().link_count(); ++id)
+    EXPECT_GT(mesh.link_pool_bits(id), 100.0) << id;
+}
+
+TEST(Mesh, TransportDeliversKeyEndToEnd) {
+  MeshSimulation mesh(Topology::relay_ring(6), 2);
+  mesh.step(60.0);
+  const auto result = mesh.transport_key(6, 7, 256);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.key.size(), 256u);
+  EXPECT_EQ(result.route.nodes.front(), 6u);
+  EXPECT_EQ(result.route.nodes.back(), 7u);
+  // Every hop consumed 256 bits of pairwise key.
+  EXPECT_EQ(result.pool_bits_consumed, 256u * result.route.hop_count());
+}
+
+TEST(Mesh, TransportExposesKeyToEveryIntermediateRelay) {
+  // "the relays must be trusted" — the simulation records exactly who saw
+  // the key in the clear.
+  MeshSimulation mesh(Topology::relay_ring(6), 3);
+  mesh.step(60.0);
+  const auto result = mesh.transport_key(6, 7, 128);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.exposed_to.size(), result.route.hop_count() - 1);
+  for (NodeId relay : result.exposed_to)
+    EXPECT_EQ(mesh.topology().node(relay).kind, NodeKind::kTrustedRelay);
+}
+
+TEST(Mesh, FiberCutTriggersReroute) {
+  MeshSimulation mesh(Topology::relay_ring(6), 4);
+  mesh.step(120.0);
+  const auto before = mesh.transport_key(6, 7, 128);
+  ASSERT_TRUE(before.success);
+  // Cut a link on the route just used.
+  mesh.cut_link(before.route.links[1]);
+  const auto after = mesh.transport_key(6, 7, 128);
+  ASSERT_TRUE(after.success);  // mesh survives: the headline of Sec. 8
+  EXPECT_NE(after.route.links, before.route.links);
+  EXPECT_GE(mesh.stats().reroutes, 1u);
+}
+
+TEST(Mesh, EavesdroppingAbandonsLinkAndReroutes) {
+  MeshSimulation mesh(Topology::relay_ring(6), 5);
+  mesh.step(120.0);
+  const auto before = mesh.transport_key(6, 7, 128);
+  ASSERT_TRUE(before.success);
+  const double qber = mesh.eavesdrop_link(before.route.links[1], 1.0);
+  EXPECT_GT(qber, 0.11);
+  EXPECT_EQ(mesh.topology().link(before.route.links[1]).state,
+            LinkState::kEavesdropped);
+  const auto after = mesh.transport_key(6, 7, 128);
+  ASSERT_TRUE(after.success);
+  EXPECT_NE(after.route.links, before.route.links);
+}
+
+TEST(Mesh, MildEavesdroppingSlowsButDoesNotKill) {
+  MeshSimulation mesh(Topology::star(2), 6);
+  const double qber = mesh.eavesdrop_link(0, 0.05);  // ~ +1.2 % QBER
+  EXPECT_LT(qber, 0.11);
+  EXPECT_EQ(mesh.topology().link(0).state, LinkState::kUp);
+  MeshSimulation clean(Topology::star(2), 6);
+  mesh.step(10.0);
+  clean.step(10.0);
+  EXPECT_LT(mesh.link_pool_bits(0), clean.link_pool_bits(0));
+  EXPECT_GT(mesh.link_pool_bits(0), 0.0);
+}
+
+TEST(Mesh, SeveringAllPathsFailsTransport) {
+  MeshSimulation mesh(Topology::relay_ring(4), 7);
+  mesh.step(60.0);
+  // alice attaches to relay 0 by the second-to-last link; cut both ring
+  // directions out of relay 0.
+  const auto r0_links = mesh.topology().links_of(0);
+  for (LinkId id : r0_links) {
+    if (!mesh.topology().link(id).connects(4))  // keep alice's tail link
+      mesh.cut_link(id);
+  }
+  const auto result = mesh.transport_key(4, 5, 64);
+  EXPECT_FALSE(result.success);
+  EXPECT_GE(mesh.stats().transports_no_route, 1u);
+}
+
+TEST(Mesh, StarvedPoolsFailWithoutConsuming) {
+  MeshSimulation mesh(Topology::relay_ring(6), 8);
+  mesh.step(0.001);  // essentially no key accumulated
+  const auto result = mesh.transport_key(6, 7, 100000);
+  EXPECT_FALSE(result.success);
+  EXPECT_GE(mesh.stats().transports_starved, 1u);
+  // Pools untouched by the failed attempt.
+  mesh.step(60.0);
+  const auto retry = mesh.transport_key(6, 7, 128);
+  EXPECT_TRUE(retry.success);
+}
+
+TEST(Mesh, RestoreLinkHeals) {
+  MeshSimulation mesh(Topology::star(2), 9);
+  mesh.cut_link(0);
+  mesh.step(10.0);
+  EXPECT_DOUBLE_EQ(mesh.link_pool_bits(0), 0.0);
+  mesh.restore_link(0);
+  mesh.step(10.0);
+  EXPECT_GT(mesh.link_pool_bits(0), 0.0);
+}
+
+}  // namespace
+}  // namespace qkd::network

@@ -1,0 +1,126 @@
+#include "src/network/routing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace qkd::network {
+namespace {
+
+Topology line_of_relays(std::size_t relays) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  NodeId prev = a;
+  for (std::size_t i = 0; i < relays; ++i) {
+    const NodeId r =
+        topo.add_node("r" + std::to_string(i), NodeKind::kTrustedRelay);
+    topo.add_link(prev, r);
+    prev = r;
+  }
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  topo.add_link(prev, b);
+  return topo;
+}
+
+TEST(Routing, FindsLinePath) {
+  const Topology topo = line_of_relays(3);
+  const auto route = shortest_route(topo, 0, 4);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hop_count(), 4u);
+  EXPECT_EQ(route->nodes.front(), 0u);
+  EXPECT_EQ(route->nodes.back(), 4u);
+}
+
+TEST(Routing, TrivialAndInvalidCases) {
+  const Topology topo = line_of_relays(1);
+  const auto self = shortest_route(topo, 0, 0);
+  ASSERT_TRUE(self.has_value());
+  EXPECT_EQ(self->hop_count(), 0u);
+  EXPECT_FALSE(shortest_route(topo, 0, 99).has_value());
+}
+
+TEST(Routing, AvoidsCutLinks) {
+  Topology topo = Topology::relay_ring(6);
+  const NodeId alice = 6, bob = 7;
+  const auto direct = shortest_route(topo, alice, bob);
+  ASSERT_TRUE(direct.has_value());
+  // Cut a ring link on the chosen route; routing must go the other way
+  // around (same length on a symmetric ring, but disjoint ring links).
+  const LinkId cut = direct->links[1];
+  topo.link(cut).state = LinkState::kCut;
+  const auto detour = shortest_route(topo, alice, bob);
+  ASSERT_TRUE(detour.has_value());
+  EXPECT_EQ(std::count(detour->links.begin(), detour->links.end(), cut), 0);
+  EXPECT_NE(detour->links, direct->links);
+}
+
+TEST(Routing, DisconnectedReturnsNullopt) {
+  Topology topo = line_of_relays(2);
+  topo.link(1).state = LinkState::kCut;  // sever the middle
+  EXPECT_FALSE(shortest_route(topo, 0, 3).has_value());
+}
+
+TEST(Routing, EndpointsNeverTransit) {
+  // a - b - c where b is an ENDPOINT: no route a->c may pass through b.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  const NodeId c = topo.add_node("c", NodeKind::kEndpoint);
+  topo.add_link(a, b);
+  topo.add_link(b, c);
+  EXPECT_FALSE(shortest_route(topo, a, c).has_value());
+}
+
+TEST(Routing, CustomCostPrefersCheaperPath) {
+  // Diamond: a - r1 - b (2 hops) vs a - r2 - r3 - b (3 hops); make the
+  // 2-hop path expensive.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId r1 = topo.add_node("r1", NodeKind::kTrustedRelay);
+  const NodeId r2 = topo.add_node("r2", NodeKind::kTrustedRelay);
+  const NodeId r3 = topo.add_node("r3", NodeKind::kTrustedRelay);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  const LinkId l1 = topo.add_link(a, r1);
+  topo.add_link(r1, b);
+  topo.add_link(a, r2);
+  topo.add_link(r2, r3);
+  topo.add_link(r3, b);
+  const auto expensive_first = [&](const Link& link) {
+    return link.id == l1 ? 100.0 : 1.0;
+  };
+  const auto route = shortest_route(topo, a, b, expensive_first);
+  ASSERT_TRUE(route.has_value());
+  EXPECT_EQ(route->hop_count(), 3u);
+}
+
+TEST(Routing, DisjointPathCountOnRing) {
+  const Topology ring = Topology::relay_ring(6);
+  // Between two relays the ring offers both directions; the endpoints hang
+  // off single tail links, so end-to-end redundancy is capped at 1 — adding
+  // links is exactly how Sec. 8 says to buy more.
+  EXPECT_EQ(disjoint_path_count(ring, 0, 3), 2u);
+  EXPECT_EQ(disjoint_path_count(ring, 6, 7), 1u);
+  Topology cut = ring;
+  cut.link(0).state = LinkState::kCut;
+  EXPECT_LE(disjoint_path_count(cut, 0, 3), 1u);
+}
+
+TEST(Routing, DisjointPathCountGrowsWithMeshDegree) {
+  // A 5-node full mesh of relays between two endpoints: adding relays adds
+  // disjoint paths — the "as much redundancy as desired" claim of Sec. 8.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  std::vector<NodeId> relays;
+  for (int i = 0; i < 4; ++i) {
+    const NodeId r =
+        topo.add_node("r" + std::to_string(i), NodeKind::kTrustedRelay);
+    topo.add_link(a, r);
+    topo.add_link(r, b);
+    relays.push_back(r);
+  }
+  EXPECT_EQ(disjoint_path_count(topo, a, b), 4u);
+}
+
+}  // namespace
+}  // namespace qkd::network

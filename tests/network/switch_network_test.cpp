@@ -1,0 +1,112 @@
+#include "src/network/switch_network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::network {
+namespace {
+
+/// a - s1 - s2 - ... - sk - b, all-optical.
+Topology switch_chain(std::size_t switches, double span_km = 10.0) {
+  Topology topo;
+  const NodeId a = topo.add_node("alice", NodeKind::kEndpoint);
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = span_km;
+  optics.insertion_loss_db = 0.5;
+  NodeId prev = a;
+  for (std::size_t i = 0; i < switches; ++i) {
+    const NodeId s =
+        topo.add_node("sw" + std::to_string(i), NodeKind::kUntrustedSwitch);
+    topo.add_link(prev, s, optics);
+    prev = s;
+  }
+  const NodeId b = topo.add_node("bob", NodeKind::kEndpoint);
+  topo.add_link(prev, b, optics);
+  return topo;
+}
+
+TEST(SwitchPath, BudgetSumsFiberAndInsertion) {
+  const Topology topo = switch_chain(2);
+  const auto budget = best_switch_path(topo, 0, 3, 1.0);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_DOUBLE_EQ(budget->total_fiber_km, 30.0);
+  EXPECT_DOUBLE_EQ(budget->switch_count, 2.0);
+  // 3 spans x 0.5 dB + 2 switches x 1.0 dB.
+  EXPECT_DOUBLE_EQ(budget->total_insertion_db, 3.5);
+}
+
+TEST(SwitchPath, EndToEndKeyWithoutTrustedRelays) {
+  const Topology topo = switch_chain(2);
+  const auto budget = best_switch_path(topo, 0, 3);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_TRUE(budget->in_range);
+  EXPECT_GT(budget->distilled_rate_bps, 0.0);
+}
+
+TEST(SwitchPath, EachSwitchReducesReach) {
+  // "each switch adds at least a fractional dB insertion loss along the
+  // photonic path" — rate falls monotonically with switch count.
+  double prev_rate = 1e18;
+  for (std::size_t switches : {0u, 1u, 2u, 3u, 4u}) {
+    const Topology topo = switch_chain(switches);
+    const auto budget =
+        best_switch_path(topo, 0, static_cast<NodeId>(switches + 1), 2.0);
+    ASSERT_TRUE(budget.has_value()) << switches;
+    EXPECT_LT(budget->distilled_rate_bps, prev_rate) << switches;
+    prev_rate = budget->distilled_rate_bps;
+  }
+}
+
+TEST(SwitchPath, LongChainsGoOutOfRange) {
+  // Unlike trusted relays, switches cannot extend reach: enough spans push
+  // the composite QBER past the alarm and the rate to zero.
+  const Topology topo = switch_chain(8, 12.0);  // ~108 km + 9 insertions
+  const auto budget = best_switch_path(topo, 0, 9, 2.0);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_FALSE(budget->in_range);
+  EXPECT_DOUBLE_EQ(budget->distilled_rate_bps, 0.0);
+}
+
+TEST(SwitchPath, TrustedRelaysAreNotOpticallyTransparent) {
+  // a - relay - b has no all-optical path.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId r = topo.add_node("r", NodeKind::kTrustedRelay);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  topo.add_link(a, r);
+  topo.add_link(r, b);
+  EXPECT_FALSE(best_switch_path(topo, a, b).has_value());
+}
+
+TEST(SwitchPath, PicksLowestLossRoute) {
+  // Two optical routes: 1 switch with long fiber vs 2 switches with short
+  // fiber; the budget should choose by total dB.
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  const NodeId s1 = topo.add_node("s1", NodeKind::kUntrustedSwitch);
+  const NodeId s2 = topo.add_node("s2", NodeKind::kUntrustedSwitch);
+  const NodeId s3 = topo.add_node("s3", NodeKind::kUntrustedSwitch);
+  qkd::optics::LinkParams long_span;
+  long_span.fiber_km = 40.0;  // 8 dB per span
+  qkd::optics::LinkParams short_span;
+  short_span.fiber_km = 5.0;  // 1 dB per span
+  topo.add_link(a, s1, long_span);
+  topo.add_link(s1, b, long_span);
+  topo.add_link(a, s2, short_span);
+  topo.add_link(s2, s3, short_span);
+  topo.add_link(s3, b, short_span);
+  const auto budget = best_switch_path(topo, a, b, 1.0);
+  ASSERT_TRUE(budget.has_value());
+  EXPECT_DOUBLE_EQ(budget->switch_count, 2.0);  // took the short-fiber route
+  EXPECT_DOUBLE_EQ(budget->total_fiber_km, 15.0);
+}
+
+TEST(SwitchPath, DegenerateRouteRejected) {
+  const Topology topo = switch_chain(1);
+  Route degenerate;
+  degenerate.nodes = {0};
+  EXPECT_THROW(switch_path_budget(topo, degenerate), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::network

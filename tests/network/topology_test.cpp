@@ -1,0 +1,69 @@
+#include "src/network/topology.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::network {
+namespace {
+
+TEST(Topology, AddNodesAndLinks) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  const LinkId ab = topo.add_link(a, b);
+  EXPECT_EQ(topo.node_count(), 2u);
+  EXPECT_EQ(topo.link_count(), 1u);
+  EXPECT_EQ(topo.link(ab).other(a), b);
+  EXPECT_TRUE(topo.link(ab).connects(b));
+}
+
+TEST(Topology, RejectsBadLinks) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  EXPECT_THROW(topo.add_link(a, a), std::invalid_argument);
+  EXPECT_THROW(topo.add_link(a, 99), std::out_of_range);
+}
+
+TEST(Topology, LinkBetweenAndLinksOf) {
+  Topology topo;
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kTrustedRelay);
+  const NodeId c = topo.add_node("c", NodeKind::kEndpoint);
+  topo.add_link(a, b);
+  topo.add_link(b, c);
+  EXPECT_TRUE(topo.link_between(a, b).has_value());
+  EXPECT_TRUE(topo.link_between(c, b).has_value());  // orientation-free
+  EXPECT_FALSE(topo.link_between(a, c).has_value());
+  EXPECT_EQ(topo.links_of(b).size(), 2u);
+  EXPECT_EQ(topo.links_of(a).size(), 1u);
+}
+
+TEST(Topology, FullMeshLinkCountIsQuadratic) {
+  // Sec. 8: N*(N-1)/2 point-to-point links for full interconnection.
+  for (std::size_t n : {2u, 5u, 10u}) {
+    const Topology topo = Topology::full_mesh(n);
+    EXPECT_EQ(topo.link_count(), n * (n - 1) / 2) << n;
+    EXPECT_EQ(topo.node_count(), n);
+  }
+}
+
+TEST(Topology, StarLinkCountIsLinear) {
+  // "as few as N links in the case of a simple star topology".
+  for (std::size_t n : {2u, 5u, 10u}) {
+    const Topology topo = Topology::star(n);
+    EXPECT_EQ(topo.link_count(), n) << n;
+    EXPECT_EQ(topo.node_count(), n + 1);  // + the hub relay
+    EXPECT_EQ(topo.node(0).kind, NodeKind::kTrustedRelay);
+  }
+}
+
+TEST(Topology, RelayRingHasTwoDisjointPaths) {
+  const Topology topo = Topology::relay_ring(6);
+  // alice and bob are the last two nodes.
+  EXPECT_EQ(topo.node(6).name, "alice");
+  EXPECT_EQ(topo.node(7).name, "bob");
+  EXPECT_EQ(topo.link_count(), 6u + 2u);
+  EXPECT_THROW(Topology::relay_ring(2), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::network

@@ -1,0 +1,83 @@
+#include "src/optics/interference.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/optics/types.hpp"
+
+namespace qkd::optics {
+namespace {
+
+TEST(PhaseEncoding, AlicePhaseTableMatchesPaper) {
+  // Sec. 4: value 0 -> phase 0 (basis 0) or pi/2 (basis 1);
+  //         value 1 -> phase pi (basis 0) or 3pi/2 (basis 1).
+  EXPECT_EQ(alice_phase_quarter(Basis::kRectilinear, false), 0u);
+  EXPECT_EQ(alice_phase_quarter(Basis::kDiagonal, false), 1u);
+  EXPECT_EQ(alice_phase_quarter(Basis::kRectilinear, true), 2u);
+  EXPECT_EQ(alice_phase_quarter(Basis::kDiagonal, true), 3u);
+  EXPECT_EQ(bob_phase_quarter(Basis::kRectilinear), 0u);
+  EXPECT_EQ(bob_phase_quarter(Basis::kDiagonal), 1u);
+}
+
+TEST(Interference, CompatibleBasesAreDeterministicAtFullVisibility) {
+  // Fig. 7: delta = 0 -> constructive at D0 (bit 0); delta = pi -> D1.
+  for (unsigned bob_q : {0u, 1u}) {
+    const Basis bob_basis = bob_q ? Basis::kDiagonal : Basis::kRectilinear;
+    for (bool value : {false, true}) {
+      const unsigned alice_q = alice_phase_quarter(bob_basis, value);
+      const double p1 = p_route_to_d1(alice_q, bob_q, 1.0);
+      EXPECT_DOUBLE_EQ(p1, value ? 1.0 : 0.0)
+          << "bob_q=" << bob_q << " value=" << value;
+      EXPECT_TRUE(compatible_phases(alice_q, bob_q));
+    }
+  }
+}
+
+TEST(Interference, IncompatibleBasesAreFiftyFifty) {
+  // "the photon strikes one of the two APDs at random" (Sec. 4).
+  for (bool value : {false, true}) {
+    const unsigned alice_rect = alice_phase_quarter(Basis::kRectilinear, value);
+    const unsigned alice_diag = alice_phase_quarter(Basis::kDiagonal, value);
+    EXPECT_DOUBLE_EQ(p_route_to_d1(alice_rect, 1u, 1.0), 0.5);
+    EXPECT_DOUBLE_EQ(p_route_to_d1(alice_diag, 0u, 1.0), 0.5);
+    EXPECT_FALSE(compatible_phases(alice_rect, 1u));
+    EXPECT_FALSE(compatible_phases(alice_diag, 0u));
+  }
+}
+
+TEST(Interference, FiniteVisibilityGivesErrorFloor) {
+  // With V < 1 the "wrong" detector clicks with probability (1-V)/2.
+  const double v = 0.9;
+  const double p_wrong = p_route_to_d1(0u, 0u, v);  // delta = 0, D1 is wrong
+  EXPECT_NEAR(p_wrong, (1.0 - v) / 2.0, 1e-12);
+  const double p_right = p_route_to_d1(2u, 0u, v);  // delta = pi, D1 correct
+  EXPECT_NEAR(p_right, (1.0 + v) / 2.0, 1e-12);
+}
+
+TEST(Interference, ZeroVisibilityDestroysInformation) {
+  for (unsigned a = 0; a < 4; ++a)
+    for (unsigned b = 0; b < 2; ++b)
+      EXPECT_DOUBLE_EQ(p_route_to_d1(a, b, 0.0), 0.5);
+}
+
+TEST(Interference, ProbabilitiesAreComplementaryAcrossValueFlip) {
+  // Flipping Alice's value flips delta by pi, exchanging the detectors.
+  const double v = 0.83;
+  for (unsigned bob_q : {0u, 1u}) {
+    const Basis basis = bob_q ? Basis::kDiagonal : Basis::kRectilinear;
+    const double p0 = p_route_to_d1(alice_phase_quarter(basis, false), bob_q, v);
+    const double p1 = p_route_to_d1(alice_phase_quarter(basis, true), bob_q, v);
+    EXPECT_NEAR(p0 + p1, 1.0, 1e-12);
+  }
+}
+
+TEST(Interference, CosQuarterExactValues) {
+  EXPECT_EQ(cos_quarter(0), 1);
+  EXPECT_EQ(cos_quarter(1), 0);
+  EXPECT_EQ(cos_quarter(2), -1);
+  EXPECT_EQ(cos_quarter(3), 0);
+  EXPECT_EQ(cos_quarter(4), 1);
+  EXPECT_EQ(cos_quarter(7), 0);
+}
+
+}  // namespace
+}  // namespace qkd::optics

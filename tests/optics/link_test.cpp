@@ -1,0 +1,230 @@
+#include "src/optics/link.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/optics/link_model.hpp"
+
+namespace qkd::optics {
+namespace {
+
+// Counts sifted bits and errors in a frame (protocol-free reference sift).
+struct SiftCount {
+  std::size_t sifted = 0;
+  std::size_t errors = 0;
+  double qber() const {
+    return sifted ? static_cast<double>(errors) / sifted : 0.0;
+  }
+};
+
+SiftCount reference_sift(const FrameResult& frame) {
+  SiftCount out;
+  for (std::size_t i = 0; i < frame.bob.size(); ++i) {
+    if (!frame.bob.detected.get(i)) continue;
+    if (frame.alice.bases.get(i) != frame.bob.bases.get(i)) continue;
+    ++out.sifted;
+    if (frame.alice.values.get(i) != frame.bob.bits.get(i)) ++out.errors;
+  }
+  return out;
+}
+
+TEST(WeakCoherentLink, FrameShapesAreConsistent) {
+  WeakCoherentLink link(LinkParams{}, 1);
+  const FrameResult frame = link.run_frame(10000);
+  EXPECT_EQ(frame.alice.size(), 10000u);
+  EXPECT_EQ(frame.bob.size(), 10000u);
+  EXPECT_EQ(frame.alice.photon_counts.size(), 10000u);
+  EXPECT_EQ(frame.eve.attacked.size(), 10000u);
+}
+
+TEST(WeakCoherentLink, DeterministicForSeed) {
+  WeakCoherentLink a(LinkParams{}, 77), b(LinkParams{}, 77);
+  const FrameResult fa = a.run_frame(5000);
+  const FrameResult fb = b.run_frame(5000);
+  EXPECT_EQ(fa.alice.values, fb.alice.values);
+  EXPECT_EQ(fa.bob.detected, fb.bob.detected);
+  EXPECT_EQ(fa.bob.bits, fb.bob.bits);
+}
+
+TEST(WeakCoherentLink, PhotonStatisticsArePoisson) {
+  LinkParams params;
+  params.mean_photon_number = 0.1;
+  WeakCoherentLink link(params, 3);
+  const FrameResult frame = link.run_frame(200000);
+  double mean = 0;
+  std::size_t multi = 0;
+  for (auto c : frame.alice.photon_counts) {
+    mean += c;
+    multi += c >= 2;
+  }
+  mean /= static_cast<double>(frame.alice.size());
+  EXPECT_NEAR(mean, 0.1, 0.005);
+  // Multi-photon fraction ~ 1 - e^-mu(1+mu) ~ 0.468 %.
+  EXPECT_NEAR(static_cast<double>(multi) / frame.alice.size(), 0.00468, 0.001);
+}
+
+TEST(WeakCoherentLink, DetectionRateMatchesAnalyticModel) {
+  const LinkParams params;  // paper operating point
+  WeakCoherentLink link(params, 5);
+  const LinkModel model(params);
+  const std::size_t n = 1000000;
+  link.run_frame(n);
+  const double simulated =
+      static_cast<double>(link.stats().detections) / static_cast<double>(n);
+  const double predicted = model.p_single_click();
+  EXPECT_NEAR(simulated, predicted, 0.15 * predicted + 1e-5);
+}
+
+TEST(WeakCoherentLink, QberAtPaperOperatingPointIsSixToEightPercent) {
+  // Sec. 4: "approximately a 6-8% Quantum Bit Error Rate".
+  WeakCoherentLink link(LinkParams{}, 7);
+  SiftCount total;
+  for (int i = 0; i < 5; ++i) {
+    const FrameResult frame = link.run_frame(500000);
+    const SiftCount c = reference_sift(frame);
+    total.sifted += c.sifted;
+    total.errors += c.errors;
+  }
+  ASSERT_GT(total.sifted, 1000u);
+  EXPECT_GT(total.qber(), 0.05);
+  EXPECT_LT(total.qber(), 0.09);
+}
+
+TEST(WeakCoherentLink, QberMatchesAnalyticPrediction) {
+  LinkParams params;
+  params.interferometer_visibility = 0.95;
+  params.fiber_km = 25.0;
+  WeakCoherentLink link(params, 9);
+  const LinkModel model(params);
+  SiftCount total;
+  for (int i = 0; i < 5; ++i) {
+    const SiftCount c = reference_sift(link.run_frame(500000));
+    total.sifted += c.sifted;
+    total.errors += c.errors;
+  }
+  EXPECT_NEAR(total.qber(), model.expected_qber(),
+              0.25 * model.expected_qber() + 0.005);
+}
+
+TEST(WeakCoherentLink, BasisChoicesAreBalanced) {
+  WeakCoherentLink link(LinkParams{}, 11);
+  const FrameResult frame = link.run_frame(100000);
+  const double alice_ones =
+      static_cast<double>(frame.alice.bases.popcount()) / frame.alice.size();
+  const double bob_ones =
+      static_cast<double>(frame.bob.bases.popcount()) / frame.bob.size();
+  EXPECT_NEAR(alice_ones, 0.5, 0.01);
+  EXPECT_NEAR(bob_ones, 0.5, 0.01);
+}
+
+TEST(WeakCoherentLink, DarkCountsDominateAtExtremeRange) {
+  LinkParams params;
+  params.fiber_km = 150.0;  // far beyond the ~70 km limit
+  WeakCoherentLink link(params, 13);
+  link.run_frame(2000000);
+  const auto& stats = link.stats();
+  ASSERT_GT(stats.detections, 0u);
+  EXPECT_GT(static_cast<double>(stats.dark_only_clicks) /
+                static_cast<double>(stats.detections),
+            0.8);
+}
+
+TEST(WeakCoherentLink, MisframingLosesSlots) {
+  LinkParams params;
+  params.misframe_prob = 0.5;
+  WeakCoherentLink lossy(params, 15);
+  WeakCoherentLink clean(LinkParams{}, 15);
+  lossy.run_frame(500000);
+  clean.run_frame(500000);
+  EXPECT_NEAR(static_cast<double>(lossy.stats().misframed_slots), 250000, 2500);
+  EXPECT_LT(lossy.stats().detections, clean.stats().detections);
+}
+
+TEST(WeakCoherentLink, AfterpulsingInflatesClickCount) {
+  LinkParams noisy;
+  noisy.afterpulse_prob = 0.5;
+  noisy.dark_count_prob = 1e-3;  // enough triggers for afterpulses to matter
+  LinkParams quiet = noisy;
+  quiet.afterpulse_prob = 0.0;
+  WeakCoherentLink a(noisy, 17), b(quiet, 17);
+  a.run_frame(300000);
+  b.run_frame(300000);
+  EXPECT_GT(a.stats().detections + 2 * a.stats().double_clicks,
+            b.stats().detections + 2 * b.stats().double_clicks);
+}
+
+TEST(WeakCoherentLink, RejectsInvalidParams) {
+  LinkParams bad;
+  bad.detector_efficiency = 1.5;
+  EXPECT_THROW(WeakCoherentLink(bad, 1), std::invalid_argument);
+  bad = LinkParams{};
+  bad.interferometer_visibility = -0.1;
+  EXPECT_THROW(WeakCoherentLink(bad, 1), std::invalid_argument);
+  bad = LinkParams{};
+  bad.mean_photon_number = -1;
+  EXPECT_THROW(WeakCoherentLink(bad, 1), std::invalid_argument);
+}
+
+TEST(WeakCoherentLink, FrameDurationFollowsTriggerRate) {
+  LinkParams params;
+  params.pulse_rate_hz = 1e6;
+  WeakCoherentLink link(params, 19);
+  EXPECT_DOUBLE_EQ(link.frame_duration_s(1000000), 1.0);
+  EXPECT_DOUBLE_EQ(link.frame_duration_s(500000), 0.5);
+}
+
+TEST(LinkModel, MaxRangeNearSeventyKm) {
+  // Sec. 1: "distances up to about 70 km through fiber". The default
+  // calibration must collapse (QBER > 11 %) in the 55-90 km window.
+  const LinkModel model{LinkParams{}};
+  const double range = model.max_range_km();
+  EXPECT_GT(range, 55.0);
+  EXPECT_LT(range, 90.0);
+}
+
+TEST(LinkModel, RangeIsZeroWhenFloorExceedsThreshold) {
+  LinkParams params;
+  params.interferometer_visibility = 0.5;  // 25 % intrinsic error floor
+  EXPECT_DOUBLE_EQ(LinkModel(params).max_range_km(), 0.0);
+}
+
+TEST(LinkModel, PaperSiftingExample) {
+  // Sec. 5 worked example: 1 % detection probability and zero noise means
+  // 1 sifted bit per 200 transmitted: "A transmitted stream of 1,000 bits
+  // therefore would boil down to about 5 sifted bits."
+  LinkParams params;
+  params.dark_count_prob = 0.0;
+  params.interferometer_visibility = 1.0;
+  // Tune losses so P(single click) is ~1 %.
+  params.mean_photon_number = 0.1;
+  params.fiber_km = 0.0;
+  params.insertion_loss_db = 0.0;
+  params.central_peak_fraction = 0.5;
+  params.detector_efficiency = 0.2012;  // lambda ~ 0.01006 -> p ~ 1.0 %
+  const LinkModel model(params);
+  EXPECT_NEAR(model.p_single_click(), 0.01, 0.0005);
+  EXPECT_NEAR(model.sift_fraction() * 1000.0, 5.0, 0.3);  // ~5 per 1000
+}
+
+TEST(LinkModel, SiftedRateScalesWithPulseRate) {
+  LinkParams params;
+  const LinkModel at_1mhz(params);
+  params.pulse_rate_hz = 5e6;  // the hardware's 5 MHz max trigger rate
+  const LinkModel at_5mhz(params);
+  EXPECT_NEAR(at_5mhz.sifted_rate_bps() / at_1mhz.sifted_rate_bps(), 5.0,
+              1e-9);
+}
+
+TEST(LinkModel, QberRisesMonotonicallyWithDistance) {
+  LinkParams params;
+  double prev = 0.0;
+  for (double km : {0.0, 10.0, 30.0, 50.0, 70.0, 90.0}) {
+    params.fiber_km = km;
+    const double q = LinkModel(params).expected_qber();
+    EXPECT_GE(q, prev) << km;
+    prev = q;
+  }
+  EXPECT_GT(prev, 0.11);  // beyond range at 90 km
+}
+
+}  // namespace
+}  // namespace qkd::optics

@@ -1,0 +1,153 @@
+#include "src/qkd/authentication.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::proto {
+namespace {
+
+struct Pair {
+  AuthenticationService alice;
+  AuthenticationService bob;
+};
+
+Pair make_pair(std::size_t extra_pad_bits = 8192,
+               AuthenticationService::Config config = {}) {
+  qkd::Rng rng(42);
+  const auto secret = rng.next_bits(
+      AuthenticationService::required_secret_bits(config) + extra_pad_bits);
+  return Pair{AuthenticationService(config, secret, true),
+              AuthenticationService(config, secret, false)};
+}
+
+TEST(Authentication, ProtectVerifyRoundTrip) {
+  Pair p = make_pair();
+  const Bytes msg = {'s', 'i', 'f', 't', '!'};
+  const auto framed = p.alice.protect(msg);
+  ASSERT_TRUE(framed.has_value());
+  const auto verified = p.bob.verify(*framed);
+  ASSERT_TRUE(verified.has_value());
+  EXPECT_EQ(*verified, msg);
+}
+
+TEST(Authentication, BothDirectionsWork) {
+  Pair p = make_pair();
+  const Bytes a2b = {1}, b2a = {2};
+  const auto f1 = p.alice.protect(a2b);
+  const auto f2 = p.bob.protect(b2a);
+  ASSERT_TRUE(f1 && f2);
+  EXPECT_EQ(p.bob.verify(*f1), a2b);
+  EXPECT_EQ(p.alice.verify(*f2), b2a);
+}
+
+TEST(Authentication, TamperedPayloadRejected) {
+  Pair p = make_pair();
+  auto framed = p.alice.protect(Bytes{9, 9, 9});
+  ASSERT_TRUE(framed.has_value());
+  (*framed)[10] ^= 0x01;  // flip a payload bit
+  EXPECT_FALSE(p.bob.verify(*framed).has_value());
+  EXPECT_EQ(p.bob.stats().rejected, 1u);
+}
+
+TEST(Authentication, TamperedTagRejected) {
+  Pair p = make_pair();
+  auto framed = p.alice.protect(Bytes{1, 2, 3});
+  ASSERT_TRUE(framed.has_value());
+  framed->back() ^= 0x80;
+  EXPECT_FALSE(p.bob.verify(*framed).has_value());
+}
+
+TEST(Authentication, ReplayRejected) {
+  Pair p = make_pair();
+  const auto framed = p.alice.protect(Bytes{5});
+  ASSERT_TRUE(framed.has_value());
+  ASSERT_TRUE(p.bob.verify(*framed).has_value());
+  EXPECT_FALSE(p.bob.verify(*framed).has_value());  // replayed frame
+}
+
+TEST(Authentication, ReflectionRejected) {
+  // A frame Alice sent must not verify at Alice (direction separation).
+  Pair p = make_pair();
+  const auto framed = p.alice.protect(Bytes{7});
+  ASSERT_TRUE(framed.has_value());
+  EXPECT_FALSE(p.alice.verify(*framed).has_value());
+}
+
+TEST(Authentication, TruncatedFrameRejected) {
+  Pair p = make_pair();
+  EXPECT_FALSE(p.bob.verify(Bytes{1, 2, 3}).has_value());
+}
+
+TEST(Authentication, ExhaustionStallsThenReplenishmentRestores) {
+  AuthenticationService::Config config;
+  config.tag_bits = 64;
+  // required_secret_bits already includes one tag of pad per direction; the
+  // extra 4*64 split across two directions adds two more: three tags total.
+  Pair p = make_pair(4 * 64, config);
+  const Bytes msg = {1};
+  // Each round trip costs one send-pad tag at Alice and one recv-pad tag at
+  // Bob; three round trips exhaust the initial pads.
+  for (int i = 0; i < 3; ++i) {
+    const auto framed = p.alice.protect(msg);
+    ASSERT_TRUE(framed.has_value()) << i;
+    ASSERT_TRUE(p.bob.verify(*framed).has_value()) << i;
+  }
+  EXPECT_FALSE(p.alice.protect(msg).has_value());
+  EXPECT_EQ(p.alice.stats().stalls, 1u);
+
+  // Replenish both sides with the same distilled bits; traffic resumes and
+  // the pads pair correctly across the direction split.
+  qkd::Rng rng(7);
+  const auto fresh = rng.next_bits(512);
+  p.alice.replenish(fresh);
+  p.bob.replenish(fresh);
+  const auto framed = p.alice.protect(msg);
+  ASSERT_TRUE(framed.has_value());
+  EXPECT_TRUE(p.bob.verify(*framed).has_value());
+  const auto reverse = p.bob.protect(msg);
+  ASSERT_TRUE(reverse.has_value());
+  EXPECT_TRUE(p.alice.verify(*reverse).has_value());
+}
+
+TEST(Authentication, NeedsReplenishmentSignal) {
+  AuthenticationService::Config config;
+  config.low_water_bits = 1 << 20;  // absurdly high: always below water
+  Pair p = make_pair(8192, config);
+  EXPECT_TRUE(p.alice.needs_replenishment());
+}
+
+TEST(Authentication, PadAccountingAddsUp) {
+  Pair p = make_pair();
+  const std::size_t before = p.alice.pad_bits_available();
+  const auto framed = p.alice.protect(Bytes{1, 2});
+  ASSERT_TRUE(framed.has_value());
+  EXPECT_EQ(p.alice.pad_bits_available(), before - 64);
+  EXPECT_EQ(p.alice.pad_bits_consumed(), 64u);
+}
+
+TEST(Authentication, RejectsTinySecret) {
+  AuthenticationService::Config config;
+  qkd::Rng rng(1);
+  EXPECT_THROW(
+      AuthenticationService(config, rng.next_bits(100), true),
+      std::invalid_argument);
+}
+
+TEST(Authentication, SequencedStreamSurvivesManyMessages) {
+  Pair p = make_pair(1 << 16);
+  for (int i = 0; i < 100; ++i) {
+    const Bytes msg(static_cast<std::size_t>(i % 37 + 1),
+                    static_cast<std::uint8_t>(i));
+    const auto framed = p.alice.protect(msg);
+    ASSERT_TRUE(framed.has_value()) << i;
+    const auto verified = p.bob.verify(*framed);
+    ASSERT_TRUE(verified.has_value()) << i;
+    EXPECT_EQ(*verified, msg);
+  }
+  EXPECT_EQ(p.bob.stats().verified, 100u);
+  EXPECT_EQ(p.bob.stats().rejected, 0u);
+}
+
+}  // namespace
+}  // namespace qkd::proto

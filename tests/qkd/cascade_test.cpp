@@ -1,0 +1,225 @@
+// Error-correction strategy tests: the BBN LFSR-subset Cascade variant, the
+// classic Brassard-Salvail Cascade baseline, and the naive parity baseline.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.hpp"
+#include "src/qkd/cascade_bbn.hpp"
+#include "src/qkd/cascade_classic.hpp"
+#include "src/qkd/parity_ec.hpp"
+
+namespace qkd::proto {
+namespace {
+
+struct Corrupted {
+  qkd::BitVector alice;
+  qkd::BitVector bob;
+  std::size_t errors;
+};
+
+Corrupted make_corrupted(std::size_t n, double error_rate, std::uint64_t seed) {
+  qkd::Rng rng(seed);
+  Corrupted c;
+  c.alice = rng.next_bits(n);
+  c.bob = c.alice;
+  c.errors = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (rng.next_bool(error_rate)) {
+      c.bob.flip(i);
+      ++c.errors;
+    }
+  }
+  return c;
+}
+
+// ---------------------------------------------------------------- BBN -----
+
+using CascadeSweepParam = std::tuple<std::size_t /*n*/, double /*error rate*/>;
+
+class BbnCascadeSweep : public ::testing::TestWithParam<CascadeSweepParam> {};
+
+TEST_P(BbnCascadeSweep, CorrectsAllErrors) {
+  const auto [n, rate] = GetParam();
+  Corrupted c = make_corrupted(n, rate, 1000 + n);
+  LocalParityOracle oracle(c.alice);
+  const EcStats stats = bbn_cascade_correct(c.bob, oracle);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(c.bob, c.alice) << "n=" << n << " rate=" << rate;
+  EXPECT_EQ(stats.parity_queries, oracle.disclosed());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRates, BbnCascadeSweep,
+    ::testing::Combine(::testing::Values(64, 500, 1000, 4000),
+                       ::testing::Values(0.0, 0.01, 0.03, 0.07, 0.11)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_rate" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 1000));
+    });
+
+TEST(BbnCascade, NoErrorsDisclosesOnlySubsetParities) {
+  // Adaptivity claim (Sec. 5): "it will not disclose too many bits if the
+  // number of errors is low". With zero errors the cost is exactly one
+  // clean round of subset parities.
+  Corrupted c = make_corrupted(2000, 0.0, 7);
+  LocalParityOracle oracle(c.alice);
+  const BbnCascadeConfig config;
+  const EcStats stats = bbn_cascade_correct(c.bob, oracle, config);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(stats.parity_queries, config.subsets_per_round);
+  EXPECT_EQ(stats.corrections, 0u);
+}
+
+TEST(BbnCascade, DisclosureGrowsWithErrorRate) {
+  std::size_t prev = 0;
+  for (double rate : {0.01, 0.05, 0.10}) {
+    Corrupted c = make_corrupted(4000, rate, 11);
+    LocalParityOracle oracle(c.alice);
+    const EcStats stats = bbn_cascade_correct(c.bob, oracle);
+    EXPECT_TRUE(stats.converged);
+    EXPECT_GT(stats.parity_queries, prev);
+    prev = stats.parity_queries;
+  }
+}
+
+TEST(BbnCascade, HandlesBurstWellAboveHistoricalAverage) {
+  // "it will accurately detect and correct a large number of errors (up to
+  // some limit) even if that number is well above the historical average."
+  qkd::Rng rng(13);
+  Corrupted c;
+  c.alice = rng.next_bits(1000);
+  c.bob = c.alice;
+  for (std::size_t i = 100; i < 150; ++i) c.bob.flip(i);  // dense burst
+  LocalParityOracle oracle(c.alice);
+  const EcStats stats = bbn_cascade_correct(c.bob, oracle);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(c.bob, c.alice);
+  EXPECT_EQ(stats.corrections, 50u);
+}
+
+TEST(BbnCascade, EmptyInputConverges) {
+  qkd::BitVector empty;
+  LocalParityOracle oracle(empty);
+  EXPECT_TRUE(bbn_cascade_correct(empty, oracle).converged);
+}
+
+TEST(BbnCascade, SingleBitString) {
+  qkd::BitVector alice{1};
+  qkd::BitVector bob{0};
+  LocalParityOracle oracle(alice);
+  const EcStats stats = bbn_cascade_correct(bob, oracle);
+  EXPECT_TRUE(stats.converged);
+  EXPECT_EQ(bob, alice);
+  EXPECT_EQ(stats.corrections, 1u);
+}
+
+// ------------------------------------------------------------ classic -----
+
+class ClassicCascadeSweep : public ::testing::TestWithParam<CascadeSweepParam> {
+};
+
+TEST_P(ClassicCascadeSweep, CorrectsAllErrors) {
+  const auto [n, rate] = GetParam();
+  Corrupted c = make_corrupted(n, rate, 2000 + n);
+  LocalParityOracle oracle(c.alice);
+  const EcStats stats =
+      classic_cascade_correct(c.bob, oracle, std::max(rate, 0.01));
+  EXPECT_TRUE(stats.converged);
+  // Classic cascade with 4 passes corrects essentially everything at these
+  // rates; require exact equality (the standard benchmark result).
+  EXPECT_EQ(c.bob, c.alice) << "n=" << n << " rate=" << rate;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndRates, ClassicCascadeSweep,
+    ::testing::Combine(::testing::Values(64, 500, 1000, 4000),
+                       ::testing::Values(0.0, 0.01, 0.03, 0.07)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_rate" +
+             std::to_string(static_cast<int>(std::get<1>(info.param) * 1000));
+    });
+
+TEST(ClassicCascade, BlockSizeAdaptsToQberEstimate) {
+  // A lower estimated QBER means larger first-pass blocks and fewer parity
+  // disclosures when the string is in fact clean.
+  Corrupted clean = make_corrupted(4000, 0.0, 17);
+  LocalParityOracle low_oracle(clean.alice);
+  qkd::BitVector bob_low = clean.bob;
+  const EcStats low = classic_cascade_correct(bob_low, low_oracle, 0.01);
+
+  LocalParityOracle high_oracle(clean.alice);
+  qkd::BitVector bob_high = clean.bob;
+  const EcStats high = classic_cascade_correct(bob_high, high_oracle, 0.10);
+
+  EXPECT_LT(low.parity_queries, high.parity_queries);
+}
+
+TEST(ClassicCascade, EmptyInputConverges) {
+  qkd::BitVector empty;
+  LocalParityOracle oracle(empty);
+  EXPECT_TRUE(classic_cascade_correct(empty, oracle, 0.03).converged);
+}
+
+// -------------------------------------------------------------- naive -----
+
+TEST(NaiveParity, FixesIsolatedSingleErrors) {
+  qkd::Rng rng(19);
+  qkd::BitVector alice = rng.next_bits(1024);
+  qkd::BitVector bob = alice;
+  bob.flip(100);
+  LocalParityOracle oracle(alice);
+  const EcStats stats = naive_parity_correct(bob, oracle);
+  EXPECT_EQ(bob, alice);
+  EXPECT_EQ(stats.corrections, 1u);
+}
+
+TEST(NaiveParity, LeavesResidualErrorsAtHighRates) {
+  // One pass of block parities misses even-error blocks; at 7 % QBER over
+  // 4k bits some residuals are essentially certain. This is the failure
+  // mode that motivates Cascade (bench E5 quantifies it).
+  Corrupted c = make_corrupted(4096, 0.07, 23);
+  LocalParityOracle oracle(c.alice);
+  const EcStats stats = naive_parity_correct(c.bob, oracle);
+  EXPECT_FALSE(stats.converged);  // protocol cannot certify equality
+  EXPECT_GT(c.alice.hamming_distance(c.bob), 0u);
+  EXPECT_LT(c.alice.hamming_distance(c.bob), 290u);  // but most got fixed
+}
+
+TEST(NaiveParity, DisclosesRoughlyOneBitPerBlock) {
+  Corrupted c = make_corrupted(4096, 0.0, 29);
+  LocalParityOracle oracle(c.alice);
+  NaiveParityConfig config;
+  config.block_size = 64;
+  const EcStats stats = naive_parity_correct(c.bob, oracle, config);
+  EXPECT_EQ(stats.parity_queries, 4096u / 64u);
+}
+
+// ------------------------------------------------- comparative checks -----
+
+TEST(ErrorCorrectionComparison, BbnAndClassicBothConvergeNaiveDoesNot) {
+  const double rate = 0.06;
+  Corrupted base = make_corrupted(4096, rate, 31);
+
+  qkd::BitVector bbn_bob = base.bob;
+  LocalParityOracle bbn_oracle(base.alice);
+  const EcStats bbn = bbn_cascade_correct(bbn_bob, bbn_oracle);
+
+  qkd::BitVector classic_bob = base.bob;
+  LocalParityOracle classic_oracle(base.alice);
+  const EcStats classic =
+      classic_cascade_correct(classic_bob, classic_oracle, rate);
+
+  qkd::BitVector naive_bob = base.bob;
+  LocalParityOracle naive_oracle(base.alice);
+  naive_parity_correct(naive_bob, naive_oracle);
+
+  EXPECT_EQ(bbn_bob, base.alice);
+  EXPECT_EQ(classic_bob, base.alice);
+  EXPECT_TRUE(bbn.converged);
+  EXPECT_TRUE(classic.converged);
+  EXPECT_GT(naive_bob.hamming_distance(base.alice), 0u);
+}
+
+}  // namespace
+}  // namespace qkd::proto

@@ -1,0 +1,207 @@
+#include "src/qkd/entropy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace qkd::proto {
+namespace {
+
+TEST(BennettDefense, LinearInErrors) {
+  const auto d1 = bennett_defense(100);
+  const auto d2 = bennett_defense(200);
+  EXPECT_NEAR(d1.t, 2.0 * std::sqrt(2.0) * 100.0, 1e-9);
+  EXPECT_NEAR(d2.t, 2.0 * d1.t, 1e-9);
+}
+
+TEST(BennettDefense, SigmaGrowsAsSqrt) {
+  const auto d1 = bennett_defense(100);
+  const auto d4 = bennett_defense(400);
+  EXPECT_NEAR(d4.sigma / d1.sigma, 2.0, 1e-9);
+  EXPECT_NEAR(d1.sigma, std::sqrt((4.0 + 2.0 * std::sqrt(2.0)) * 100.0), 1e-9);
+}
+
+TEST(BennettDefense, ZeroErrorsZeroLeakage) {
+  const auto d = bennett_defense(0);
+  EXPECT_DOUBLE_EQ(d.t, 0.0);
+  EXPECT_DOUBLE_EQ(d.sigma, 0.0);
+}
+
+TEST(SlutskyDefense, ZeroAtZeroErrors) {
+  const auto d = slutsky_defense(10000, 0);
+  EXPECT_NEAR(d.t, 0.0, 1e-9);
+}
+
+TEST(SlutskyDefense, SaturatesAtOneThird) {
+  // The defense frontier reaches full information at e' = 1/3.
+  const auto d = slutsky_defense(9000, 3000);
+  EXPECT_NEAR(d.t, 9000.0, 1.0);
+  const auto beyond = slutsky_defense(9000, 4000);
+  EXPECT_NEAR(beyond.t, 9000.0, 1e-9);
+}
+
+TEST(SlutskyDefense, MonotoneInErrorRatio) {
+  double prev = -1.0;
+  for (std::size_t e : {0u, 100u, 300u, 600u, 1000u, 2000u, 3000u}) {
+    const auto d = slutsky_defense(10000, e);
+    EXPECT_GE(d.t, prev) << e;
+    prev = d.t;
+  }
+}
+
+TEST(SlutskyDefense, PerBitValueMatchesClosedForm) {
+  // t' at e' = 0.05: 1 + log2(1 - 0.5*((1-0.15)/(0.95))^2).
+  const std::size_t b = 100000, e = 5000;
+  const double ep = 0.05;
+  const double frontier = (1.0 - 3.0 * ep) / (1.0 - ep);
+  const double expected = 1.0 + std::log2(1.0 - 0.5 * frontier * frontier);
+  const auto d = slutsky_defense(b, e);
+  EXPECT_NEAR(d.t / static_cast<double>(b), expected, 1e-9);
+}
+
+TEST(SlutskyDefense, EmptyBlockIsZero) {
+  const auto d = slutsky_defense(0, 0);
+  EXPECT_DOUBLE_EQ(d.t, 0.0);
+  EXPECT_DOUBLE_EQ(d.sigma, 0.0);
+}
+
+TEST(SlutskyVsBennett, SlutskyIsMoreConservativeAtModerateQber) {
+  // The paper observes Slutsky "may be asymptotically correct" but "overly
+  // conservative for finite-length blocks" — it charges more than Bennett
+  // in the operating regime (e.g. 7 % QBER).
+  const std::size_t b = 10000, e = 700;
+  EXPECT_GT(slutsky_defense(b, e).t, bennett_defense(e).t);
+}
+
+TEST(MultiPhoton, MatchesPoissonTail) {
+  EXPECT_NEAR(multi_photon_probability(0.1),
+              1.0 - std::exp(-0.1) * 1.1, 1e-12);
+  EXPECT_DOUBLE_EQ(multi_photon_probability(0.0), 0.0);
+  EXPECT_THROW(multi_photon_probability(-0.5), std::invalid_argument);
+}
+
+TEST(EntropyEstimate, CleanChannelYieldsMostOfTheBits) {
+  EntropyInputs in;
+  in.sifted_bits = 10000;
+  in.error_bits = 0;
+  in.transmitted_pulses = 100000;  // low mu keeps multi-photon cost small
+  in.disclosed_bits = 64;
+  in.mean_photon_number = 0.01;
+  in.defense = DefenseFunction::kSlutsky;
+  const auto est = estimate_entropy(in);
+  EXPECT_GT(est.distillable_bits, 9000.0);
+  EXPECT_LT(est.distillable_bits, 10000.0 - 64.0 + 1.0);
+}
+
+TEST(EntropyEstimate, DisclosureSubtractsExactly) {
+  EntropyInputs in;
+  in.sifted_bits = 5000;
+  in.error_bits = 0;
+  in.transmitted_pulses = 0;
+  in.mean_photon_number = 0.0;
+  in.disclosed_bits = 0;
+  const double base = estimate_entropy(in).distillable_bits;
+  in.disclosed_bits = 500;
+  EXPECT_NEAR(base - estimate_entropy(in).distillable_bits, 500.0, 1e-9);
+}
+
+TEST(EntropyEstimate, WorstCasePnsBoundKillsTheKeyAtPaperOperatingPoint) {
+  // Sec. 6: weak-coherent worst-case leakage ~ transmitted * P[N>=2]. At
+  // mu = 0.1 with ~1M transmitted pulses per ~1.5k sifted bits, the charge
+  // exceeds the sifted bits entirely: zero distillable key. This is the
+  // pre-decoy-state PNS vulnerability that motivates the entangled link.
+  EntropyInputs in;
+  in.sifted_bits = 1500;
+  in.error_bits = 100;
+  in.transmitted_pulses = 1000000;
+  in.mean_photon_number = 0.1;
+  in.defense = DefenseFunction::kBennett;
+  in.multi_photon_policy = MultiPhotonPolicy::kTransmittedWorstCase;
+  const auto worst = estimate_entropy(in);
+  EXPECT_DOUBLE_EQ(worst.distillable_bits, 0.0);
+
+  // The practical beamsplitting accounting leaves usable key.
+  in.multi_photon_policy = MultiPhotonPolicy::kReceivedConditional;
+  const auto practical = estimate_entropy(in);
+  EXPECT_GT(practical.distillable_bits, 500.0);
+}
+
+TEST(EntropyEstimate, EntangledLinkChargesReceivedTimesMultiPhoton) {
+  // Sec. 6: "With an entangled-photon link, by contrast, the amount of
+  // information Eve may obtain is only proportional to the number of
+  // received bits times the multi-photon probability."
+  EntropyInputs in;
+  in.sifted_bits = 5000;
+  in.error_bits = 250;
+  in.transmitted_pulses = 1000000;
+  in.mean_photon_number = 0.1;
+  in.defense = DefenseFunction::kBennett;
+  in.multi_photon_policy = MultiPhotonPolicy::kTransmittedWorstCase;
+
+  in.link_kind = LinkKind::kWeakCoherent;
+  const auto weak = estimate_entropy(in);
+  in.link_kind = LinkKind::kEntangled;
+  const auto entangled = estimate_entropy(in);
+
+  EXPECT_GT(weak.multi_photon.t, 100.0 * entangled.multi_photon.t);
+  EXPECT_GT(entangled.distillable_bits, weak.distillable_bits);
+  EXPECT_NEAR(entangled.multi_photon.t,
+              5000.0 * multi_photon_probability(0.1), 1e-9);
+}
+
+TEST(EntropyEstimate, HighQberExhaustsEntropy) {
+  EntropyInputs in;
+  in.sifted_bits = 1000;
+  in.error_bits = 300;  // ~1/3: Slutsky says Eve may know everything
+  in.transmitted_pulses = 100000;
+  const auto est = estimate_entropy(in);
+  EXPECT_DOUBLE_EQ(est.distillable_bits, 0.0);
+}
+
+TEST(EntropyEstimate, ConfidenceParameterWidensMargin) {
+  EntropyInputs in;
+  in.sifted_bits = 10000;
+  in.error_bits = 400;
+  in.transmitted_pulses = 2000000;
+  in.confidence = 1.0;
+  const auto narrow = estimate_entropy(in);
+  in.confidence = 5.0;
+  const auto wide = estimate_entropy(in);
+  EXPECT_NEAR(wide.margin, 5.0 * narrow.margin, 1e-9);
+  EXPECT_LT(wide.distillable_bits, narrow.distillable_bits);
+}
+
+TEST(EntropyEstimate, NonRandomnessSubtracts) {
+  EntropyInputs in;
+  in.sifted_bits = 2000;
+  in.transmitted_pulses = 0;
+  in.mean_photon_number = 0.0;
+  const double base = estimate_entropy(in).distillable_bits;
+  in.non_randomness = 100.0;
+  EXPECT_NEAR(base - estimate_entropy(in).distillable_bits, 100.0, 1e-9);
+}
+
+TEST(EntropyEstimate, RejectsMoreErrorsThanBits) {
+  EntropyInputs in;
+  in.sifted_bits = 10;
+  in.error_bits = 11;
+  EXPECT_THROW(estimate_entropy(in), std::invalid_argument);
+}
+
+TEST(EntropyEstimate, BennettAndSlutskyDivergeAsPaperClaims) {
+  // "Neither appears to be completely accurate" — Bennett under-charges at
+  // low error rates relative to Slutsky's conservative bound; the two must
+  // produce materially different distillable counts at 3 % QBER.
+  EntropyInputs in;
+  in.sifted_bits = 20000;
+  in.error_bits = 1000;
+  in.transmitted_pulses = 4000000;
+  in.defense = DefenseFunction::kBennett;
+  const auto bennett = estimate_entropy(in);
+  in.defense = DefenseFunction::kSlutsky;
+  const auto slutsky = estimate_entropy(in);
+  EXPECT_GT(bennett.distillable_bits, slutsky.distillable_bits * 1.1);
+}
+
+}  // namespace
+}  // namespace qkd::proto

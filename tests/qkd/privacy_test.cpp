@@ -1,0 +1,146 @@
+#include "src/qkd/privacy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::proto {
+namespace {
+
+TEST(PaParams, RoundUpTo32) {
+  EXPECT_EQ(round_up_to_32(1), 32u);
+  EXPECT_EQ(round_up_to_32(32), 32u);
+  EXPECT_EQ(round_up_to_32(33), 64u);
+  EXPECT_EQ(round_up_to_32(1000), 1024u);
+}
+
+TEST(PaParams, MakeChoosesAnnouncedShape) {
+  qkd::crypto::Drbg drbg(1u);
+  const PaParams p = make_pa_params(1000, 700, drbg);
+  EXPECT_EQ(p.n, 1024u);
+  EXPECT_EQ(p.m, 700u);
+  EXPECT_EQ(p.modulus.degree(), 1024u);
+  EXPECT_EQ(p.multiplier.size(), 1024u);
+  EXPECT_EQ(p.addend.size(), 700u);
+}
+
+TEST(PaParams, SerializationRoundTrips) {
+  qkd::crypto::Drbg drbg(2u);
+  const PaParams p = make_pa_params(500, 300, drbg);
+  const PaParams back = PaParams::deserialize(p.serialize());
+  EXPECT_EQ(back.n, p.n);
+  EXPECT_EQ(back.m, p.m);
+  EXPECT_EQ(back.modulus, p.modulus);
+  EXPECT_EQ(back.multiplier, p.multiplier);
+  EXPECT_EQ(back.addend, p.addend);
+}
+
+TEST(PaParams, DeserializeRejectsGarbage) {
+  EXPECT_THROW(PaParams::deserialize(Bytes{1, 2}), std::invalid_argument);
+  qkd::crypto::Drbg drbg(3u);
+  Bytes wire = make_pa_params(100, 50, drbg).serialize();
+  wire[0] ^= 0xff;  // corrupt n
+  EXPECT_THROW(PaParams::deserialize(wire), std::invalid_argument);
+}
+
+TEST(PaParams, RejectsExpansion) {
+  qkd::crypto::Drbg drbg(4u);
+  EXPECT_THROW(make_pa_params(100, 101, drbg), std::invalid_argument);
+  EXPECT_THROW(make_pa_params(0, 0, drbg), std::invalid_argument);
+}
+
+TEST(PrivacyAmplify, IdenticalInputsYieldIdenticalOutputs) {
+  qkd::Rng rng(5);
+  qkd::crypto::Drbg drbg(5u);
+  for (std::size_t n : {33u, 500u, 1000u, 4000u}) {
+    const auto input = rng.next_bits(n);
+    const PaParams p = make_pa_params(n, n / 2, drbg);
+    EXPECT_EQ(privacy_amplify(input, p), privacy_amplify(input, p));
+  }
+}
+
+TEST(PrivacyAmplify, OutputHasRequestedLength) {
+  qkd::Rng rng(6);
+  qkd::crypto::Drbg drbg(6u);
+  const auto input = rng.next_bits(777);
+  const PaParams p = make_pa_params(777, 123, drbg);
+  EXPECT_EQ(privacy_amplify(input, p).size(), 123u);
+}
+
+TEST(PrivacyAmplify, SingleBitInputDifferenceAvalanche) {
+  // A one-bit input difference must produce an unpredictable output
+  // difference — roughly half the output bits flip on average.
+  qkd::Rng rng(7);
+  qkd::crypto::Drbg drbg(7u);
+  const std::size_t n = 2048, m = 1024;
+  double total_flips = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    const PaParams p = make_pa_params(n, m, drbg);
+    const auto a = rng.next_bits(n);
+    auto b = a;
+    b.flip(rng.next_below(n));
+    total_flips += static_cast<double>(
+        privacy_amplify(a, p).hamming_distance(privacy_amplify(b, p)));
+  }
+  const double mean_flips = total_flips / trials;
+  EXPECT_GT(mean_flips, 0.4 * m);
+  EXPECT_LT(mean_flips, 0.6 * m);
+}
+
+TEST(PrivacyAmplify, DifferentMultipliersDecorrelateOutputs) {
+  qkd::Rng rng(8);
+  qkd::crypto::Drbg drbg(8u);
+  const auto input = rng.next_bits(512);
+  const PaParams p1 = make_pa_params(512, 256, drbg);
+  const PaParams p2 = make_pa_params(512, 256, drbg);
+  const auto o1 = privacy_amplify(input, p1);
+  const auto o2 = privacy_amplify(input, p2);
+  const double flips = static_cast<double>(o1.hamming_distance(o2));
+  EXPECT_GT(flips, 0.3 * 256);
+}
+
+TEST(PrivacyAmplify, IsLinearOverGf2) {
+  // h(x ^ y) ^ h(0) == h(x) ^ h(y): the hash is affine (multiply + add).
+  qkd::Rng rng(9);
+  qkd::crypto::Drbg drbg(9u);
+  const std::size_t n = 256, m = 100;
+  const PaParams p = make_pa_params(n, m, drbg);
+  const auto x = rng.next_bits(n);
+  const auto y = rng.next_bits(n);
+  const auto zero = qkd::BitVector(n);
+  const auto lhs =
+      privacy_amplify(x ^ y, p) ^ privacy_amplify(zero, p);
+  const auto rhs = privacy_amplify(x, p) ^ privacy_amplify(y, p);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(PrivacyAmplify, ShortInputIsZeroPaddedToFieldWidth) {
+  qkd::crypto::Drbg drbg(10u);
+  const PaParams p = make_pa_params(40, 20, drbg);  // field width 64
+  qkd::BitVector short_input = qkd::BitVector::from_string("101");
+  EXPECT_NO_THROW(privacy_amplify(short_input, p));
+  qkd::BitVector wide_input(p.n + 1);
+  EXPECT_THROW(privacy_amplify(wide_input, p), std::invalid_argument);
+}
+
+TEST(PrivacyAmplify, CollisionRateIsUniversal) {
+  // For random multipliers, two fixed distinct inputs collide with
+  // probability ~ 2^-m. With m = 8 expect ~ trials/256 collisions.
+  qkd::Rng rng(11);
+  qkd::crypto::Drbg drbg(11u);
+  const std::size_t n = 64;
+  const auto x = rng.next_bits(n);
+  auto y = x;
+  y.flip(3);
+  int collisions = 0;
+  const int trials = 2000;
+  for (int t = 0; t < trials; ++t) {
+    const PaParams p = make_pa_params(n, 8, drbg);
+    collisions += privacy_amplify(x, p) == privacy_amplify(y, p);
+  }
+  EXPECT_LT(collisions, 30);  // mean ~7.8
+}
+
+}  // namespace
+}  // namespace qkd::proto

@@ -1,0 +1,115 @@
+#include "src/qkd/sifting.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/optics/link.hpp"
+
+namespace qkd::proto {
+namespace {
+
+qkd::optics::FrameResult small_frame(std::uint64_t seed,
+                                     std::size_t slots = 200000) {
+  qkd::optics::WeakCoherentLink link(qkd::optics::LinkParams{}, seed);
+  return link.run_frame(slots);
+}
+
+TEST(Sifting, MessageSerializationRoundTrips) {
+  const auto frame = small_frame(1);
+  const SiftMessage msg = make_sift_message(42, frame.bob);
+  const SiftMessage back = SiftMessage::deserialize(msg.serialize());
+  EXPECT_EQ(back.frame_id, 42u);
+  EXPECT_EQ(back.detected, msg.detected);
+  EXPECT_EQ(back.bob_bases, msg.bob_bases);
+}
+
+TEST(Sifting, ResponseSerializationRoundTrips) {
+  SiftResponse r;
+  r.frame_id = 7;
+  r.keep = qkd::BitVector::from_string("1011001");
+  const SiftResponse back = SiftResponse::deserialize(r.serialize());
+  EXPECT_EQ(back.frame_id, 7u);
+  EXPECT_EQ(back.keep, r.keep);
+}
+
+TEST(Sifting, DeserializeRejectsGarbage) {
+  EXPECT_THROW(SiftMessage::deserialize(Bytes{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW(SiftResponse::deserialize(Bytes{}), std::invalid_argument);
+}
+
+TEST(Sifting, BothSidesAgreeOnSlotIndices) {
+  const auto frame = small_frame(2);
+  const SiftMessage msg = make_sift_message(0, frame.bob);
+  const AliceSiftResult alice = alice_sift(frame.alice, msg);
+  const SiftOutcome bob = bob_apply_response(frame.bob, msg, alice.response);
+  EXPECT_EQ(alice.outcome.slot_indices, bob.slot_indices);
+  EXPECT_EQ(alice.outcome.bits.size(), bob.bits.size());
+}
+
+TEST(Sifting, KeepsOnlyMatchingBasisDetections) {
+  const auto frame = small_frame(3);
+  const SiftMessage msg = make_sift_message(0, frame.bob);
+  const AliceSiftResult alice = alice_sift(frame.alice, msg);
+  for (std::uint32_t slot : alice.outcome.slot_indices) {
+    EXPECT_TRUE(frame.bob.detected.get(slot));
+    EXPECT_EQ(frame.alice.bases.get(slot), frame.bob.bases.get(slot));
+  }
+}
+
+TEST(Sifting, SiftedFractionIsHalfOfDetections) {
+  const auto frame = small_frame(4, 500000);
+  const SiftMessage msg = make_sift_message(0, frame.bob);
+  const AliceSiftResult alice = alice_sift(frame.alice, msg);
+  const double detections =
+      static_cast<double>(frame.bob.detected.popcount());
+  ASSERT_GT(detections, 100);
+  EXPECT_NEAR(static_cast<double>(alice.outcome.bits.size()) / detections,
+              0.5, 0.08);
+}
+
+TEST(Sifting, SiftedBitsMostlyAgree) {
+  // At the paper's operating point the sifted strings differ only by the
+  // 6-8 % QBER.
+  const auto frame = small_frame(5, 500000);
+  const SiftMessage msg = make_sift_message(0, frame.bob);
+  const AliceSiftResult alice = alice_sift(frame.alice, msg);
+  const SiftOutcome bob = bob_apply_response(frame.bob, msg, alice.response);
+  ASSERT_GT(alice.outcome.bits.size(), 100u);
+  const double qber =
+      static_cast<double>(alice.outcome.bits.hamming_distance(bob.bits)) /
+      static_cast<double>(alice.outcome.bits.size());
+  EXPECT_GT(qber, 0.02);
+  EXPECT_LT(qber, 0.12);
+}
+
+TEST(Sifting, AliceRejectsWrongFrameSize) {
+  const auto frame = small_frame(6, 10000);
+  SiftMessage msg = make_sift_message(0, frame.bob);
+  msg.detected.resize(5000);
+  EXPECT_THROW(alice_sift(frame.alice, msg), std::invalid_argument);
+}
+
+TEST(Sifting, BobRejectsMismatchedResponse) {
+  const auto frame = small_frame(7, 10000);
+  const SiftMessage msg = make_sift_message(3, frame.bob);
+  SiftResponse bad;
+  bad.frame_id = 3;
+  bad.keep = qkd::BitVector(msg.bob_bases.size() + 1);
+  EXPECT_THROW(bob_apply_response(frame.bob, msg, bad), std::invalid_argument);
+  SiftResponse wrong_frame;
+  wrong_frame.frame_id = 4;
+  wrong_frame.keep = qkd::BitVector(msg.bob_bases.size());
+  EXPECT_THROW(bob_apply_response(frame.bob, msg, wrong_frame),
+               std::invalid_argument);
+}
+
+TEST(Sifting, DeserializeRejectsInconsistentBasisCount) {
+  const auto frame = small_frame(8, 10000);
+  SiftMessage msg = make_sift_message(0, frame.bob);
+  msg.bob_bases.push_back(true);  // one basis too many
+  EXPECT_THROW(SiftMessage::deserialize(msg.serialize()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::proto
