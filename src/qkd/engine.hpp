@@ -45,6 +45,9 @@ enum class AbortReason {
 const char* abort_reason_name(AbortReason reason);
 
 struct QkdLinkConfig {
+  /// Physical-layer calibration: fiber length/loss, mean photon number,
+  /// detector efficiency and dark rate, trigger rate. Defaults model the
+  /// paper's Sec. 4 operating point (10 km, mu = 0.1, 1 MHz, ~6% QBER).
   qkd::optics::LinkParams link;
 
   /// Trigger slots per Qframe batch.
@@ -71,6 +74,8 @@ struct QkdLinkConfig {
   /// reproduction's most interesting negative result). The paper's variant
   /// remains fully implemented and selectable.
   EcStrategy ec_strategy = EcStrategy::kClassicCascade;
+  /// Tuning for whichever corrector `ec_strategy` selects; the other two
+  /// config blocks are carried but unused.
   BbnCascadeConfig bbn_config;
   ClassicCascadeConfig classic_config;
   NaiveParityConfig naive_config;
@@ -80,9 +85,22 @@ struct QkdLinkConfig {
   /// (correctly per its own terms) refuses to distill (bench E6 shows the
   /// crossover).
   DefenseFunction defense = DefenseFunction::kBennett;
+
+  /// Source model assumed by the entropy estimate: weak-coherent pulses
+  /// leak multi-photon information to a PNS attacker; single-photon and
+  /// entangled sources do not.
   LinkKind link_kind = LinkKind::kWeakCoherent;
+
+  /// How the multi-photon deduction t_multiphoton is charged: the
+  /// worst-case policy counts every transmitted multi-photon pulse, the
+  /// kReceivedConditional default counts P[N>=2 | N>=1] over received
+  /// pulses only (bench E8 measures how much this undercharges a PNS Eve).
   MultiPhotonPolicy multi_photon_policy =
       MultiPhotonPolicy::kReceivedConditional;
+
+  /// Confidence multiplier c on the combined deviation
+  /// c * sqrt(s_def^2 + s_multi^2) subtracted by the entropy estimate;
+  /// 5.0 follows the paper's Appendix.
   double confidence = 5.0;
 
   /// Run the Sec. 6 randomness-test battery on the corrected bits and feed
