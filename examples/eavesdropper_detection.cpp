@@ -52,7 +52,7 @@ int main() {
   std::printf("\nTotal distilled: %zu bits; batches aborted by the QBER "
               "alarm: %zu\n",
               session.totals().distilled_bits,
-              session.totals().aborted_qber);
+              session.totals().aborted_qber());
   std::printf("Eve never obtained key material from an accepted batch: the\n"
               "entropy estimate subtracts her maximum possible knowledge\n"
               "before privacy amplification compresses it away.\n");

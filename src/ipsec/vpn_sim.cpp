@@ -1,5 +1,7 @@
 #include "src/ipsec/vpn_sim.hpp"
 
+#include <stdexcept>
+
 namespace qkd::ipsec {
 namespace {
 
@@ -47,6 +49,39 @@ void VpnLinkSimulation::deposit_key_material(const qkd::BitVector& bits,
   }
 }
 
+void VpnLinkSimulation::enable_engine_feed(qkd::proto::QkdLinkConfig proto,
+                                           std::uint64_t seed) {
+  qkd::network::Topology topology;
+  const auto a = topology.add_node(params_.a_name,
+                                   qkd::network::NodeKind::kEndpoint);
+  const auto b = topology.add_node(params_.b_name,
+                                   qkd::network::NodeKind::kEndpoint);
+  topology.add_link(a, b, proto.link);
+  qkd::network::LinkKeyService::Config config;
+  config.proto = proto;
+  config.seed = seed;
+  config.threads = 1;  // one link: no fan-out to schedule
+  feed_ = std::make_unique<qkd::network::LinkKeyService>(topology, config);
+}
+
+void VpnLinkSimulation::set_feed_attack(
+    std::unique_ptr<qkd::optics::Attack> attack) {
+  if (!feed_)
+    throw std::logic_error(
+        "VpnLinkSimulation: set_feed_attack before enable_engine_feed");
+  feed_->set_attack(0, std::move(attack));
+}
+
+void VpnLinkSimulation::run_engine_feed(double dt_seconds) {
+  if (!feed_) return;
+  feed_->advance(dt_seconds);
+  const qkd::BitVector fresh = feed_->drain(0);
+  if (!fresh.empty()) {
+    a_.key_pool().deposit(fresh);
+    b_.key_pool().deposit(fresh);
+  }
+}
+
 void VpnLinkSimulation::start() {
   a_.start(clock_.now());
   pump();
@@ -78,6 +113,7 @@ void VpnLinkSimulation::advance(double seconds) {
     const qkd::SimTime delta = std::min(step, remaining);
     clock_.advance(delta);
     remaining -= delta;
+    run_engine_feed(static_cast<double>(delta) / qkd::kSecond);
     pump();
   }
 }

@@ -1,15 +1,25 @@
 // Paired-gateway VPN simulation harness.
 //
 // Wires two VpnGateways back to back over a net::PublicChannel (with
-// optional Eve impairments), drives both against one SimClock, and mirrors
-// QKD key-material deposits into both pools — the role the QKD protocol
-// engine plays in the full system (Fig. 11). Examples, tests and the E10/E11
-// benches all run on this harness.
+// optional Eve impairments) and drives both against one SimClock. Key
+// material reaches the gateway pools one of two ways:
+//
+//  * deposit_key_material() hand-mirrors a bit string into both pools —
+//    the original harness mode, still used to inject corrupted deposits;
+//  * enable_engine_feed() attaches a real QkdLinkSession (through a
+//    two-node LinkKeyService) whose distilled batches are deposited into
+//    both pools as simulated time advances — the continuously-running
+//    Fig. 11 stack. An Attack on the feed suppresses distillation, making
+//    the Section 7 "IKE starves when Eve suppresses distillation" scenario
+//    runnable end to end.
+//
+// Examples, tests and the E10/E11 benches all run on this harness.
 #pragma once
 
 #include "src/common/sim_clock.hpp"
 #include "src/ipsec/gateway.hpp"
 #include "src/net/channel.hpp"
+#include "src/network/key_service.hpp"
 
 namespace qkd::ipsec {
 
@@ -40,6 +50,22 @@ class VpnLinkSimulation {
   /// two sets of bits are not identical" failure injection.
   void deposit_key_material(const qkd::BitVector& bits, bool corrupt_b = false);
 
+  /// Attaches a real QKD engine between the gateways: a LinkKeyService over
+  /// a two-endpoint topology whose single link runs `proto` (the fiber and
+  /// operating point come from `proto.link`). Every advance() runs the
+  /// distillation the elapsed simulated time allows and deposits accepted
+  /// batches into BOTH gateways' pools — mirrored by the engine's verify
+  /// stage, not by hand.
+  void enable_engine_feed(qkd::proto::QkdLinkConfig proto,
+                          std::uint64_t seed = 1);
+
+  /// Puts Eve on (or removes her from, with nullptr) the feed's quantum
+  /// channel. Requires enable_engine_feed() first.
+  void set_feed_attack(std::unique_ptr<qkd::optics::Attack> attack);
+
+  /// The engine feed, or nullptr when running on manual deposits.
+  qkd::network::LinkKeyService* key_service() { return feed_.get(); }
+
   /// Starts IKE (A initiates Phase 1).
   void start();
 
@@ -51,11 +77,16 @@ class VpnLinkSimulation {
   void advance(double seconds);
 
  private:
+  /// Runs the feed for `dt` simulated seconds and mirrors fresh key into
+  /// both pools. No-op without an engine feed.
+  void run_engine_feed(double dt_seconds);
+
   Params params_;
   qkd::SimClock clock_;
   qkd::net::PublicChannel channel_;
   VpnGateway a_;
   VpnGateway b_;
+  std::unique_ptr<qkd::network::LinkKeyService> feed_;
 };
 
 }  // namespace qkd::ipsec

@@ -1,0 +1,133 @@
+#include "src/network/key_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::network {
+namespace {
+
+/// Spreads link ids into independent session seeds so neighboring links
+/// never share streams (and the derivation is stable regardless of how
+/// many links or threads exist).
+std::uint64_t link_seed(std::uint64_t master, LinkId id) {
+  std::uint64_t state = master + 0x9E3779B97F4A7C15ULL * id;
+  return qkd::splitmix64(state);
+}
+
+}  // namespace
+
+LinkKeyService::LinkKeyService(const Topology& topology, Config config)
+    : threads_(config.threads != 0
+                   ? config.threads
+                   : std::max<std::size_t>(
+                         1, std::min<std::size_t>(
+                                std::thread::hardware_concurrency(), 8))) {
+  links_.reserve(topology.link_count());
+  for (const Link& link : topology.links()) {
+    qkd::proto::QkdLinkConfig proto = config.proto;
+    proto.link = link.optics;
+    LinkState state;
+    state.session = std::make_unique<qkd::proto::QkdLinkSession>(
+        proto, link_seed(config.seed, link.id));
+    state.enabled = link.usable();
+    links_.push_back(std::move(state));
+  }
+}
+
+LinkKeyService::~LinkKeyService() = default;
+
+qkd::proto::QkdLinkSession& LinkKeyService::session(LinkId id) {
+  return *links_.at(id).session;
+}
+
+const qkd::proto::QkdLinkSession& LinkKeyService::session(LinkId id) const {
+  return *links_.at(id).session;
+}
+
+void LinkKeyService::set_attack(LinkId id,
+                                std::unique_ptr<qkd::optics::Attack> attack) {
+  links_.at(id).attack = std::move(attack);
+}
+
+void LinkKeyService::set_link_enabled(LinkId id, bool enabled) {
+  links_.at(id).enabled = enabled;
+}
+
+bool LinkKeyService::link_enabled(LinkId id) const {
+  return links_.at(id).enabled;
+}
+
+void LinkKeyService::execute(const std::vector<std::size_t>& plan) {
+  // Fan links out across workers: each worker claims whole links, so one
+  // link's batches always run sequentially against its own session state.
+  std::atomic<std::size_t> next{0};
+  const auto worker = [this, &plan, &next] {
+    for (std::size_t i = next.fetch_add(1); i < links_.size();
+         i = next.fetch_add(1)) {
+      LinkState& link = links_[i];
+      for (std::size_t b = 0; b < plan[i]; ++b) {
+        const qkd::proto::BatchResult batch =
+            link.session->run_batch(link.attack.get());
+        if (batch.accepted) link.pool.append(batch.key);
+      }
+    }
+  };
+  const std::size_t n_workers =
+      std::min(threads_, std::max<std::size_t>(1, links_.size()));
+  if (n_workers <= 1) {
+    worker();
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(n_workers);
+  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+void LinkKeyService::run_batches(std::size_t batches_per_link) {
+  std::vector<std::size_t> plan(links_.size(), 0);
+  for (std::size_t i = 0; i < links_.size(); ++i)
+    if (links_[i].enabled) plan[i] = batches_per_link;
+  execute(plan);
+}
+
+void LinkKeyService::advance(double dt_seconds) {
+  if (dt_seconds <= 0.0) return;
+  std::vector<std::size_t> plan(links_.size(), 0);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    LinkState& link = links_[i];
+    if (!link.enabled) continue;
+    const double frame_s = link.session->link().frame_duration_s(
+        link.session->config().frame_slots);
+    link.frame_debt_s += dt_seconds;
+    const auto batches = static_cast<std::size_t>(link.frame_debt_s / frame_s);
+    link.frame_debt_s -= static_cast<double>(batches) * frame_s;
+    plan[i] = batches;
+  }
+  execute(plan);
+}
+
+std::size_t LinkKeyService::pool_bits(LinkId id) const {
+  return links_.at(id).pool.size();
+}
+
+std::optional<qkd::BitVector> LinkKeyService::withdraw(LinkId id,
+                                                       std::size_t bits) {
+  LinkState& link = links_.at(id);
+  if (link.pool.size() < bits) return std::nullopt;
+  qkd::BitVector out = link.pool.slice(0, bits);
+  link.pool = link.pool.slice(bits, link.pool.size() - bits);
+  return out;
+}
+
+qkd::BitVector LinkKeyService::drain(LinkId id) {
+  LinkState& link = links_.at(id);
+  return std::exchange(link.pool, qkd::BitVector());
+}
+
+}  // namespace qkd::network

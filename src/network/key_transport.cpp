@@ -45,7 +45,33 @@ MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed)
       pools_(topology_.link_count(), 0.0),
       eavesdrop_fraction_(topology_.link_count(), 0.0) {}
 
+MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed,
+                               LinkKeyService::Config engine)
+    : topology_(std::move(topology)),
+      rng_(seed),
+      rate_model_(RateModel::kEngine),
+      pools_(topology_.link_count(), 0.0),
+      eavesdrop_fraction_(topology_.link_count(), 0.0) {
+  engine.seed = seed;
+  service_ = std::make_unique<LinkKeyService>(topology_, engine);
+}
+
+void MeshSimulation::sync_engine_link_states() {
+  for (const Link& link : topology_.links())
+    service_->set_link_enabled(link.id, link.usable());
+}
+
 void MeshSimulation::step(double dt_seconds) {
+  if (rate_model_ == RateModel::kEngine) {
+    // Real distillation: the engines charge for sub-alarm eavesdropping on
+    // their own (the entropy estimate sees the induced errors), and an
+    // abandoned/cut link simply runs no batches.
+    sync_engine_link_states();
+    service_->advance(dt_seconds);
+    for (LinkId id = 0; id < topology_.link_count(); ++id)
+      pools_[id] += static_cast<double>(service_->drain(id).size());
+    return;
+  }
   for (const Link& link : topology_.links()) {
     if (!link.usable()) continue;
     // Eavesdropping below the alarm threshold still costs key: the entropy
@@ -122,10 +148,20 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
 void MeshSimulation::cut_link(LinkId link) {
   topology_.link(link).state = LinkState::kCut;
   pools_[link] = 0.0;
+  if (service_) service_->set_link_enabled(link, false);
 }
 
 double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
   eavesdrop_fraction_[link] = intercept_fraction;
+  if (service_) {
+    // The engine meets Eve on the quantum channel itself; her key cost (or
+    // the QBER alarm) then comes out of the pipeline, not a formula.
+    service_->set_attack(
+        link, intercept_fraction > 0.0
+                  ? std::make_unique<qkd::optics::InterceptResendAttack>(
+                        intercept_fraction)
+                  : nullptr);
+  }
   const double q = link_qber(topology_.link(link), intercept_fraction);
   if (q >= 0.11) {
     // "too much eavesdropping or noise — that link is abandoned".
@@ -138,6 +174,10 @@ double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
 void MeshSimulation::restore_link(LinkId link) {
   topology_.link(link).state = LinkState::kUp;
   eavesdrop_fraction_[link] = 0.0;
+  if (service_) {
+    service_->set_attack(link, nullptr);
+    service_->set_link_enabled(link, true);
+  }
 }
 
 }  // namespace qkd::network

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 
 #include "src/common/rng.hpp"
+#include "src/network/key_service.hpp"
 #include "src/network/routing.hpp"
 #include "src/network/topology.hpp"
 
@@ -29,6 +31,18 @@ double estimated_distill_fraction(const qkd::optics::LinkModel& model);
 /// Distilled bits/second a link produces at its operating point; zero when
 /// the link is cut, eavesdropped past the QBER alarm, or out of range.
 double link_distill_rate_bps(const Link& link);
+
+/// How MeshSimulation::step() accrues pairwise key into link pools.
+enum class RateModel {
+  /// Closed-form estimated_distill_fraction: instant, used for fast
+  /// parameter sweeps and the topology benches.
+  kAnalytic,
+  /// A LinkKeyService runs the real protocol engine on every link; pools
+  /// grow by actually distilled bits. Eavesdropping installed with
+  /// eavesdrop_link() is applied to the quantum channel, so its cost
+  /// emerges from the pipeline instead of a formula.
+  kEngine,
+};
 
 class MeshSimulation {
  public:
@@ -48,13 +62,24 @@ class MeshSimulation {
     std::uint64_t reroutes = 0;            // route differed from previous
   };
 
+  /// Analytic-rate mesh (the fast estimator).
   MeshSimulation(Topology topology, std::uint64_t seed);
+
+  /// Engine-backed mesh: one QkdLinkSession per link via LinkKeyService.
+  /// `engine.proto.link` is overridden per link from the topology optics.
+  MeshSimulation(Topology topology, std::uint64_t seed,
+                 LinkKeyService::Config engine);
+
+  RateModel rate_model() const { return rate_model_; }
+
+  /// The engine service, or nullptr in analytic mode.
+  LinkKeyService* key_service() { return service_.get(); }
 
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
 
-  /// Advances simulated time: every usable link distills key into its pool
-  /// at its analytic rate.
+  /// Advances simulated time: every usable link distills key into its pool —
+  /// at its analytic rate, or by running real engine batches (kEngine).
   void step(double dt_seconds);
 
   /// Current pairwise pool of a link, in bits.
@@ -77,8 +102,12 @@ class MeshSimulation {
   const Stats& stats() const { return stats_; }
 
  private:
+  void sync_engine_link_states();
+
   Topology topology_;
   qkd::Rng rng_;
+  RateModel rate_model_ = RateModel::kAnalytic;
+  std::unique_ptr<LinkKeyService> service_;  // kEngine only
   std::vector<double> pools_;  // bits, indexed by LinkId
   std::vector<double> eavesdrop_fraction_;
   std::optional<Route> last_route_;

@@ -1,12 +1,10 @@
 #include "src/qkd/engine.hpp"
 
-#include <algorithm>
+#include <chrono>
 #include <stdexcept>
+#include <utility>
 
-#include "src/crypto/sha1.hpp"
-#include "src/qkd/privacy.hpp"
-#include "src/qkd/randomness.hpp"
-#include "src/qkd/sifting.hpp"
+#include "src/qkd/pipeline.hpp"
 
 namespace qkd::proto {
 namespace {
@@ -49,27 +47,24 @@ QkdLinkSession::QkdLinkSession(QkdLinkConfig config, std::uint64_t seed)
                   preposition_secret(
                       seed, AuthenticationService::required_secret_bits(
                                 config.auth) +
-                                8192),
+                                config.preposition_extra_bits),
                   /*is_initiator=*/true),
       bob_auth_(config.auth,
                 preposition_secret(
                     seed, AuthenticationService::required_secret_bits(
                               config.auth) +
-                              8192),
-                /*is_initiator=*/false) {
+                              config.preposition_extra_bits),
+                /*is_initiator=*/false),
+      pipeline_(default_pipeline()) {
   if (config_.sample_fraction < 0.0 || config_.sample_fraction >= 1.0)
     throw std::invalid_argument("QkdLinkSession: bad sample fraction");
 }
 
-bool QkdLinkSession::ship(AuthenticationService& sender,
-                          AuthenticationService& receiver,
-                          const Bytes& payload, BatchResult& result) {
-  const auto framed = sender.protect(payload);
-  if (!framed.has_value()) return false;
-  ++result.control_messages;
-  result.control_bytes += framed->size();
-  const auto verified = receiver.verify(*framed);
-  return verified.has_value() && *verified == payload;
+QkdLinkSession::~QkdLinkSession() = default;
+
+void QkdLinkSession::set_pipeline(
+    std::vector<std::unique_ptr<PipelineStage>> stages) {
+  pipeline_ = std::move(stages);
 }
 
 BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
@@ -84,220 +79,64 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
   totals_.pulses += result.pulses;
   totals_.duration_s += result.duration_s;
 
-  auto finish = [&](AbortReason reason) {
-    result.reason = reason;
-    result.accepted = reason == AbortReason::kNone;
-    if (result.accepted) ++totals_.accepted_batches;
-    return result;
-  };
+  // ---- Protocol stack: the stage pipeline over one shared context. --------
+  BatchContext ctx{.config = config_,
+                   .drbg = drbg_,
+                   .alice_auth = alice_auth_,
+                   .bob_auth = bob_auth_,
+                   .frame = frame,
+                   .frame_id = next_frame_id_++,
+                   .alice_bits = {},
+                   .bob_bits = {},
+                   .usable_bits = 0.0,
+                   .alice_key = {},
+                   .bob_key = {},
+                   .result = result};
+  AbortReason reason = AbortReason::kNone;
+  result.stages.reserve(pipeline_.size());
+  for (const auto& stage : pipeline_) {
+    const std::size_t messages_before = result.control_messages;
+    const std::size_t bytes_before = result.control_bytes;
+    const auto start = std::chrono::steady_clock::now();
+    reason = stage->run(ctx);
+    const auto stop = std::chrono::steady_clock::now();
+    StageStats& stats = result.stages.emplace_back();
+    stats.name = stage->name();
+    stats.wall_s = std::chrono::duration<double>(stop - start).count();
+    stats.control_messages = result.control_messages - messages_before;
+    stats.control_bytes = result.control_bytes - bytes_before;
+    if (reason != AbortReason::kNone) break;
+  }
 
-  // ---- Sifting (Bob announces detections; Alice replies with matches). ----
-  const SiftMessage sift_msg =
-      make_sift_message(next_frame_id_++, frame.bob);
-  if (!ship(bob_auth_, alice_auth_, sift_msg.serialize(), result))
-    return finish(AbortReason::kAuthExhausted);
-  AliceSiftResult alice_sifted = alice_sift(frame.alice, sift_msg);
-  if (!ship(alice_auth_, bob_auth_, alice_sifted.response.serialize(), result))
-    return finish(AbortReason::kAuthExhausted);
-  SiftOutcome bob_sifted =
-      bob_apply_response(frame.bob, sift_msg, alice_sifted.response);
-
-  qkd::BitVector alice_bits = std::move(alice_sifted.outcome.bits);
-  qkd::BitVector bob_bits = std::move(bob_sifted.bits);
-  result.sifted_bits = alice_bits.size();
+  // ---- Outcome accounting. ------------------------------------------------
+  result.reason = reason;
+  result.accepted = reason == AbortReason::kNone;
   totals_.sifted_bits += result.sifted_bits;
-  if (alice_bits.empty()) return finish(AbortReason::kNoSiftedBits);
+  totals_.distilled_bits += result.distilled_bits;
+  ++totals_.by_reason[static_cast<std::size_t>(reason)];
+  if (result.accepted) ++totals_.accepted_batches;
+  return result;
+}
 
-  // Ground truth for attack accounting: sifted-slot join with Eve's record.
-  result.qber_actual =
-      static_cast<double>(alice_bits.hamming_distance(bob_bits)) /
-      static_cast<double>(alice_bits.size());
-  for (std::uint32_t slot : alice_sifted.outcome.slot_indices)
-    if (frame.eve.known.get(slot)) ++result.eve_known_sifted;
-
-  // ---- Error-rate estimation on a sacrificial random sample. --------------
-  // The sample positions derive from the shared DRBG (announced on the wire
-  // in the real system); the sampled bits are exchanged in clear and dropped.
-  const std::size_t sample_target = static_cast<std::size_t>(
-      config_.sample_fraction * static_cast<double>(alice_bits.size()));
-  if (sample_target > 0) {
-    qkd::BitVector sample_mask(alice_bits.size());
-    std::size_t chosen = 0;
-    while (chosen < sample_target) {
-      const std::size_t pos = static_cast<std::size_t>(
-          drbg_.next_u64() % alice_bits.size());
-      if (!sample_mask.get(pos)) {
-        sample_mask.set(pos, true);
-        ++chosen;
-      }
-    }
-    std::size_t sample_errors = 0;
-    qkd::BitVector alice_keep, bob_keep;
-    Bytes sample_exchange;  // the revealed bits, for wire accounting
-    for (std::size_t i = 0; i < alice_bits.size(); ++i) {
-      if (sample_mask.get(i)) {
-        sample_errors += alice_bits.get(i) != bob_bits.get(i);
-        sample_exchange.push_back(static_cast<std::uint8_t>(
-            alice_bits.get(i) << 1 | static_cast<int>(bob_bits.get(i))));
-      } else {
-        alice_keep.push_back(alice_bits.get(i));
-        bob_keep.push_back(bob_bits.get(i));
-      }
-    }
-    result.sampled_bits = sample_target;
-    result.qber_sampled =
-        static_cast<double>(sample_errors) / static_cast<double>(sample_target);
-    if (!ship(bob_auth_, alice_auth_, sample_exchange, result))
-      return finish(AbortReason::kAuthExhausted);
-    alice_bits = std::move(alice_keep);
-    bob_bits = std::move(bob_keep);
-
-    if (result.qber_sampled > config_.early_abort_qber) {
-      ++totals_.aborted_qber;
-      return finish(AbortReason::kQberTooHigh);
-    }
+DistillOutcome QkdLinkSession::distill(std::size_t bits,
+                                       std::size_t max_batches,
+                                       qkd::optics::Attack* attack) {
+  DistillOutcome outcome;
+  for (std::size_t i = 0; i < max_batches && outcome.key.size() < bits; ++i) {
+    BatchResult batch = run_batch(attack);
+    ++outcome.batches_run;
+    ++outcome.by_reason[static_cast<std::size_t>(batch.reason)];
+    if (batch.accepted) outcome.key.append(batch.key);
   }
-  if (alice_bits.empty()) return finish(AbortReason::kNoSiftedBits);
-
-  // ---- Error correction (Bob drives; Alice answers parity queries). -------
-  LocalParityOracle alice_oracle(alice_bits);
-  EcStats ec;
-  switch (config_.ec_strategy) {
-    case EcStrategy::kBbnCascade: {
-      BbnCascadeConfig cfg = config_.bbn_config;
-      cfg.seed_base = static_cast<std::uint32_t>(drbg_.next_u32());
-      ec = bbn_cascade_correct(bob_bits, alice_oracle, cfg);
-      break;
-    }
-    case EcStrategy::kClassicCascade: {
-      ClassicCascadeConfig cfg = config_.classic_config;
-      cfg.seed_base = static_cast<std::uint32_t>(drbg_.next_u32());
-      ec = classic_cascade_correct(
-          bob_bits, alice_oracle,
-          std::max(result.qber_sampled, 0.01), cfg);
-      break;
-    }
-    case EcStrategy::kNaiveParity: {
-      NaiveParityConfig cfg = config_.naive_config;
-      cfg.perm_seed = static_cast<std::uint32_t>(drbg_.next_u32());
-      ec = naive_parity_correct(bob_bits, alice_oracle, cfg);
-      break;
-    }
-  }
-  result.errors_corrected = ec.corrections;
-  result.disclosed_bits = alice_oracle.disclosed();
-  // Wire accounting for EC: each query is ~14 bytes out, 1 byte back.
-  result.control_messages += 2 * ec.parity_queries;
-  result.control_bytes += 15 * ec.parity_queries;
-  if (config_.ec_strategy != EcStrategy::kNaiveParity && !ec.converged) {
-    ++totals_.aborted_verify;
-    return finish(AbortReason::kEcNotConverged);
-  }
-
-  // ---- Equality verification: exchange a hash of the corrected string. ----
-  // (IKE "has no mechanisms for noticing" key disagreement — the QKD stack
-  // must therefore catch residual errors here, Sec. 7.)
-  const auto alice_hash = qkd::crypto::Sha1::hash(alice_bits.to_bytes());
-  const auto bob_hash = qkd::crypto::Sha1::hash(bob_bits.to_bytes());
-  const Bytes hash_msg(alice_hash.begin(), alice_hash.end());
-  if (!ship(alice_auth_, bob_auth_, hash_msg, result))
-    return finish(AbortReason::kAuthExhausted);
-  if (alice_hash != bob_hash) {
-    ++totals_.aborted_verify;
-    return finish(AbortReason::kVerifyFailed);
-  }
-
-  // The exact error count is now known; apply the canonical QBER alarm.
-  const double qber_exact = static_cast<double>(result.errors_corrected) /
-                            static_cast<double>(alice_bits.size());
-  if (qber_exact > config_.qber_abort_threshold) {
-    ++totals_.aborted_qber;
-    return finish(AbortReason::kQberTooHigh);
-  }
-
-  // ---- Entropy estimation (Sec. 6). ----------------------------------------
-  EntropyInputs inputs;
-  inputs.sifted_bits = alice_bits.size();
-  inputs.error_bits = result.errors_corrected;
-  inputs.transmitted_pulses = result.pulses;
-  inputs.disclosed_bits = result.disclosed_bits;
-  // The paper left r as "a placeholder ... until randomness testing is put
-  // into the system"; our system has the testing (detector bias shows up in
-  // the monobit statistic of the corrected bits).
-  inputs.non_randomness =
-      config_.run_randomness_tests
-          ? test_randomness(alice_bits).non_randomness_bits
-          : 0.0;
-  inputs.mean_photon_number = config_.link.mean_photon_number;
-  inputs.confidence = config_.confidence;
-  inputs.defense = config_.defense;
-  inputs.link_kind = config_.link_kind;
-  inputs.multi_photon_policy = config_.multi_photon_policy;
-  const EntropyEstimate entropy = estimate_entropy(inputs);
-
-  const double usable = entropy.distillable_bits -
-                        static_cast<double>(config_.pa_margin_bits);
-  if (usable < 1.0) {
-    ++totals_.aborted_entropy;
-    return finish(AbortReason::kEntropyExhausted);
-  }
-
-  // ---- Privacy amplification (Sec. 5). -------------------------------------
-  // Long batches are amplified in chunks of bounded field width; the total
-  // output budget m is spread across chunks proportionally.
-  const std::size_t m_total = static_cast<std::size_t>(usable);
-  const std::size_t total_in = alice_bits.size();
-  const std::size_t chunk_max = pa_max_block_bits();
-  qkd::BitVector alice_key, bob_key;
-  std::size_t offset = 0;
-  std::size_t m_emitted = 0;
-  while (offset < total_in) {
-    const std::size_t chunk = std::min(chunk_max, total_in - offset);
-    const std::size_t m_target =
-        static_cast<std::size_t>(static_cast<double>(m_total) *
-                                 static_cast<double>(offset + chunk) /
-                                 static_cast<double>(total_in));
-    const std::size_t m_chunk = std::min(m_target - m_emitted, chunk);
-    if (m_chunk > 0) {
-      const PaParams pa = make_pa_params(chunk, m_chunk, drbg_);
-      if (!ship(alice_auth_, bob_auth_, pa.serialize(), result))
-        return finish(AbortReason::kAuthExhausted);
-      alice_key.append(privacy_amplify(alice_bits.slice(offset, chunk), pa));
-      bob_key.append(privacy_amplify(bob_bits.slice(offset, chunk), pa));
-      m_emitted += m_chunk;
-    }
-    offset += chunk;
-  }
-  if (!(alice_key == bob_key))
-    throw std::logic_error("QkdLinkSession: PA outputs diverged after verify");
-
-  // ---- Authentication replenishment (Sec. 5). ------------------------------
-  qkd::BitVector key = alice_key;
-  const std::size_t replenish =
-      std::min(config_.auth_replenish_bits, key.size());
-  if (replenish > 0) {
-    const qkd::BitVector pad = key.slice(key.size() - replenish, replenish);
-    alice_auth_.replenish(pad);
-    bob_auth_.replenish(pad);
-    key.resize(key.size() - replenish);
-  }
-
-  result.distilled_bits = key.size();
-  totals_.distilled_bits += key.size();
-  result.key = std::move(key);
-  return finish(AbortReason::kNone);
+  outcome.reached_target = outcome.key.size() >= bits;
+  if (outcome.key.size() > bits) outcome.key.resize(bits);
+  return outcome;
 }
 
 qkd::BitVector QkdLinkSession::distill_bits(std::size_t bits,
                                             std::size_t max_batches,
                                             qkd::optics::Attack* attack) {
-  qkd::BitVector out;
-  for (std::size_t i = 0; i < max_batches && out.size() < bits; ++i) {
-    BatchResult batch = run_batch(attack);
-    if (batch.accepted) out.append(batch.key);
-  }
-  if (out.size() > bits) out.resize(bits);
-  return out;
+  return distill(bits, max_batches, attack).key;
 }
 
 }  // namespace qkd::proto

@@ -5,18 +5,23 @@
 //
 // A QkdLinkSession owns one simulated weak-coherent link plus the paired
 // Alice/Bob protocol endpoints. run_batch() pushes one Qframe through the
-// whole pipeline and either yields a distilled key block (identical on both
-// sides, by construction verified) or reports why the batch was rejected —
-// too much disturbance (eavesdropping alarm), entropy exhausted, or residual
-// error detected.
+// stage pipeline (src/qkd/pipeline.hpp) and either yields a distilled key
+// block (identical on both sides, by construction verified) or reports why
+// the batch was rejected — too much disturbance (eavesdropping alarm),
+// entropy exhausted, or residual error detected.
 //
 // All control traffic is serialized to real wire bytes, carried through the
 // Wegman-Carter authentication service, and accounted (message and byte
-// counts), so protocol overhead experiments read directly off BatchResult.
+// counts), so protocol overhead experiments read directly off BatchResult —
+// including per-stage wall time and wire bytes (BatchResult::stages).
 #pragma once
 
+#include <array>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "src/common/bitvector.hpp"
 #include "src/crypto/drbg.hpp"
@@ -43,6 +48,11 @@ enum class AbortReason {
 };
 
 const char* abort_reason_name(AbortReason reason);
+
+/// Number of distinct AbortReason values (kNone included), for histograms.
+inline constexpr std::size_t kAbortReasonCount = 7;
+
+class PipelineStage;  // src/qkd/pipeline.hpp
 
 struct QkdLinkConfig {
   /// Physical-layer calibration: fiber length/loss, mean photon number,
@@ -119,6 +129,19 @@ struct QkdLinkConfig {
   /// single forged message only aborts one batch.
   AuthenticationService::Config auth{
       .tag_bits = 32, .max_message_bits = 1 << 17, .low_water_bits = 1024};
+
+  /// Prepositioned pad bits beyond the structural minimum the auth service
+  /// requires. This is the one-time-pad runway before the first replenishment
+  /// lands; 0 exhausts it within the first batch (the kAuthExhausted DoS).
+  std::size_t preposition_extra_bits = 8192;
+};
+
+/// Wall-time and wire traffic attributed to one pipeline stage of one batch.
+struct StageStats {
+  std::string name;                  // PipelineStage::name()
+  double wall_s = 0.0;               // host wall-clock spent in the stage
+  std::size_t control_messages = 0;  // wire messages shipped by the stage
+  std::size_t control_bytes = 0;     // wire bytes shipped by the stage
 };
 
 struct BatchResult {
@@ -143,6 +166,9 @@ struct BatchResult {
   AbortReason reason = AbortReason::kNone;
   qkd::BitVector key;                // the distilled block (both sides equal)
   double duration_s = 0.0;           // wall-clock at the configured trigger rate
+  // Per-stage decomposition, in execution order; an aborted batch records
+  // only the stages that ran (the last entry is the one that aborted).
+  std::vector<StageStats> stages;
 };
 
 /// Cumulative accounting across batches.
@@ -152,10 +178,27 @@ struct SessionTotals {
   std::size_t pulses = 0;
   std::size_t sifted_bits = 0;
   std::size_t distilled_bits = 0;
-  std::size_t aborted_qber = 0;
-  std::size_t aborted_entropy = 0;
-  std::size_t aborted_verify = 0;
   double duration_s = 0.0;
+  /// Outcome histogram, indexed by AbortReason. by_reason[kNone] counts
+  /// accepted batches; the full histogram sums to `batches`.
+  std::array<std::size_t, kAbortReasonCount> by_reason{};
+
+  std::size_t aborted(AbortReason reason) const {
+    return by_reason[static_cast<std::size_t>(reason)];
+  }
+
+  // Named views over the histogram for the common operator questions.
+  std::size_t aborted_qber() const {
+    return aborted(AbortReason::kQberTooHigh);
+  }
+  std::size_t aborted_entropy() const {
+    return aborted(AbortReason::kEntropyExhausted);
+  }
+  /// Correction-integrity failures: EC round-limit plus hash mismatch.
+  std::size_t aborted_verify() const {
+    return aborted(AbortReason::kEcNotConverged) +
+           aborted(AbortReason::kVerifyFailed);
+  }
 
   double distilled_rate_bps() const {
     return duration_s > 0.0 ? static_cast<double>(distilled_bits) / duration_s
@@ -163,17 +206,45 @@ struct SessionTotals {
   }
 };
 
+/// What distill() delivered and — when it missed the target — why: the
+/// per-batch abort-reason histogram tells an operator whether the link is
+/// starved by eavesdropping, entropy exhaustion, pad exhaustion, or loss.
+struct DistillOutcome {
+  qkd::BitVector key;          // concatenated accepted-batch key material
+  bool reached_target = false; // key.size() met the request before the cap
+  std::size_t batches_run = 0;
+  std::array<std::size_t, kAbortReasonCount> by_reason{};
+
+  std::size_t aborted(AbortReason reason) const {
+    return by_reason[static_cast<std::size_t>(reason)];
+  }
+};
+
 class QkdLinkSession {
  public:
   QkdLinkSession(QkdLinkConfig config, std::uint64_t seed);
+  ~QkdLinkSession();
 
-  /// Runs one Qframe through the pipeline. `attack` taps the quantum channel.
+  /// Runs one Qframe through the stage pipeline. `attack` taps the quantum
+  /// channel.
   BatchResult run_batch(qkd::optics::Attack* attack = nullptr);
 
   /// Runs batches until `bits` distilled bits accumulate or `max_batches`
-  /// pass; returns the concatenated key material.
+  /// pass; reports the key material plus the abort-reason histogram.
+  DistillOutcome distill(std::size_t bits, std::size_t max_batches = 64,
+                         qkd::optics::Attack* attack = nullptr);
+
+  /// Convenience wrapper around distill() returning just the key.
   qkd::BitVector distill_bits(std::size_t bits, std::size_t max_batches = 64,
                               qkd::optics::Attack* attack = nullptr);
+
+  /// The stages run_batch executes, in order (default_pipeline() unless
+  /// replaced). Stages may be reordered, swapped, or instrumented; the
+  /// caller owns the consequences of non-protocol orders.
+  const std::vector<std::unique_ptr<PipelineStage>>& pipeline() const {
+    return pipeline_;
+  }
+  void set_pipeline(std::vector<std::unique_ptr<PipelineStage>> stages);
 
   const SessionTotals& totals() const { return totals_; }
   const QkdLinkConfig& config() const { return config_; }
@@ -182,16 +253,12 @@ class QkdLinkSession {
   const AuthenticationService& bob_auth() const { return bob_auth_; }
 
  private:
-  /// Ships `payload` through the authentication service pair, counting
-  /// wire bytes. Returns false on pad exhaustion or verification failure.
-  bool ship(AuthenticationService& sender, AuthenticationService& receiver,
-            const Bytes& payload, BatchResult& result);
-
   QkdLinkConfig config_;
   qkd::optics::WeakCoherentLink link_;
   qkd::crypto::Drbg drbg_;
   AuthenticationService alice_auth_;
   AuthenticationService bob_auth_;
+  std::vector<std::unique_ptr<PipelineStage>> pipeline_;
   SessionTotals totals_;
   std::uint64_t next_frame_id_ = 0;
 };

@@ -1,0 +1,241 @@
+#include "src/qkd/pipeline.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+#include "src/crypto/sha1.hpp"
+#include "src/qkd/privacy.hpp"
+#include "src/qkd/randomness.hpp"
+#include "src/qkd/sifting.hpp"
+
+namespace qkd::proto {
+
+bool BatchContext::ship(AuthenticationService& sender,
+                        AuthenticationService& receiver, const Bytes& payload) {
+  const auto framed = sender.protect(payload);
+  if (!framed.has_value()) return false;
+  ++result.control_messages;
+  result.control_bytes += framed->size();
+  const auto verified = receiver.verify(*framed);
+  return verified.has_value() && *verified == payload;
+}
+
+AbortReason SiftingStage::run(BatchContext& ctx) {
+  // Bob announces detections; Alice replies with the basis matches.
+  const SiftMessage sift_msg = make_sift_message(ctx.frame_id, ctx.frame.bob);
+  if (!ctx.ship(ctx.bob_auth, ctx.alice_auth, sift_msg.serialize()))
+    return AbortReason::kAuthExhausted;
+  AliceSiftResult alice_sifted = alice_sift(ctx.frame.alice, sift_msg);
+  if (!ctx.ship(ctx.alice_auth, ctx.bob_auth,
+                alice_sifted.response.serialize()))
+    return AbortReason::kAuthExhausted;
+  SiftOutcome bob_sifted =
+      bob_apply_response(ctx.frame.bob, sift_msg, alice_sifted.response);
+
+  ctx.alice_bits = std::move(alice_sifted.outcome.bits);
+  ctx.bob_bits = std::move(bob_sifted.bits);
+  ctx.result.sifted_bits = ctx.alice_bits.size();
+  if (ctx.alice_bits.empty()) return AbortReason::kNoSiftedBits;
+
+  // Ground truth for attack accounting: sifted-slot join with Eve's record.
+  ctx.result.qber_actual =
+      static_cast<double>(ctx.alice_bits.hamming_distance(ctx.bob_bits)) /
+      static_cast<double>(ctx.alice_bits.size());
+  for (std::uint32_t slot : alice_sifted.outcome.slot_indices)
+    if (ctx.frame.eve.known.get(slot)) ++ctx.result.eve_known_sifted;
+  return AbortReason::kNone;
+}
+
+AbortReason SamplingStage::run(BatchContext& ctx) {
+  // The sample positions derive from the shared DRBG (announced on the wire
+  // in the real system); the sampled bits are exchanged in clear and dropped.
+  const std::size_t n = ctx.alice_bits.size();
+  const std::size_t sample_target = static_cast<std::size_t>(
+      ctx.config.sample_fraction * static_cast<double>(n));
+  if (sample_target > 0) {
+    // Partial Fisher-Yates: after `sample_target` swap steps the prefix
+    // holds a uniform without-replacement draw of the positions.
+    std::vector<std::uint32_t> positions(n);
+    std::iota(positions.begin(), positions.end(), 0u);
+    for (std::size_t i = 0; i < sample_target; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(ctx.drbg.next_u64() % (n - i));
+      std::swap(positions[i], positions[j]);
+    }
+    qkd::BitVector sample_mask(n);
+    for (std::size_t i = 0; i < sample_target; ++i)
+      sample_mask.set(positions[i], true);
+
+    std::size_t sample_errors = 0;
+    qkd::BitVector alice_keep, bob_keep;
+    Bytes sample_exchange;  // the revealed bits, for wire accounting
+    for (std::size_t i = 0; i < n; ++i) {
+      if (sample_mask.get(i)) {
+        sample_errors += ctx.alice_bits.get(i) != ctx.bob_bits.get(i);
+        sample_exchange.push_back(static_cast<std::uint8_t>(
+            ctx.alice_bits.get(i) << 1 |
+            static_cast<int>(ctx.bob_bits.get(i))));
+      } else {
+        alice_keep.push_back(ctx.alice_bits.get(i));
+        bob_keep.push_back(ctx.bob_bits.get(i));
+      }
+    }
+    ctx.result.sampled_bits = sample_target;
+    ctx.result.qber_sampled = static_cast<double>(sample_errors) /
+                              static_cast<double>(sample_target);
+    if (!ctx.ship(ctx.bob_auth, ctx.alice_auth, sample_exchange))
+      return AbortReason::kAuthExhausted;
+    ctx.alice_bits = std::move(alice_keep);
+    ctx.bob_bits = std::move(bob_keep);
+
+    if (ctx.result.qber_sampled > ctx.config.early_abort_qber)
+      return AbortReason::kQberTooHigh;
+  }
+  if (ctx.alice_bits.empty()) return AbortReason::kNoSiftedBits;
+  return AbortReason::kNone;
+}
+
+AbortReason ErrorCorrectionStage::run(BatchContext& ctx) {
+  // Bob drives; Alice answers parity queries.
+  LocalParityOracle alice_oracle(ctx.alice_bits);
+  EcStats ec;
+  switch (ctx.config.ec_strategy) {
+    case EcStrategy::kBbnCascade: {
+      BbnCascadeConfig cfg = ctx.config.bbn_config;
+      cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+      ec = bbn_cascade_correct(ctx.bob_bits, alice_oracle, cfg);
+      break;
+    }
+    case EcStrategy::kClassicCascade: {
+      ClassicCascadeConfig cfg = ctx.config.classic_config;
+      cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+      ec = classic_cascade_correct(ctx.bob_bits, alice_oracle,
+                                   std::max(ctx.result.qber_sampled, 0.01),
+                                   cfg);
+      break;
+    }
+    case EcStrategy::kNaiveParity: {
+      NaiveParityConfig cfg = ctx.config.naive_config;
+      cfg.perm_seed = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+      ec = naive_parity_correct(ctx.bob_bits, alice_oracle, cfg);
+      break;
+    }
+  }
+  ctx.result.errors_corrected = ec.corrections;
+  ctx.result.disclosed_bits = alice_oracle.disclosed();
+  // Wire accounting for EC: each query is ~14 bytes out, 1 byte back.
+  ctx.result.control_messages += 2 * ec.parity_queries;
+  ctx.result.control_bytes += 15 * ec.parity_queries;
+  if (ctx.config.ec_strategy != EcStrategy::kNaiveParity && !ec.converged)
+    return AbortReason::kEcNotConverged;
+  return AbortReason::kNone;
+}
+
+AbortReason VerifyStage::run(BatchContext& ctx) {
+  // Equality verification: exchange a hash of the corrected string. (IKE
+  // "has no mechanisms for noticing" key disagreement — the QKD stack must
+  // therefore catch residual errors here, Sec. 7.)
+  const auto alice_hash = qkd::crypto::Sha1::hash(ctx.alice_bits.to_bytes());
+  const auto bob_hash = qkd::crypto::Sha1::hash(ctx.bob_bits.to_bytes());
+  const Bytes hash_msg(alice_hash.begin(), alice_hash.end());
+  if (!ctx.ship(ctx.alice_auth, ctx.bob_auth, hash_msg))
+    return AbortReason::kAuthExhausted;
+  if (alice_hash != bob_hash) return AbortReason::kVerifyFailed;
+
+  // The exact error count is now known; apply the canonical QBER alarm.
+  const double qber_exact =
+      static_cast<double>(ctx.result.errors_corrected) /
+      static_cast<double>(ctx.alice_bits.size());
+  if (qber_exact > ctx.config.qber_abort_threshold)
+    return AbortReason::kQberTooHigh;
+  return AbortReason::kNone;
+}
+
+AbortReason EntropyStage::run(BatchContext& ctx) {
+  EntropyInputs inputs;
+  inputs.sifted_bits = ctx.alice_bits.size();
+  inputs.error_bits = ctx.result.errors_corrected;
+  inputs.transmitted_pulses = ctx.result.pulses;
+  inputs.disclosed_bits = ctx.result.disclosed_bits;
+  // The paper left r as "a placeholder ... until randomness testing is put
+  // into the system"; our system has the testing (detector bias shows up in
+  // the monobit statistic of the corrected bits).
+  inputs.non_randomness =
+      ctx.config.run_randomness_tests
+          ? test_randomness(ctx.alice_bits).non_randomness_bits
+          : 0.0;
+  inputs.mean_photon_number = ctx.config.link.mean_photon_number;
+  inputs.confidence = ctx.config.confidence;
+  inputs.defense = ctx.config.defense;
+  inputs.link_kind = ctx.config.link_kind;
+  inputs.multi_photon_policy = ctx.config.multi_photon_policy;
+  const EntropyEstimate entropy = estimate_entropy(inputs);
+
+  ctx.usable_bits = entropy.distillable_bits -
+                    static_cast<double>(ctx.config.pa_margin_bits);
+  if (ctx.usable_bits < 1.0) return AbortReason::kEntropyExhausted;
+  return AbortReason::kNone;
+}
+
+AbortReason PrivacyAmplificationStage::run(BatchContext& ctx) {
+  // Long batches are amplified in chunks of bounded field width; the total
+  // output budget m is spread across chunks proportionally.
+  const std::size_t m_total = static_cast<std::size_t>(ctx.usable_bits);
+  const std::size_t total_in = ctx.alice_bits.size();
+  const std::size_t chunk_max = pa_max_block_bits();
+  std::size_t offset = 0;
+  std::size_t m_emitted = 0;
+  while (offset < total_in) {
+    const std::size_t chunk = std::min(chunk_max, total_in - offset);
+    const std::size_t m_target =
+        static_cast<std::size_t>(static_cast<double>(m_total) *
+                                 static_cast<double>(offset + chunk) /
+                                 static_cast<double>(total_in));
+    const std::size_t m_chunk = std::min(m_target - m_emitted, chunk);
+    if (m_chunk > 0) {
+      const PaParams pa = make_pa_params(chunk, m_chunk, ctx.drbg);
+      if (!ctx.ship(ctx.alice_auth, ctx.bob_auth, pa.serialize()))
+        return AbortReason::kAuthExhausted;
+      ctx.alice_key.append(
+          privacy_amplify(ctx.alice_bits.slice(offset, chunk), pa));
+      ctx.bob_key.append(
+          privacy_amplify(ctx.bob_bits.slice(offset, chunk), pa));
+      m_emitted += m_chunk;
+    }
+    offset += chunk;
+  }
+  if (!(ctx.alice_key == ctx.bob_key))
+    throw std::logic_error("QkdLinkSession: PA outputs diverged after verify");
+  return AbortReason::kNone;
+}
+
+AbortReason AuthReplenishStage::run(BatchContext& ctx) {
+  qkd::BitVector key = ctx.alice_key;
+  const std::size_t replenish =
+      std::min(ctx.config.auth_replenish_bits, key.size());
+  if (replenish > 0) {
+    const qkd::BitVector pad = key.slice(key.size() - replenish, replenish);
+    ctx.alice_auth.replenish(pad);
+    ctx.bob_auth.replenish(pad);
+    key.resize(key.size() - replenish);
+  }
+  ctx.result.distilled_bits = key.size();
+  ctx.result.key = std::move(key);
+  return AbortReason::kNone;
+}
+
+std::vector<std::unique_ptr<PipelineStage>> default_pipeline() {
+  std::vector<std::unique_ptr<PipelineStage>> stages;
+  stages.push_back(std::make_unique<SiftingStage>());
+  stages.push_back(std::make_unique<SamplingStage>());
+  stages.push_back(std::make_unique<ErrorCorrectionStage>());
+  stages.push_back(std::make_unique<VerifyStage>());
+  stages.push_back(std::make_unique<EntropyStage>());
+  stages.push_back(std::make_unique<PrivacyAmplificationStage>());
+  stages.push_back(std::make_unique<AuthReplenishStage>());
+  return stages;
+}
+
+}  // namespace qkd::proto

@@ -108,7 +108,7 @@ TEST(FullStack, EavesdroppedLinkStarvesTheVpn) {
     deposited += batch.distilled_bits;
   }
   EXPECT_EQ(deposited, 0u);
-  EXPECT_EQ(qkd.totals().aborted_qber, 5u);
+  EXPECT_EQ(qkd.totals().aborted_qber(), 5u);
 }
 
 TEST(FullStack, EntangledFramesFlowThroughTheSameSifting) {

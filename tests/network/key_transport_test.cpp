@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/network/key_service.hpp"
 #include "src/qkd/engine.hpp"
 
 namespace qkd::network {
@@ -15,22 +16,39 @@ TEST(DistillFraction, PositiveAtOperatingPointZeroPastAlarm) {
                    0.0);
 }
 
-TEST(DistillFraction, AgreesWithFullProtocolEngine) {
-  // The analytic mesh model must be in the same ballpark as the real
-  // pipeline (within a factor ~2 at the operating point).
-  qkd::optics::LinkParams params;
-  const qkd::optics::LinkModel model(params);
-  const double analytic_bps =
-      model.sifted_rate_bps() * estimated_distill_fraction(model);
+TEST(DistillFraction, AgreesWithEngineBackedServiceAtTwoOperatingPoints) {
+  // The analytic mesh model is the fast estimator for the engine-backed
+  // LinkKeyService; cross-validate them at the paper's 10 km operating
+  // point and at 20 km. Stated tolerance: the engine-measured rate must be
+  // within a factor of [0.4, 2.0] of the analytic prediction. The analytic
+  // model ignores finite-block effects (the c*sigma confidence margin and
+  // pa_margin_bits) that push the engine below it — increasingly so at
+  // 20 km where batches are smaller — and it does not model auth
+  // replenishment at all, so the engine runs with replenishment off here.
+  for (const double fiber_km : {10.0, 20.0}) {
+    qkd::optics::LinkParams params;
+    params.fiber_km = fiber_km;
+    const qkd::optics::LinkModel model(params);
+    const double analytic_bps =
+        model.sifted_rate_bps() * estimated_distill_fraction(model);
+    ASSERT_GT(analytic_bps, 0.0) << fiber_km;
 
-  qkd::proto::QkdLinkConfig config;
-  config.frame_slots = 1 << 20;
-  qkd::proto::QkdLinkSession session(config, 42);
-  for (int i = 0; i < 4; ++i) session.run_batch();
-  const double engine_bps = session.totals().distilled_rate_bps();
+    Topology topo;
+    const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+    const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+    topo.add_link(a, b, params);
+    LinkKeyService::Config config;
+    config.proto.frame_slots = 1 << 20;
+    config.proto.auth_replenish_bits = 0;
+    config.seed = 42;
+    LinkKeyService service(topo, config);
+    service.run_batches(4);
+    const double engine_bps =
+        service.session(0).totals().distilled_rate_bps();
 
-  EXPECT_GT(engine_bps, 0.3 * analytic_bps);
-  EXPECT_LT(engine_bps, 2.5 * analytic_bps);
+    EXPECT_GT(engine_bps, 0.4 * analytic_bps) << fiber_km << " km";
+    EXPECT_LT(engine_bps, 2.0 * analytic_bps) << fiber_km << " km";
+  }
 }
 
 TEST(LinkRate, CutAndEavesdroppedLinksProduceNothing) {

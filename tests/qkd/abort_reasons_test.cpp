@@ -1,0 +1,130 @@
+// One forced scenario per AbortReason, with the totals histogram asserted
+// against the per-batch outcomes — the observability contract operators use
+// to tell *why* a distillation target was missed (pad exhaustion vs.
+// eavesdropping vs. loss vs. entropy).
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "src/qkd/engine.hpp"
+
+namespace qkd::proto {
+namespace {
+
+QkdLinkConfig base_config(std::size_t frame_slots = 1 << 20) {
+  QkdLinkConfig config;
+  config.frame_slots = frame_slots;
+  return config;
+}
+
+std::size_t histogram_sum(const SessionTotals& totals) {
+  return std::accumulate(totals.by_reason.begin(), totals.by_reason.end(),
+                         std::size_t{0});
+}
+
+TEST(AbortReasons, AuthExhaustedWhenPrepositionedPadIsTiny) {
+  // No pad runway beyond the structural minimum: the first batch's control
+  // traffic drains the one-time pads mid-flight (the Sec. 2 exhaustion DoS).
+  QkdLinkConfig config = base_config(1 << 16);
+  config.preposition_extra_bits = 0;
+  QkdLinkSession session(config, 1);
+  const BatchResult batch = session.run_batch();
+  EXPECT_FALSE(batch.accepted);
+  EXPECT_EQ(batch.reason, AbortReason::kAuthExhausted);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kAuthExhausted), 1u);
+}
+
+TEST(AbortReasons, QberTooHighUnderInterceptResend) {
+  QkdLinkSession session(base_config(), 5);
+  qkd::optics::InterceptResendAttack eve(1.0);
+  const BatchResult batch = session.run_batch(&eve);
+  EXPECT_EQ(batch.reason, AbortReason::kQberTooHigh);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kQberTooHigh), 1u);
+  // The histogram and the legacy counter agree.
+  EXPECT_EQ(session.totals().aborted_qber(), 1u);
+}
+
+TEST(AbortReasons, EntropyExhaustedOnHighLossLink) {
+  // 50 km of fiber: the handful of surviving sifted bits cannot out-distill
+  // the deductions (defense + multi-photon + confidence margin).
+  QkdLinkConfig config = base_config();
+  config.link.fiber_km = 50.0;
+  QkdLinkSession session(config, 3);
+  const BatchResult batch = session.run_batch();
+  EXPECT_EQ(batch.reason, AbortReason::kEntropyExhausted);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kEntropyExhausted), 1u);
+  EXPECT_EQ(session.totals().aborted_entropy(), 1u);
+}
+
+TEST(AbortReasons, NoSiftedBitsOnDeadQuietCutChannel) {
+  QkdLinkConfig config = base_config(1 << 16);
+  config.link.dark_count_prob = 0.0;
+  QkdLinkSession session(config, 7);
+  qkd::optics::ChannelCutAttack cut;
+  const BatchResult batch = session.run_batch(&cut);
+  EXPECT_EQ(batch.reason, AbortReason::kNoSiftedBits);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kNoSiftedBits), 1u);
+}
+
+TEST(AbortReasons, VerifyFailedOnNaiveParityResiduals) {
+  QkdLinkConfig config = base_config();
+  config.ec_strategy = EcStrategy::kNaiveParity;
+  QkdLinkSession session(config, 10);
+  std::size_t verify_failures = 0;
+  for (int i = 0; i < 5; ++i)
+    verify_failures +=
+        session.run_batch().reason == AbortReason::kVerifyFailed;
+  EXPECT_GT(verify_failures, 0u);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kVerifyFailed),
+            verify_failures);
+}
+
+TEST(AbortReasons, EcNotConvergedWhenRoundLimitIsStarved) {
+  // One BBN round over a 6 % QBER frame cannot clear ~90 errors.
+  QkdLinkConfig config = base_config();
+  config.ec_strategy = EcStrategy::kBbnCascade;
+  config.bbn_config.max_rounds = 1;
+  QkdLinkSession session(config, 16);
+  const BatchResult batch = session.run_batch();
+  EXPECT_EQ(batch.reason, AbortReason::kEcNotConverged);
+  EXPECT_EQ(session.totals().aborted(AbortReason::kEcNotConverged), 1u);
+  EXPECT_EQ(session.totals().aborted_verify(), 1u);
+}
+
+TEST(AbortReasons, HistogramSumsToBatchesAndCountsAcceptance) {
+  QkdLinkSession session(base_config(), 15);
+  qkd::optics::InterceptResendAttack eve(1.0);
+  session.run_batch();        // accepted at this operating point
+  session.run_batch(&eve);    // qber alarm
+  session.run_batch();        // accepted again
+  const SessionTotals& totals = session.totals();
+  EXPECT_EQ(histogram_sum(totals), totals.batches);
+  EXPECT_EQ(totals.aborted(AbortReason::kNone), totals.accepted_batches);
+  EXPECT_EQ(totals.aborted(AbortReason::kQberTooHigh), 1u);
+}
+
+TEST(AbortReasons, DistillReportsWhyTheTargetWasMissed) {
+  // distill() used to swallow per-batch outcomes; the outcome histogram now
+  // says *why* a request came back short.
+  QkdLinkSession session(base_config(), 6);
+  qkd::optics::InterceptResendAttack eve(1.0);
+  const DistillOutcome outcome = session.distill(4096, 3, &eve);
+  EXPECT_FALSE(outcome.reached_target);
+  EXPECT_TRUE(outcome.key.empty());
+  EXPECT_EQ(outcome.batches_run, 3u);
+  EXPECT_EQ(outcome.aborted(AbortReason::kQberTooHigh), 3u);
+}
+
+TEST(AbortReasons, DistillOutcomeCountsAcceptedBatches) {
+  QkdLinkSession session(base_config(), 12);
+  const DistillOutcome outcome = session.distill(512, 24);
+  EXPECT_TRUE(outcome.reached_target);
+  EXPECT_EQ(outcome.key.size(), 512u);
+  EXPECT_GT(outcome.aborted(AbortReason::kNone), 0u);
+  std::size_t sum = std::accumulate(outcome.by_reason.begin(),
+                                    outcome.by_reason.end(), std::size_t{0});
+  EXPECT_EQ(sum, outcome.batches_run);
+}
+
+}  // namespace
+}  // namespace qkd::proto

@@ -72,7 +72,7 @@ TEST(QkdLinkSession, InterceptResendTripsQberAlarm) {
   EXPECT_FALSE(batch.accepted);
   EXPECT_EQ(batch.reason, AbortReason::kQberTooHigh);
   EXPECT_EQ(batch.distilled_bits, 0u);
-  EXPECT_EQ(session.totals().aborted_qber, 1u);
+  EXPECT_EQ(session.totals().aborted_qber(), 1u);
 }
 
 TEST(QkdLinkSession, MildInterceptionSurvivesButCostsKey) {
