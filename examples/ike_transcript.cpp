@@ -33,7 +33,7 @@ int main() {
   qkd_config.frame_slots = 1 << 20;
   qkd::proto::QkdLinkSession qkd(qkd_config, 1202);
   qkd::BitVector key_material;
-  while (key_material.size() < 8 * KeyPool::kQblockBits) {
+  while (key_material.size() < 8 * qkd::keystore::KeySupply::kQblockBits) {
     const auto batch = qkd.run_batch();
     if (batch.accepted) key_material.append(batch.key);
   }

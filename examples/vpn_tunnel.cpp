@@ -3,10 +3,11 @@
 //
 //   $ ./vpn_tunnel
 //
-// A simulated weak-coherent link continuously distills key material that is
-// deposited (mirrored) into both gateways' Qblock pools. IKE Phase 2 pulls
-// Qblocks into the keying material of ESP security associations; AES keys
-// roll over every 20 simulated seconds; red-side packets are tunneled
+// A simulated weak-coherent link continuously distills key material; the
+// engine feed delivers every accepted batch into both gateways' supplies
+// (two sinks of one key stream — no hand-mirrored deposits). IKE Phase 2
+// pulls Qblocks into the keying material of ESP security associations; AES
+// keys roll over every 20 simulated seconds; red-side packets are tunneled
 // encrypted across the black network. A second tunnel runs as a pure
 // one-time pad, consuming pool bits per byte of traffic.
 #include <cstdio>
@@ -45,12 +46,8 @@ IpPacket red_packet(const char* src, const char* dst, int tag) {
 }  // namespace
 
 int main() {
-  // --- The quantum layer: one link session feeding both pools. -----------
-  qkd::proto::QkdLinkConfig qkd_config;
-  qkd_config.frame_slots = 1 << 20;
-  qkd::proto::QkdLinkSession qkd(qkd_config, 2002);
-
-  // --- The VPN: two gateways over the public channel. ---------------------
+  // --- The VPN: two gateways over the public channel, keyed by a real
+  // engine feed (both gateway supplies are sinks of one link's stream). ----
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 5);
   vpn.install_mirrored_policy(make_policy("aes-tunnel", CipherAlgo::kAes128,
                                           QkdMode::kHybrid, "10.1.1.0",
@@ -59,19 +56,21 @@ int main() {
                                           CipherAlgo::kOneTimePad,
                                           QkdMode::kOtp, "10.1.9.0",
                                           "10.2.9.0", 3600.0));
+  qkd::proto::QkdLinkConfig qkd_config;
+  qkd_config.frame_slots = 1 << 20;
+  vpn.enable_engine_feed(qkd_config, /*seed=*/2002);
+  // Let the link preposition some key before traffic starts.
+  vpn.advance(4.0);
   vpn.start();
 
+  const auto& qkd = vpn.key_service()->session(0);
   std::printf("minute-by-minute VPN + QKD run (AES rekey every 20 s):\n");
   std::printf("%4s %10s %10s %10s %9s %9s %8s\n", "t(s)", "distilled",
               "pool bits", "esp sent", "delivered", "rollovers", "authfail");
 
   for (int step = 0; step < 12; ++step) {
-    // ~10 s of QKD distillation per step, mirrored into both pools.
-    for (int i = 0; i < 10; ++i) {
-      const auto batch = qkd.run_batch();
-      if (batch.accepted) vpn.deposit_key_material(batch.key);
-    }
-    // Red-side traffic on both tunnels.
+    // Red-side traffic on both tunnels; the engine feed distills in the
+    // background as simulated time advances.
     for (int i = 0; i < 5; ++i) {
       vpn.a().submit_plaintext(red_packet("10.1.1.5", "10.2.2.9", i),
                                vpn.clock().now());

@@ -21,8 +21,52 @@ IkeConfig make_ike_config(const VpnGateway::Config& config) {
 
 VpnGateway::VpnGateway(Config config, std::uint64_t seed)
     : config_(config),
-      ike_(make_ike_config(config), &spd_, &sad_, &key_pool_, seed),
-      drbg_(seed ^ 0x6a7e3a7eULL) {}
+      key_pool_(config.name),
+      ike_(make_ike_config(config), &spd_, &sad_, key_pool_, seed),
+      drbg_(seed ^ 0x6a7e3a7eULL) {
+  key_pool_.set_low_water_bits(config_.supply_low_water_bits);
+  key_pool_.subscribe([this](const keystore::SupplyEvent& event) {
+    on_supply_event(event);
+  });
+}
+
+void VpnGateway::on_supply_event(const keystore::SupplyEvent& event) {
+  switch (event.kind) {
+    case keystore::SupplyEventKind::kLowWater:
+      ++stats_.supply_low_water;
+      break;
+    case keystore::SupplyEventKind::kExhausted:
+      ++stats_.supply_exhausted;
+      break;
+    case keystore::SupplyEventKind::kReplenished:
+      ++stats_.supply_replenished;
+      // Fresh key after starvation: wake stalled negotiations on the next
+      // tick (deposits arrive outside packet processing, with no timestamp
+      // in hand).
+      supply_wakeup_ = true;
+      break;
+  }
+}
+
+bool VpnGateway::wake_stalled_negotiations(qkd::SimTime now) {
+  bool still_stalled = false;
+  for (const auto& [policy_name, queue] : pending_packets_) {
+    if (queue.empty()) continue;
+    if (negotiating_[policy_name]) continue;
+    if (outbound_spi_.count(policy_name) > 0) continue;
+    for (const auto& entry : spd_.entries()) {
+      if (entry.name == policy_name && entry.action == PolicyAction::kProtect)
+        ensure_sa(entry, now);
+    }
+    // The supply may have come back with less than this policy needs (an
+    // OTP offer wants several Qblocks in one lane); report it so the
+    // caller keeps retrying rather than waiting for another low-water
+    // crossing that may never happen.
+    if (!negotiating_[policy_name] && outbound_spi_.count(policy_name) == 0)
+      still_stalled = true;
+  }
+  return still_stalled;
+}
 
 void VpnGateway::send_ike(const Bytes& message) {
   if (!transmit_) return;
@@ -214,6 +258,12 @@ void VpnGateway::tick(qkd::SimTime now) {
         ensure_sa(entry, now);
     }
   }
+  // A replenished supply ends a starvation episode: retry negotiations that
+  // stalled waiting for key, without waiting for fresh traffic. The wakeup
+  // stays armed while any policy remains stalled — kReplenished is
+  // edge-triggered on the low-water crossing, and the deposit that finally
+  // covers a multi-Qblock OTP offer may not produce another crossing.
+  if (supply_wakeup_) supply_wakeup_ = wake_stalled_negotiations(now);
   flush_established(now);
 }
 

@@ -15,6 +15,7 @@
 
 #include "src/ipsec/esp.hpp"
 #include "src/ipsec/ike.hpp"
+#include "src/keystore/key_pool.hpp"
 
 namespace qkd::ipsec {
 
@@ -29,6 +30,10 @@ class VpnGateway {
     /// Plaintext packets waiting for an SA are dropped beyond this queue
     /// depth (the paper's timeout pressure made visible).
     std::size_t max_pending_packets = 64;
+    /// Low-water mark on the key supply: crossing it down raises a
+    /// supply_low_water event; a deposit lifting the supply back over it
+    /// wakes any negotiation that stalled on an empty pool.
+    std::size_t supply_low_water_bits = 4 * keystore::KeySupply::kQblockBits;
   };
 
   struct Stats {
@@ -44,6 +49,11 @@ class VpnGateway {
     std::uint64_t unknown_spi = 0;
     std::uint64_t otp_exhausted = 0;
     std::uint64_t sa_rollovers = 0;
+    // Key-supply starvation events (delivered by KeySupply callbacks, not
+    // polling): the Sec. 2 key-consumption race made visible.
+    std::uint64_t supply_low_water = 0;
+    std::uint64_t supply_exhausted = 0;
+    std::uint64_t supply_replenished = 0;
   };
 
   /// `transmit` carries outer (black-side) IP packets to the peer.
@@ -54,7 +64,10 @@ class VpnGateway {
   void set_transmit(TransmitFn transmit) { transmit_ = std::move(transmit); }
 
   SecurityPolicyDatabase& spd() { return spd_; }
-  KeyPool& key_pool() { return key_pool_; }
+  /// The gateway's key reservoir. Producers deposit through the KeySupply
+  /// face (key_supply()); the concrete pool is exposed for stats/labels.
+  keystore::KeyPool& key_pool() { return key_pool_; }
+  keystore::KeySupply& key_supply() { return key_pool_; }
   const SecurityAssociationDatabase& sad() const { return sad_; }
   const IkeDaemon& ike() const { return ike_; }
   const Stats& stats() const { return stats_; }
@@ -83,15 +96,22 @@ class VpnGateway {
   void flush_established(qkd::SimTime now);
   void protect_and_send(const SpdEntry& policy, const IpPacket& packet,
                         qkd::SimTime now);
+  void on_supply_event(const keystore::SupplyEvent& event);
+  /// Retriggers negotiation for policies with queued traffic and no SA
+  /// (after a supply_replenished event ended a starvation episode).
+  /// Returns true if some policy is still stalled (could not start a
+  /// negotiation), so the caller keeps the wakeup armed.
+  bool wake_stalled_negotiations(qkd::SimTime now);
 
   Config config_;
   SecurityPolicyDatabase spd_;
   SecurityAssociationDatabase sad_;
-  KeyPool key_pool_;
+  keystore::KeyPool key_pool_;
   IkeDaemon ike_;
   qkd::crypto::Drbg drbg_;
   TransmitFn transmit_;
   Stats stats_;
+  bool supply_wakeup_ = false;  // set by on_supply_event, consumed by tick()
 
   // Policy name -> current outbound SPI.
   std::map<std::string, std::uint32_t> outbound_spi_;

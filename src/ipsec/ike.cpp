@@ -28,12 +28,28 @@ void put_spd_protection(Bytes& out, const SpdEntry& policy) {
 }  // namespace
 
 IkeDaemon::IkeDaemon(IkeConfig config, SecurityPolicyDatabase* spd,
-                     SecurityAssociationDatabase* sad, KeyPool* key_pool,
-                     std::uint64_t seed)
-    : config_(std::move(config)), spd_(spd), sad_(sad), key_pool_(key_pool),
+                     SecurityAssociationDatabase* sad,
+                     keystore::KeySupply& supply, std::uint64_t seed)
+    : config_(std::move(config)), spd_(spd), sad_(sad), supply_(supply),
       drbg_(seed) {
-  if (spd_ == nullptr || sad_ == nullptr || key_pool_ == nullptr)
+  if (spd_ == nullptr || sad_ == nullptr)
     throw std::invalid_argument("IkeDaemon: null database");
+  // Starvation is an event, not a poll: count the supply's exhaustion
+  // callbacks so an operator can tell "IKE degraded" apart from "IKE never
+  // asked" (the gateway layer reacts to the companion replenish event).
+  supply_subscription_ =
+      supply_.subscribe([this](const keystore::SupplyEvent& event) {
+        if (event.kind == keystore::SupplyEventKind::kExhausted)
+          ++stats_.supply_exhausted_events;
+      });
+}
+
+IkeDaemon::~IkeDaemon() { supply_.unsubscribe(supply_subscription_); }
+
+void IkeDaemon::release_reservation(PendingNegotiation& pending) {
+  if (!pending.reserved_key_id.has_value()) return;
+  supply_.release(*pending.reserved_key_id);
+  pending.reserved_key_id.reset();
 }
 
 void IkeDaemon::log_line(const std::string& file_func,
@@ -67,19 +83,33 @@ Bytes IkeDaemon::begin_phase1(qkd::SimTime) {
 std::optional<Bytes> IkeDaemon::initiate_phase2(const SpdEntry& policy,
                                                 qkd::SimTime now) {
   if (!skeyid_.has_value()) return std::nullopt;
-  // An OTP tunnel cannot come up without pad material; check before offering.
-  if (policy.qkd_mode == QkdMode::kOtp &&
-      key_pool_->available_qblocks(initiator_lane()) <
-          3 * policy.qblocks_per_rekey) {
-    ++stats_.failed_otp_negotiations;
-    log_line("bbn-qkd-qpd.c:903:qke_offer()",
-             "cannot offer " + std::to_string(policy.qblocks_per_rekey) +
-                 " Qblocks: pool has " +
-                 std::to_string(key_pool_->available_qblocks(initiator_lane())));
-    return std::nullopt;
+  PendingNegotiation pending;
+  // An OTP tunnel cannot come up without pad material: reserve the keymat
+  // Qblocks plus both pad directions when the offer is made, so concurrent
+  // offers can never promise the same blocks. The reservation is released
+  // at response time (the granted blocks are then re-requested, and the
+  // supply re-serves exactly them) or on timeout.
+  if (policy.qkd_mode == QkdMode::kOtp) {
+    auto earmark = supply_.reserve_qblocks(3 * policy.qblocks_per_rekey,
+                                           initiator_lane(),
+                                           "IkeDaemon::initiate_phase2");
+    if (!earmark.has_value()) {
+      ++stats_.failed_otp_negotiations;
+      log_line("bbn-qkd-qpd.c:903:qke_offer()",
+               "cannot offer " + std::to_string(policy.qblocks_per_rekey) +
+                   " Qblocks: pool has " +
+                   std::to_string(
+                       supply_.available_qblocks(initiator_lane())));
+      return std::nullopt;
+    }
+    // key_id 0 is the "no block" sentinel (a zero-Qblock policy reserves
+    // nothing) — there is nothing to settle later.
+    if (earmark->key_id != 0) {
+      pending.reserved_key_id = earmark->key_id;
+      stats_.qblocks_reserved += 3 * policy.qblocks_per_rekey;
+    }
   }
 
-  PendingNegotiation pending;
   pending.policy = policy;
   pending.exchange_id = drbg_.next_u64();
   pending.initiator_spi = drbg_.next_u32() | 0x10000000u;
@@ -246,7 +276,7 @@ std::vector<Bytes> IkeDaemon::handle_message(const Bytes& wire,
       if (qkd_mode == QkdMode::kOtp) otp_qblocks = 2 * offered_qblocks;
       if (qkd_mode != QkdMode::kNone) {
         const std::size_t available =
-            key_pool_->available_qblocks(responder_lane());
+            supply_.available_qblocks(responder_lane());
         if (available < granted + otp_qblocks) {
           granted = static_cast<std::uint32_t>(
               available >= otp_qblocks ? available - otp_qblocks : 0);
@@ -261,24 +291,30 @@ std::vector<Bytes> IkeDaemon::handle_message(const Bytes& wire,
         break;  // no response: the initiator will time out (paper Sec. 7)
       }
 
+      constexpr const char* kRespondSite =
+          "IkeDaemon::handle_message(Phase2Init)";
       qkd::BitVector qbits, otp_i_to_r, otp_r_to_i;
       if (granted > 0) {
-        qbits = *key_pool_->withdraw_qblocks(granted, responder_lane());
+        qbits = supply_.request_qblocks(granted, responder_lane(),
+                                        kRespondSite)->bits;
         stats_.qblocks_consumed += granted;
       } else if (qkd_mode != QkdMode::kNone) {
         ++stats_.degraded_negotiations;
       }
       if (qkd_mode == QkdMode::kOtp) {
-        otp_i_to_r = *key_pool_->withdraw_qblocks(granted, responder_lane());
-        otp_r_to_i = *key_pool_->withdraw_qblocks(granted, responder_lane());
+        otp_i_to_r = supply_.request_qblocks(granted, responder_lane(),
+                                             kRespondSite)->bits;
+        otp_r_to_i = supply_.request_qblocks(granted, responder_lane(),
+                                             kRespondSite)->bits;
         stats_.qblocks_consumed += 2 * granted;
       }
 
+      constexpr std::size_t kQblockBits = keystore::KeySupply::kQblockBits;
       std::ostringstream reply_text;
       reply_text << "reply " << granted << " Qblocks "
-                 << granted * KeyPool::kQblockBits << " bits " << std::fixed
+                 << granted * kQblockBits << " bits " << std::fixed
                  << std::setprecision(6)
-                 << static_cast<double>(granted * KeyPool::kQblockBits)
+                 << static_cast<double>(granted * kQblockBits)
                  << " entropy (offer is " << offered_qblocks << " Qblocks)";
       log_line("bbn-qkd-qpd.c:1047:qke_create_reply()", reply_text.str());
 
@@ -337,21 +373,32 @@ std::vector<Bytes> IkeDaemon::handle_message(const Bytes& wire,
       const std::uint32_t granted = reader.u32();
       const Bytes nonce_r = reader.bytes(kNonceBytes);
 
+      // Release the offer-time earmark (if any): the supply re-serves the
+      // released blocks lowest-index-first, so the requests below withdraw
+      // exactly the blocks the responder consumed — even when the grant is
+      // smaller than the offer.
+      release_reservation(pending);
+
+      constexpr const char* kInitiateSite =
+          "IkeDaemon::handle_message(Phase2Resp)";
       qkd::BitVector qbits, otp_i_to_r, otp_r_to_i;
       if (granted > 0) {
-        auto withdrawn = key_pool_->withdraw_qblocks(granted, initiator_lane());
+        auto withdrawn =
+            supply_.request_qblocks(granted, initiator_lane(), kInitiateSite);
         if (!withdrawn.has_value()) break;  // pools out of step: negotiation dies
-        qbits = std::move(*withdrawn);
+        qbits = std::move(withdrawn->bits);
         stats_.qblocks_consumed += granted;
       } else if (pending.policy.qkd_mode != QkdMode::kNone) {
         ++stats_.degraded_negotiations;
       }
       if (pending.policy.qkd_mode == QkdMode::kOtp) {
-        auto pad_i = key_pool_->withdraw_qblocks(granted, initiator_lane());
-        auto pad_r = key_pool_->withdraw_qblocks(granted, initiator_lane());
+        auto pad_i =
+            supply_.request_qblocks(granted, initiator_lane(), kInitiateSite);
+        auto pad_r =
+            supply_.request_qblocks(granted, initiator_lane(), kInitiateSite);
         if (!pad_i || !pad_r) break;
-        otp_i_to_r = std::move(*pad_i);
-        otp_r_to_i = std::move(*pad_r);
+        otp_i_to_r = std::move(pad_i->bits);
+        otp_r_to_i = std::move(pad_r->bits);
         stats_.qblocks_consumed += 2 * granted;
       }
 
@@ -381,6 +428,10 @@ std::vector<Bytes> IkeDaemon::poll(qkd::SimTime now) {
     if (age >= config_.phase2_timeout_s ||
         pending.retransmits > config_.max_retransmits) {
       ++stats_.phase2_timeouts;
+      // Hand any offer-time earmark back to the supply: an abandoned offer
+      // must not strand key material (the peer never consumed its mirror).
+      if (pending.reserved_key_id.has_value()) ++stats_.reservations_released;
+      release_reservation(pending);
       log_line("isakmp.c:1640:isakmp_ph2expire()",
                "phase 2 negotiation timed out for " + pending.policy.name);
       timed_out_.push_back(pending.policy.name);

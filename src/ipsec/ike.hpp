@@ -20,6 +20,15 @@
 //    Qblock pools disagree; the SAs install "successfully" and every ESP
 //    packet then fails integrity until the lifetime expires and rollover
 //    draws fresh (matching) bits — exactly the blackout the paper describes.
+//
+// Key access goes exclusively through keystore::KeySupply. Each end owns
+// one Qblock lane (by address order); negotiations this end initiates draw
+// from its lane, responses draw from the peer's, so simultaneous
+// opposite-direction rekeys stay in lockstep. OTP initiations *reserve*
+// their pad material when the offer is made (so concurrent offers cannot
+// promise the same blocks) and release it on timeout; completed
+// negotiations re-request exactly the granted blocks, which the supply
+// re-serves in block order.
 #pragma once
 
 #include <cstdint>
@@ -31,11 +40,13 @@
 #include "src/common/bytes.hpp"
 #include "src/common/sim_clock.hpp"
 #include "src/crypto/drbg.hpp"
-#include "src/ipsec/key_pool.hpp"
+#include "src/keystore/key_supply.hpp"
 #include "src/ipsec/sad.hpp"
 #include "src/ipsec/spd.hpp"
 
 namespace qkd::ipsec {
+
+namespace keystore = qkd::keystore;
 
 struct IkeConfig {
   std::string name = "gw";        // appears in racoon-style log lines
@@ -55,8 +66,11 @@ struct IkeStats {
   std::uint64_t phase2_timeouts = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t qblocks_consumed = 0;
+  std::uint64_t qblocks_reserved = 0;       // earmarked by OTP offers
+  std::uint64_t reservations_released = 0;  // offers abandoned on timeout
   std::uint64_t degraded_negotiations = 0;  // hybrid granted 0 Qblocks
   std::uint64_t failed_otp_negotiations = 0;
+  std::uint64_t supply_exhausted_events = 0;  // starvation callbacks seen
 };
 
 /// A Phase-2 outcome: the freshly installed SA pair.
@@ -68,9 +82,16 @@ struct NegotiatedSa {
 
 class IkeDaemon {
  public:
+  /// `supply` is the daemon's sole source of key material; it must outlive
+  /// the daemon. Both peers' supplies must be mirror images (same deposit
+  /// stream) for negotiated keys to match.
   IkeDaemon(IkeConfig config, SecurityPolicyDatabase* spd,
-            SecurityAssociationDatabase* sad, KeyPool* key_pool,
+            SecurityAssociationDatabase* sad, keystore::KeySupply& supply,
             std::uint64_t seed);
+  /// Unsubscribes the daemon's supply callback (the supply outlives the
+  /// daemon; without this, events after destruction would call into freed
+  /// memory).
+  ~IkeDaemon();
 
   /// Phase 1: returns the initiator's first message. Call once at startup;
   /// feeding the peer's messages through handle_message completes it.
@@ -110,7 +131,14 @@ class IkeDaemon {
     qkd::SimTime started_at = 0;
     qkd::SimTime last_send = 0;
     unsigned retransmits = 0;
+    /// OTP offers earmark keymat + pad material at initiate time; the
+    /// reservation is released (blocks re-served in order) at response or
+    /// timeout.
+    std::optional<std::uint64_t> reserved_key_id;
   };
+
+  /// Releases a pending negotiation's earmark, if any.
+  void release_reservation(PendingNegotiation& pending);
 
   unsigned initiator_lane() const;
   unsigned responder_lane() const;
@@ -130,7 +158,8 @@ class IkeDaemon {
   IkeConfig config_;
   SecurityPolicyDatabase* spd_;
   SecurityAssociationDatabase* sad_;
-  KeyPool* key_pool_;
+  keystore::KeySupply& supply_;
+  std::uint64_t supply_subscription_ = 0;
   qkd::crypto::Drbg drbg_;
 
   std::optional<Bytes> skeyid_;

@@ -5,7 +5,8 @@
 namespace qkd::ipsec {
 namespace {
 
-VpnGateway::Config gateway_config(const std::string& name,
+VpnGateway::Config gateway_config(const VpnLinkSimulation::Params& params,
+                                  const std::string& name,
                                   const std::string& address,
                                   const std::string& peer) {
   VpnGateway::Config config;
@@ -13,6 +14,7 @@ VpnGateway::Config gateway_config(const std::string& name,
   config.address = parse_ipv4(address);
   config.peer_address = parse_ipv4(peer);
   config.preshared_key = Bytes{'d', 'a', 'r', 'p', 'a', '-', 'q', 'n'};
+  config.supply_low_water_bits = params.supply_low_water_bits;
   return config;
 }
 
@@ -20,9 +22,11 @@ VpnGateway::Config gateway_config(const std::string& name,
 
 VpnLinkSimulation::VpnLinkSimulation(Params params, std::uint64_t seed)
     : params_(params),
-      a_(gateway_config(params.a_name, params.a_address, params.b_address),
+      a_(gateway_config(params, params.a_name, params.a_address,
+                        params.b_address),
          seed * 2 + 1),
-      b_(gateway_config(params.b_name, params.b_address, params.a_address),
+      b_(gateway_config(params, params.b_name, params.b_address,
+                        params.a_address),
          seed * 2 + 2) {
   a_.set_transmit([this](const Bytes& wire) { channel_.send_from_a(wire); });
   b_.set_transmit([this](const Bytes& wire) { channel_.send_from_b(wire); });
@@ -62,6 +66,10 @@ void VpnLinkSimulation::enable_engine_feed(qkd::proto::QkdLinkConfig proto,
   config.seed = seed;
   config.threads = 1;  // one link: no fan-out to schedule
   feed_ = std::make_unique<qkd::network::LinkKeyService>(topology, config);
+  // Both gateways' reservoirs are sinks of the same key stream: the
+  // producer mirrors every accepted batch into the two supplies itself.
+  feed_->attach_sink(0, a_.key_supply());
+  feed_->attach_sink(0, b_.key_supply());
 }
 
 void VpnLinkSimulation::set_feed_attack(
@@ -75,11 +83,6 @@ void VpnLinkSimulation::set_feed_attack(
 void VpnLinkSimulation::run_engine_feed(double dt_seconds) {
   if (!feed_) return;
   feed_->advance(dt_seconds);
-  const qkd::BitVector fresh = feed_->drain(0);
-  if (!fresh.empty()) {
-    a_.key_pool().deposit(fresh);
-    b_.key_pool().deposit(fresh);
-  }
 }
 
 void VpnLinkSimulation::start() {

@@ -7,11 +7,13 @@
 //  * deposit_key_material() hand-mirrors a bit string into both pools —
 //    the original harness mode, still used to inject corrupted deposits;
 //  * enable_engine_feed() attaches a real QkdLinkSession (through a
-//    two-node LinkKeyService) whose distilled batches are deposited into
-//    both pools as simulated time advances — the continuously-running
-//    Fig. 11 stack. An Attack on the feed suppresses distillation, making
-//    the Section 7 "IKE starves when Eve suppresses distillation" scenario
-//    runnable end to end.
+//    two-node LinkKeyService) with BOTH gateways' supplies attached as its
+//    sinks: as simulated time advances, every accepted batch is delivered
+//    into the two mirrored reservoirs by the producer itself — no
+//    hand-copied deposits — the continuously-running Fig. 11 stack. An
+//    Attack on the feed suppresses distillation, making the Section 7
+//    "IKE starves when Eve suppresses distillation" scenario runnable end
+//    to end.
 //
 // Examples, tests and the E10/E11 benches all run on this harness.
 #pragma once
@@ -31,6 +33,10 @@ class VpnLinkSimulation {
     std::string a_address = "192.1.99.34";
     std::string b_address = "192.1.99.35";
     double tick_interval_s = 0.1;
+    /// Low-water mark installed on both gateways' key supplies (starvation
+    /// events; see VpnGateway::Config::supply_low_water_bits).
+    std::size_t supply_low_water_bits =
+        4 * keystore::KeySupply::kQblockBits;
   };
 
   explicit VpnLinkSimulation(Params params, std::uint64_t seed = 1);
@@ -52,10 +58,11 @@ class VpnLinkSimulation {
 
   /// Attaches a real QKD engine between the gateways: a LinkKeyService over
   /// a two-endpoint topology whose single link runs `proto` (the fiber and
-  /// operating point come from `proto.link`). Every advance() runs the
-  /// distillation the elapsed simulated time allows and deposits accepted
-  /// batches into BOTH gateways' pools — mirrored by the engine's verify
-  /// stage, not by hand.
+  /// operating point come from `proto.link`), with both gateways' supplies
+  /// attached as the link's sinks. Every advance() runs the distillation
+  /// the elapsed simulated time allows; the producer delivers accepted
+  /// batches into BOTH pools — mirrored by the engine's verify stage, not
+  /// by hand.
   void enable_engine_feed(qkd::proto::QkdLinkConfig proto,
                           std::uint64_t seed = 1);
 
@@ -77,8 +84,8 @@ class VpnLinkSimulation {
   void advance(double seconds);
 
  private:
-  /// Runs the feed for `dt` simulated seconds and mirrors fresh key into
-  /// both pools. No-op without an engine feed.
+  /// Runs the feed for `dt` simulated seconds; the producer deposits fresh
+  /// key into both attached gateway supplies. No-op without an engine feed.
   void run_engine_feed(double dt_seconds);
 
   Params params_;

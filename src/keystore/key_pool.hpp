@@ -1,0 +1,111 @@
+// The concrete KeySupply: a reservoir of distilled QKD key material that
+// owns the Qblock/lane framing (the VPN/OPC reservoir of Fig. 12).
+//
+// The QKD protocol engine deposits distilled bits; consumers withdraw them
+// through the KeySupply verbs, most prominently as 1024-bit "Qblocks" (the
+// unit visible in the paper's Fig. 12 transcript: "reply 1 Qblocks 1024
+// bits 1024.000000 entropy"). Both VPN gateways hold mirror-image pools —
+// the same bits in the same order — so block N withdrawn at Alice equals
+// block N withdrawn at Bob. Running dry is the key-consumption race of
+// Section 2 ("Sufficiently Rapid Key Delivery").
+//
+// Lanes. The paper notes the extensions needed "negotiation mechanisms to
+// agree on which QKD bits will be used": when both gateways initiate
+// Phase-2 negotiations concurrently (e.g. simultaneous rekey after
+// expiry), naive FIFO withdrawal would interleave differently on the two
+// ends and scramble every subsequent key. Qblocks are therefore
+// partitioned into two lanes by block-index parity — lane 0 holds blocks
+// 0, 2, 4, ...; lane 1 holds blocks 1, 3, 5, ... — and each negotiation
+// draws from the lane owned by its initiating direction. Concurrent
+// opposite-direction negotiations then consume disjoint blocks and stay in
+// lockstep without extra round trips.
+//
+// Reservations. reserve_qblocks() earmarks lane blocks without counting
+// them consumed; release() returns them for re-serving lowest-index-first
+// (before any fresh block), so two mirrored pools driven through the same
+// completed negotiations remain in lockstep even across abandoned offers
+// and partial grants.
+//
+// Framing modes are exclusive per pool: Qblock/lane calls and linear
+// request_bits() calls cannot be mixed — doing so throws std::logic_error
+// whose message names the pool, both framing modes, and both call sites.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+#include "src/keystore/key_supply.hpp"
+
+namespace qkd::keystore {
+
+class KeyPool final : public KeySupply {
+ public:
+  struct Stats {
+    std::uint64_t bits_deposited = 0;
+    std::uint64_t bits_withdrawn = 0;    // acknowledged (consumed for good)
+    std::uint64_t qblocks_withdrawn = 0;
+    std::uint64_t failed_withdrawals = 0;  // pool-empty events
+    std::uint64_t bits_reserved = 0;   // currently outstanding earmarks
+    std::uint64_t bits_released = 0;   // cumulative, handed back via release
+  };
+
+  KeyPool() = default;
+  /// `label` names this pool in misuse diagnostics ("alice-gw", "link-3").
+  explicit KeyPool(std::string label) : label_(std::move(label)) {}
+
+  void set_label(std::string label) { label_ = std::move(label); }
+  const std::string& label() const { return label_; }
+
+  // ---- KeySupply ----------------------------------------------------------
+  void deposit(const qkd::BitVector& bits) override;
+  std::optional<KeyBlock> request_qblocks(std::size_t count, unsigned lane,
+                                          const char* site = nullptr) override;
+  std::optional<KeyBlock> request_bits(std::size_t bits,
+                                       const char* site = nullptr) override;
+  std::optional<KeyBlock> reserve_qblocks(std::size_t count, unsigned lane,
+                                          const char* site = nullptr) override;
+  void acknowledge(std::uint64_t key_id) override;
+  void release(std::uint64_t key_id) override;
+
+  std::size_t available_bits() const override;
+  /// Complete, unconsumed, unreserved Qblocks remaining in `lane`
+  /// (released blocks count as available again).
+  std::size_t available_qblocks(unsigned lane = 0) const override;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Mode { kUnset, kLinear, kLaned };
+
+  struct Reservation {
+    unsigned lane = 0;
+    std::vector<std::size_t> blocks;  // lane-local indices, ascending
+    std::size_t bits = 0;
+  };
+
+  static const char* mode_name(Mode mode);
+  /// Switches to (or stays in) `wanted`; throws the contextual
+  /// std::logic_error on a framing-mode conflict.
+  void require_mode(Mode wanted, const char* op, const char* site);
+  qkd::BitVector lane_block_bits(std::size_t lane_index, unsigned lane) const;
+  void compact();
+
+  std::string label_;
+  qkd::BitVector pool_;        // bits not yet dropped by compaction
+  std::size_t base_bits_ = 0;  // absolute bit offset of pool_[0]
+  std::size_t linear_cursor_ = 0;      // absolute, kLinear mode
+  std::size_t lane_next_[kLaneCount] = {0, 0};  // next fresh lane-local index
+  std::set<std::size_t> lane_released_[kLaneCount];  // re-serve before fresh
+  std::map<std::uint64_t, Reservation> reservations_;  // outstanding only
+  std::uint64_t next_key_id_ = 1;
+  Mode mode_ = Mode::kUnset;
+  std::string mode_site_;  // call site that fixed the framing mode
+  Stats stats_;
+};
+
+}  // namespace qkd::keystore

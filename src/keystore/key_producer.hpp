@@ -1,0 +1,50 @@
+// The producer face of the key-delivery layer.
+//
+// A KeyProducer turns simulated time into distilled key material and
+// deposits it into KeySupply sinks: a single QkdLinkSession is a
+// one-stream producer; a LinkKeyService is an N-stream producer (one
+// stream per topology link, distilled in parallel, each stream
+// bit-identical regardless of thread count).
+//
+// Every stream has a producer-owned default supply. attach_sink() mirrors
+// a stream into external supplies instead — the paper's two VPN gateways
+// each attach their own pool to the same stream and thereafter hold
+// mirror-image reservoirs without any hand-copied deposits. While one or
+// more sinks are attached, the producer's own supply stops accumulating
+// (key is delivered, not archived).
+//
+// Threading: deposits for one stream are always made from one thread at a
+// time, but different streams may run on different workers — attach a
+// given sink to at most one stream unless the sinks are synchronized
+// externally.
+#pragma once
+
+#include <cstddef>
+
+#include "src/keystore/key_supply.hpp"
+
+namespace qkd::keystore {
+
+class KeyProducer {
+ public:
+  virtual ~KeyProducer() = default;
+
+  /// Independent key streams this producer fills (topology links).
+  virtual std::size_t supply_count() const = 0;
+
+  /// The producer-owned default supply of stream `index`.
+  virtual KeySupply& supply(std::size_t index) = 0;
+  virtual const KeySupply& supply(std::size_t index) const = 0;
+
+  /// Routes stream `index` into `sink` (in addition to any sinks already
+  /// attached; the producer-owned supply stops receiving). `sink` must
+  /// outlive the producer or be detached by destroying the producer first.
+  virtual void attach_sink(std::size_t index, KeySupply& sink) = 0;
+
+  /// Advances simulated time by `dt_seconds`, running whatever distillation
+  /// fits and depositing accepted key into the attached sinks (or the
+  /// producer-owned supplies). Fractional batch time carries over.
+  virtual void advance(double dt_seconds) = 0;
+};
+
+}  // namespace qkd::keystore

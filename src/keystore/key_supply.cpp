@@ -1,0 +1,53 @@
+#include "src/keystore/key_supply.hpp"
+
+namespace qkd::keystore {
+
+const char* supply_event_kind_name(SupplyEventKind kind) {
+  switch (kind) {
+    case SupplyEventKind::kLowWater: return "low-water";
+    case SupplyEventKind::kExhausted: return "exhausted";
+    case SupplyEventKind::kReplenished: return "replenished";
+  }
+  return "?";
+}
+
+KeyBlock KeySupply::take_all(const char* site) {
+  const std::size_t bits = available_bits();
+  if (bits == 0) return KeyBlock{};
+  return *request_bits(bits, site);
+}
+
+std::uint64_t KeySupply::subscribe(EventCallback callback) {
+  const std::uint64_t token = next_subscription_token_++;
+  callbacks_.emplace_back(token, std::move(callback));
+  return token;
+}
+
+void KeySupply::unsubscribe(std::uint64_t token) {
+  std::erase_if(callbacks_,
+                [token](const auto& entry) { return entry.first == token; });
+}
+
+void KeySupply::signal_availability(std::size_t before, std::size_t after) {
+  if (low_water_bits_ == 0 || before == after) return;
+  if (before >= low_water_bits_ && after < low_water_bits_)
+    emit(SupplyEventKind::kLowWater, after, 0);
+  else if (before < low_water_bits_ && after >= low_water_bits_)
+    emit(SupplyEventKind::kReplenished, after, 0);
+}
+
+void KeySupply::signal_exhausted(std::size_t requested,
+                                 std::size_t available) {
+  emit(SupplyEventKind::kExhausted, available, requested);
+}
+
+void KeySupply::emit(SupplyEventKind kind, std::size_t available,
+                     std::size_t requested) {
+  SupplyEvent event;
+  event.kind = kind;
+  event.available_bits = available;
+  event.requested_bits = requested;
+  for (const auto& [token, callback] : callbacks_) callback(event);
+}
+
+}  // namespace qkd::keystore

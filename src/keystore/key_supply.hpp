@@ -1,0 +1,153 @@
+// The unified key-delivery interface: distilled QKD key as a fungible
+// commodity ("Sufficiently Rapid Key Delivery", Sec. 2; the VPN/OPC
+// reservoir of Fig. 12).
+//
+// One seam, two faces. Producers (a single QkdLinkSession, a whole
+// LinkKeyService mesh) deposit distilled bits into a KeySupply; consumers
+// (IKE, the trusted-relay transport, benches) obtain key exclusively
+// through it. Every piece of key handed out is a KeyBlock with a key_id —
+// the per-supply sequence number that names the withdrawal for later
+// settlement (acknowledge/release) and tracing. Two mirrored supplies
+// driven through an identical call sequence derive identical key_ids;
+// across asymmetric flows (one end reserves an offer the other never
+// sees) the counters diverge, so cross-end agreement on *which bits* is
+// guaranteed by the lane/block ordering below, not by comparing key_ids.
+//
+// Consumption verbs:
+//   * request_*  — withdraw now: reserve + acknowledge in one step.
+//   * reserve_qblocks / acknowledge / release — two-phase consumption for
+//     consumers whose need is conditional (an IKE initiator earmarks pad
+//     material when it makes an offer, acknowledges when the responder
+//     grants, releases when the negotiation times out). Released blocks
+//     return to their lane and are re-served lowest-index-first, so two
+//     mirrored supplies driven through the same completed negotiations
+//     stay in bit-for-bit lockstep even across partial grants and
+//     abandoned offers.
+//
+// Lanes. Qblocks are partitioned into kLaneCount lanes by block-index
+// parity; each negotiation direction owns one lane, so concurrent
+// opposite-direction IKE rekeys consume disjoint blocks (see KeyPool for
+// the framing; see IkeDaemon for lane assignment).
+//
+// Starvation is an event, not a poll. A supply calls back when it crosses
+// its low-water mark going down (kLowWater), when a request fails for lack
+// of key (kExhausted), and when a deposit lifts it back over the mark
+// (kReplenished) — the hook that lets IKE react to the key-consumption
+// race of Sec. 2 instead of discovering starvation one failed negotiation
+// at a time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+
+namespace qkd::keystore {
+
+/// A unit of delivered key: the bits plus the per-supply sequence number
+/// that names them on both ends of a mirrored pair.
+struct KeyBlock {
+  std::uint64_t key_id = 0;  // 1-based; 0 is "no block"
+  qkd::BitVector bits;
+};
+
+enum class SupplyEventKind {
+  kLowWater,     // available bits crossed the low-water mark going down
+  kExhausted,    // a request/reserve failed for lack of key
+  kReplenished,  // a deposit/release lifted availability back over the mark
+};
+
+const char* supply_event_kind_name(SupplyEventKind kind);
+
+struct SupplyEvent {
+  SupplyEventKind kind = SupplyEventKind::kLowWater;
+  std::size_t available_bits = 0;  // after the triggering operation
+  std::size_t requested_bits = 0;  // kExhausted only: size of the failed ask
+};
+
+class KeySupply {
+ public:
+  /// The paper's Fig. 12 unit: "reply 1 Qblocks 1024 bits".
+  static constexpr std::size_t kQblockBits = 1024;
+  /// Qblock lanes (one per negotiation direction).
+  static constexpr unsigned kLaneCount = 2;
+
+  using EventCallback = std::function<void(const SupplyEvent&)>;
+
+  virtual ~KeySupply() = default;
+
+  // ---- Producer face ------------------------------------------------------
+  /// Appends freshly distilled bits. Mirrored supplies must see identical
+  /// deposit streams (the QKD pipeline's verify stage guarantees the bits;
+  /// the producer guarantees the ordering).
+  virtual void deposit(const qkd::BitVector& bits) = 0;
+
+  // ---- Consumer face ------------------------------------------------------
+  /// Withdraws `count` complete Qblocks from `lane` immediately (reserve +
+  /// acknowledge in one step); nullopt — without consuming — if the lane
+  /// cannot cover the request. `site` names the caller in misuse
+  /// diagnostics.
+  virtual std::optional<KeyBlock> request_qblocks(
+      std::size_t count, unsigned lane, const char* site = nullptr) = 0;
+
+  /// Withdraws `bits` in FIFO order (linear framing, for consumers without
+  /// the Qblock/lane discipline); nullopt without consuming if short.
+  virtual std::optional<KeyBlock> request_bits(std::size_t bits,
+                                               const char* site = nullptr) = 0;
+
+  /// Earmarks `count` Qblocks of `lane` without committing: the blocks stop
+  /// being served to other callers, but the material is not counted
+  /// consumed until acknowledge(). release() hands the blocks back for
+  /// re-serving in block order.
+  virtual std::optional<KeyBlock> reserve_qblocks(
+      std::size_t count, unsigned lane, const char* site = nullptr) = 0;
+
+  /// Commits a reservation: the material is consumed for good. Throws
+  /// std::invalid_argument for an unknown (or already settled) key_id.
+  virtual void acknowledge(std::uint64_t key_id) = 0;
+
+  /// Cancels a reservation: its blocks return to their lane and are
+  /// re-served (lowest block index first) before fresh ones. Throws
+  /// std::invalid_argument for an unknown key_id.
+  virtual void release(std::uint64_t key_id) = 0;
+
+  /// Convenience: withdraws everything currently available through the
+  /// linear framing (producer hand-off, tests).
+  KeyBlock take_all(const char* site = nullptr);
+
+  // ---- Introspection ------------------------------------------------------
+  virtual std::size_t available_bits() const = 0;
+  virtual std::size_t available_qblocks(unsigned lane = 0) const = 0;
+
+  // ---- Starvation signalling ----------------------------------------------
+  /// Threshold for kLowWater / kReplenished; 0 (default) disables those two
+  /// events (kExhausted always fires).
+  void set_low_water_bits(std::size_t bits) { low_water_bits_ = bits; }
+  std::size_t low_water_bits() const { return low_water_bits_; }
+
+  /// Registers an observer. Callbacks run synchronously inside the
+  /// triggering deposit/request/release, on that caller's thread. Returns
+  /// a token for unsubscribe(); an observer whose lifetime may end before
+  /// the supply's MUST unsubscribe (the supply calls whatever the callback
+  /// captured).
+  std::uint64_t subscribe(EventCallback callback);
+  void unsubscribe(std::uint64_t token);
+
+ protected:
+  /// Implementations report every availability change through these; the
+  /// base class turns threshold crossings into events.
+  void signal_availability(std::size_t before, std::size_t after);
+  void signal_exhausted(std::size_t requested, std::size_t available);
+
+ private:
+  void emit(SupplyEventKind kind, std::size_t available,
+            std::size_t requested);
+
+  std::size_t low_water_bits_ = 0;
+  std::uint64_t next_subscription_token_ = 1;
+  std::vector<std::pair<std::uint64_t, EventCallback>> callbacks_;
+};
+
+}  // namespace qkd::keystore

@@ -34,6 +34,7 @@ LinkKeyService::LinkKeyService(const Topology& topology, Config config)
     LinkState state;
     state.session = std::make_unique<qkd::proto::QkdLinkSession>(
         proto, link_seed(config.seed, link.id));
+    state.session->supply_pool().set_label("link-" + std::to_string(link.id));
     state.enabled = link.usable();
     links_.push_back(std::move(state));
   }
@@ -51,7 +52,7 @@ const qkd::proto::QkdLinkSession& LinkKeyService::session(LinkId id) const {
 
 void LinkKeyService::set_attack(LinkId id,
                                 std::unique_ptr<qkd::optics::Attack> attack) {
-  links_.at(id).attack = std::move(attack);
+  links_.at(id).session->set_attack(std::move(attack));
 }
 
 void LinkKeyService::set_link_enabled(LinkId id, bool enabled) {
@@ -62,19 +63,29 @@ bool LinkKeyService::link_enabled(LinkId id) const {
   return links_.at(id).enabled;
 }
 
-void LinkKeyService::execute(const std::vector<std::size_t>& plan) {
+qkd::keystore::KeySupply& LinkKeyService::supply(std::size_t id) {
+  return links_.at(id).session->supply();
+}
+
+const qkd::keystore::KeySupply& LinkKeyService::supply(std::size_t id) const {
+  return links_.at(id).session->supply();
+}
+
+void LinkKeyService::attach_sink(std::size_t id,
+                                 qkd::keystore::KeySupply& sink) {
+  links_.at(id).session->attach_sink(0, sink);
+}
+
+template <typename Fn>
+void LinkKeyService::for_each_enabled_link(const Fn& work) {
   // Fan links out across workers: each worker claims whole links, so one
-  // link's batches always run sequentially against its own session state.
+  // link's batches always run sequentially against its own session state
+  // (and its sinks are only ever touched from that worker).
   std::atomic<std::size_t> next{0};
-  const auto worker = [this, &plan, &next] {
+  const auto worker = [this, &work, &next] {
     for (std::size_t i = next.fetch_add(1); i < links_.size();
          i = next.fetch_add(1)) {
-      LinkState& link = links_[i];
-      for (std::size_t b = 0; b < plan[i]; ++b) {
-        const qkd::proto::BatchResult batch =
-            link.session->run_batch(link.attack.get());
-        if (batch.accepted) link.pool.append(batch.key);
-      }
+      if (links_[i].enabled) work(links_[i]);
     }
   };
   const std::size_t n_workers =
@@ -90,44 +101,15 @@ void LinkKeyService::execute(const std::vector<std::size_t>& plan) {
 }
 
 void LinkKeyService::run_batches(std::size_t batches_per_link) {
-  std::vector<std::size_t> plan(links_.size(), 0);
-  for (std::size_t i = 0; i < links_.size(); ++i)
-    if (links_[i].enabled) plan[i] = batches_per_link;
-  execute(plan);
+  for_each_enabled_link([batches_per_link](LinkState& link) {
+    link.session->produce_batches(batches_per_link);
+  });
 }
 
 void LinkKeyService::advance(double dt_seconds) {
   if (dt_seconds <= 0.0) return;
-  std::vector<std::size_t> plan(links_.size(), 0);
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    LinkState& link = links_[i];
-    if (!link.enabled) continue;
-    const double frame_s = link.session->link().frame_duration_s(
-        link.session->config().frame_slots);
-    link.frame_debt_s += dt_seconds;
-    const auto batches = static_cast<std::size_t>(link.frame_debt_s / frame_s);
-    link.frame_debt_s -= static_cast<double>(batches) * frame_s;
-    plan[i] = batches;
-  }
-  execute(plan);
-}
-
-std::size_t LinkKeyService::pool_bits(LinkId id) const {
-  return links_.at(id).pool.size();
-}
-
-std::optional<qkd::BitVector> LinkKeyService::withdraw(LinkId id,
-                                                       std::size_t bits) {
-  LinkState& link = links_.at(id);
-  if (link.pool.size() < bits) return std::nullopt;
-  qkd::BitVector out = link.pool.slice(0, bits);
-  link.pool = link.pool.slice(bits, link.pool.size() - bits);
-  return out;
-}
-
-qkd::BitVector LinkKeyService::drain(LinkId id) {
-  LinkState& link = links_.at(id);
-  return std::exchange(link.pool, qkd::BitVector());
+  for_each_enabled_link(
+      [dt_seconds](LinkState& link) { link.session->advance(dt_seconds); });
 }
 
 }  // namespace qkd::network

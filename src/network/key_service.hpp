@@ -2,30 +2,34 @@
 // the per-link QKD engines and the consumers of pairwise key (the trusted
 // relay network of Sec. 8, and the IKE/IPsec stack of Sec. 7).
 //
-// A LinkKeyService owns one real QkdLinkSession per topology link and
-// distills into that link's pairwise pool by actually running the protocol
-// pipeline — sifting, error correction, privacy amplification,
-// authentication — rather than the analytic rate shortcut
-// (estimated_distill_fraction), which remains available as a fast estimator
-// and is cross-validated against this service in tests.
+// A LinkKeyService owns one real QkdLinkSession per topology link and is a
+// keystore::KeyProducer with one key stream per link: accepted batches are
+// distilled by actually running the protocol pipeline — sifting, error
+// correction, privacy amplification, authentication — rather than the
+// analytic rate shortcut (estimated_distill_fraction), which remains
+// available as a fast estimator and is cross-validated against this
+// service in tests. Consumers obtain key through supply(link) — the
+// link's KeySupply — or attach their own sinks (both VPN gateways attach
+// their pools to the same stream and hold mirror-image reservoirs).
 //
 // Independent links are independent machines, so their batches execute in
-// parallel on a small thread pool. Each link's session and attack state is
-// touched by exactly one worker at a time and seeds are derived per link,
-// so every link's key stream is bit-identical regardless of thread count.
+// parallel on a small thread pool. Each link's session, sinks and attack
+// state are touched by exactly one worker at a time and seeds are derived
+// per link, so every link's key stream is bit-identical regardless of
+// thread count.
 #pragma once
 
 #include <cstdint>
 #include <memory>
-#include <optional>
 #include <vector>
 
+#include "src/keystore/key_producer.hpp"
 #include "src/network/topology.hpp"
 #include "src/qkd/engine.hpp"
 
 namespace qkd::network {
 
-class LinkKeyService {
+class LinkKeyService : public qkd::keystore::KeyProducer {
  public:
   struct Config {
     /// Protocol operating point applied to every link; the physical-layer
@@ -43,7 +47,7 @@ class LinkKeyService {
   };
 
   LinkKeyService(const Topology& topology, Config config);
-  ~LinkKeyService();
+  ~LinkKeyService() override;
 
   std::size_t link_count() const { return links_.size(); }
 
@@ -60,37 +64,37 @@ class LinkKeyService {
   bool link_enabled(LinkId id) const;
 
   /// Runs `batches_per_link` batches on every enabled link, independent
-  /// links in parallel; accepted batches append to the link's pool.
+  /// links in parallel; accepted batches are delivered to the link's
+  /// supply (or its attached sinks).
   void run_batches(std::size_t batches_per_link);
 
+  /// Distilled bits pending in a link's supply (convenience for
+  /// supply(id).available_bits()).
+  std::size_t pool_bits(LinkId id) const { return supply(id).available_bits(); }
+
+  // ---- keystore::KeyProducer ----------------------------------------------
+  std::size_t supply_count() const override { return links_.size(); }
+  /// The pairwise KeySupply of one topology link.
+  qkd::keystore::KeySupply& supply(std::size_t id) override;
+  const qkd::keystore::KeySupply& supply(std::size_t id) const override;
+  /// Mirrors link `id`'s stream into `sink` (the link's own supply stops
+  /// accumulating) — the feed the VPN layer routes into both gateways.
+  void attach_sink(std::size_t id, qkd::keystore::KeySupply& sink) override;
   /// Advances simulated time: runs however many whole Qframes fit into
   /// `dt_seconds` of each enabled link's time (fractional frame time is
-  /// carried to the next call).
-  void advance(double dt_seconds);
-
-  /// Distilled bits accumulated in a link's pairwise pool and not yet
-  /// withdrawn.
-  std::size_t pool_bits(LinkId id) const;
-
-  /// FIFO withdrawal; nullopt (without consuming) if the pool is short.
-  std::optional<qkd::BitVector> withdraw(LinkId id, std::size_t bits);
-
-  /// Withdraws everything pending — the feed the VPN layer mirrors into
-  /// both gateways' KeyPools (both ends hold identical streams because the
-  /// engine's verify stage guarantees equal keys).
-  qkd::BitVector drain(LinkId id);
+  /// carried per link).
+  void advance(double dt_seconds) override;
 
  private:
   struct LinkState {
     std::unique_ptr<qkd::proto::QkdLinkSession> session;
-    std::unique_ptr<qkd::optics::Attack> attack;
     bool enabled = true;
-    double frame_debt_s = 0.0;  // simulated time owed to advance()
-    qkd::BitVector pool;        // distilled, unconsumed bits
   };
 
-  /// Runs `plan[i]` batches on link i, fanning links out across workers.
-  void execute(const std::vector<std::size_t>& plan);
+  /// Runs `work(link)` for every enabled link, fanning links out across
+  /// workers.
+  template <typename Fn>
+  void for_each_enabled_link(const Fn& work);
 
   std::vector<LinkState> links_;
   std::size_t threads_;

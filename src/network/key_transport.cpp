@@ -61,15 +61,27 @@ void MeshSimulation::sync_engine_link_states() {
     service_->set_link_enabled(link.id, link.usable());
 }
 
+void MeshSimulation::purge_pool(LinkId link) {
+  pools_[link] = 0.0;
+  // Engine mode: the accumulated key lives in the link's supply; a cut or
+  // abandoned link's material is discarded with it.
+  if (service_) service_->supply(link).take_all("MeshSimulation::purge_pool");
+}
+
+double MeshSimulation::link_pool_bits(LinkId link) const {
+  if (rate_model_ == RateModel::kEngine)
+    return static_cast<double>(service_->supply(link).available_bits());
+  return pools_.at(link);
+}
+
 void MeshSimulation::step(double dt_seconds) {
   if (rate_model_ == RateModel::kEngine) {
     // Real distillation: the engines charge for sub-alarm eavesdropping on
     // their own (the entropy estimate sees the induced errors), and an
-    // abandoned/cut link simply runs no batches.
+    // abandoned/cut link simply runs no batches. Accepted batches land in
+    // each link's KeySupply; transport_key() withdraws from there.
     sync_engine_link_states();
     service_->advance(dt_seconds);
-    for (LinkId id = 0; id < topology_.link_count(); ++id)
-      pools_[id] += static_cast<double>(service_->drain(id).size());
     return;
   }
   for (const Link& link : topology_.links()) {
@@ -96,7 +108,7 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
   // Prefer key-rich links: cost = 1 + shortage penalty.
   const double need = static_cast<double>(bits);
   const auto cost = [this, need](const Link& link) {
-    const double pool = pools_[link.id];
+    const double pool = link_pool_bits(link.id);
     return pool >= need ? 1.0 : 1000.0;  // starved links only as last resort
   };
   const auto route = shortest_route(topology_, src, dst, cost);
@@ -111,7 +123,7 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
 
   // Check every hop can afford the transport before consuming anything.
   for (LinkId link_id : route->links) {
-    if (pools_[link_id] < need) {
+    if (link_pool_bits(link_id) < need) {
       ++stats_.transports_starved;
       return result;
     }
@@ -123,11 +135,20 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
   qkd::BitVector in_flight = result.key;
   for (std::size_t hop = 0; hop < route->links.size(); ++hop) {
     const LinkId link_id = route->links[hop];
-    // Pairwise link pad (simulated draw; both link ends hold the same pool).
-    const qkd::BitVector pad = rng_.next_bits(bits);
+    // Pairwise link pad: in engine mode the actual distilled bits withdrawn
+    // from the link's KeySupply (both link ends hold the same stream); in
+    // analytic mode a simulated draw against the rate-model pool.
+    qkd::BitVector pad;
+    if (rate_model_ == RateModel::kEngine) {
+      pad = service_->supply(link_id)
+                .request_bits(bits, "MeshSimulation::transport_key")
+                ->bits;
+    } else {
+      pad = rng_.next_bits(bits);
+      pools_[link_id] -= need;
+    }
     qkd::BitVector ciphertext = in_flight;
     ciphertext ^= pad;  // encrypted on the wire
-    pools_[link_id] -= need;
     result.pool_bits_consumed += bits;
     // The far end of the hop decrypts; if it is a relay, the key is now in
     // its memory in the clear.
@@ -147,7 +168,7 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
 
 void MeshSimulation::cut_link(LinkId link) {
   topology_.link(link).state = LinkState::kCut;
-  pools_[link] = 0.0;
+  purge_pool(link);
   if (service_) service_->set_link_enabled(link, false);
 }
 
@@ -166,7 +187,7 @@ double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
   if (q >= 0.11) {
     // "too much eavesdropping or noise — that link is abandoned".
     topology_.link(link).state = LinkState::kEavesdropped;
-    pools_[link] = 0.0;
+    purge_pool(link);
   }
   return q;
 }

@@ -79,16 +79,20 @@ class MeshSimulation {
   const Topology& topology() const { return topology_; }
 
   /// Advances simulated time: every usable link distills key into its pool —
-  /// at its analytic rate, or by running real engine batches (kEngine).
+  /// at its analytic rate, or by running real engine batches (kEngine, in
+  /// which case the key lands in the service's per-link KeySupply).
   void step(double dt_seconds);
 
-  /// Current pairwise pool of a link, in bits.
-  double link_pool_bits(LinkId link) const { return pools_.at(link); }
+  /// Current pairwise pool of a link, in bits (engine mode reads the
+  /// link's KeySupply).
+  double link_pool_bits(LinkId link) const;
 
   /// Moves `bits` of fresh end-to-end key from src to dst hop by hop.
-  /// Consumes `bits` from every link pool along the route. Routes prefer
-  /// key-rich paths. Fails (without consuming) when no usable route exists
-  /// or some pool on the best route cannot cover the request.
+  /// Consumes `bits` from every link pool along the route — in engine mode
+  /// through each link's KeySupply, whose withdrawn bits are the actual
+  /// hop pads. Routes prefer key-rich paths. Fails (without consuming)
+  /// when no usable route exists or some pool on the best route cannot
+  /// cover the request.
   TransportResult transport_key(NodeId src, NodeId dst, std::size_t bits);
 
   /// Failure injection.
@@ -103,12 +107,14 @@ class MeshSimulation {
 
  private:
   void sync_engine_link_states();
+  /// Discards a link's accumulated key (cut / abandoned link).
+  void purge_pool(LinkId link);
 
   Topology topology_;
   qkd::Rng rng_;
   RateModel rate_model_ = RateModel::kAnalytic;
   std::unique_ptr<LinkKeyService> service_;  // kEngine only
-  std::vector<double> pools_;  // bits, indexed by LinkId
+  std::vector<double> pools_;  // bits, indexed by LinkId; kAnalytic only
   std::vector<double> eavesdrop_fraction_;
   std::optional<Route> last_route_;
   Stats stats_;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "src/optics/attacks.hpp"
 #include "src/qkd/pipeline.hpp"
 
 namespace qkd::proto {
@@ -55,7 +56,8 @@ QkdLinkSession::QkdLinkSession(QkdLinkConfig config, std::uint64_t seed)
                               config.auth) +
                               config.preposition_extra_bits),
                 /*is_initiator=*/false),
-      pipeline_(default_pipeline()) {
+      pipeline_(default_pipeline()),
+      supply_("qkd-link") {
   if (config_.sample_fraction < 0.0 || config_.sample_fraction >= 1.0)
     throw std::invalid_argument("QkdLinkSession: bad sample fraction");
 }
@@ -137,6 +139,55 @@ qkd::BitVector QkdLinkSession::distill_bits(std::size_t bits,
                                             std::size_t max_batches,
                                             qkd::optics::Attack* attack) {
   return distill(bits, max_batches, attack).key;
+}
+
+qkd::keystore::KeySupply& QkdLinkSession::supply(std::size_t index) {
+  if (index != 0)
+    throw std::out_of_range("QkdLinkSession: single-stream producer");
+  return supply_;
+}
+
+const qkd::keystore::KeySupply& QkdLinkSession::supply(
+    std::size_t index) const {
+  if (index != 0)
+    throw std::out_of_range("QkdLinkSession: single-stream producer");
+  return supply_;
+}
+
+void QkdLinkSession::attach_sink(std::size_t index,
+                                 qkd::keystore::KeySupply& sink) {
+  if (index != 0)
+    throw std::out_of_range("QkdLinkSession: single-stream producer");
+  sinks_.push_back(&sink);
+}
+
+void QkdLinkSession::set_attack(std::unique_ptr<qkd::optics::Attack> attack) {
+  attack_ = std::move(attack);
+}
+
+void QkdLinkSession::deliver(const qkd::BitVector& key) {
+  if (key.empty()) return;
+  if (sinks_.empty()) {
+    supply_.deposit(key);
+    return;
+  }
+  for (qkd::keystore::KeySupply* sink : sinks_) sink->deposit(key);
+}
+
+void QkdLinkSession::produce_batches(std::size_t count) {
+  for (std::size_t i = 0; i < count; ++i) {
+    const BatchResult batch = run_batch(attack_.get());
+    if (batch.accepted) deliver(batch.key);
+  }
+}
+
+void QkdLinkSession::advance(double dt_seconds) {
+  if (dt_seconds <= 0.0) return;
+  const double frame_s = link_.frame_duration_s(config_.frame_slots);
+  frame_debt_s_ += dt_seconds;
+  const auto batches = static_cast<std::size_t>(frame_debt_s_ / frame_s);
+  frame_debt_s_ -= static_cast<double>(batches) * frame_s;
+  produce_batches(batches);
 }
 
 }  // namespace qkd::proto

@@ -25,6 +25,8 @@
 
 #include "src/common/bitvector.hpp"
 #include "src/crypto/drbg.hpp"
+#include "src/keystore/key_pool.hpp"
+#include "src/keystore/key_producer.hpp"
 #include "src/optics/link.hpp"
 #include "src/qkd/authentication.hpp"
 #include "src/qkd/cascade_bbn.hpp"
@@ -220,10 +222,14 @@ struct DistillOutcome {
   }
 };
 
-class QkdLinkSession {
+/// One link session doubles as a single-stream keystore::KeyProducer: the
+/// producer paths (advance / produce_batches) deliver accepted batches into
+/// attached KeySupply sinks — or, with no sinks, into the session-owned
+/// supply — so consumers never touch BatchResult directly.
+class QkdLinkSession : public qkd::keystore::KeyProducer {
  public:
   QkdLinkSession(QkdLinkConfig config, std::uint64_t seed);
-  ~QkdLinkSession();
+  ~QkdLinkSession() override;
 
   /// Runs one Qframe through the stage pipeline. `attack` taps the quantum
   /// channel.
@@ -252,7 +258,35 @@ class QkdLinkSession {
   const AuthenticationService& alice_auth() const { return alice_auth_; }
   const AuthenticationService& bob_auth() const { return bob_auth_; }
 
+  // ---- keystore::KeyProducer ----------------------------------------------
+  std::size_t supply_count() const override { return 1; }
+  qkd::keystore::KeySupply& supply(std::size_t index = 0) override;
+  const qkd::keystore::KeySupply& supply(std::size_t index = 0) const override;
+  void attach_sink(std::size_t index, qkd::keystore::KeySupply& sink) override;
+
+  /// Runs however many whole Qframes fit into `dt_seconds` of link time
+  /// (fractional frame time carries to the next call), delivering accepted
+  /// key to the sinks.
+  void advance(double dt_seconds) override;
+
+  /// Runs `count` batches against the installed attack, delivering accepted
+  /// key to the sinks (or the session-owned supply).
+  void produce_batches(std::size_t count);
+
+  /// Installs (or clears, with nullptr) an eavesdropper on the quantum
+  /// channel, applied by the producer paths; run_batch callers pass theirs
+  /// explicitly.
+  void set_attack(std::unique_ptr<qkd::optics::Attack> attack);
+  qkd::optics::Attack* attack() { return attack_.get(); }
+
+  /// The session-owned supply as its concrete type (labelling, stats); the
+  /// KeyProducer interface exposes it as a KeySupply.
+  qkd::keystore::KeyPool& supply_pool() { return supply_; }
+
  private:
+  /// Deposits one accepted batch into the sinks (or the owned supply).
+  void deliver(const qkd::BitVector& key);
+
   QkdLinkConfig config_;
   qkd::optics::WeakCoherentLink link_;
   qkd::crypto::Drbg drbg_;
@@ -261,6 +295,10 @@ class QkdLinkSession {
   std::vector<std::unique_ptr<PipelineStage>> pipeline_;
   SessionTotals totals_;
   std::uint64_t next_frame_id_ = 0;
+  qkd::keystore::KeyPool supply_;
+  std::vector<qkd::keystore::KeySupply*> sinks_;
+  std::unique_ptr<qkd::optics::Attack> attack_;
+  double frame_debt_s_ = 0.0;  // simulated time owed to advance()
 };
 
 }  // namespace qkd::proto

@@ -77,7 +77,7 @@ TEST(FullStack, OtpTunnelRunsOnRealDistilledBits) {
   // Distill enough for keymat + both pads (3 Qblocks per negotiation,
   // drawn from the initiator's lane, which holds half the deposits).
   qkd::BitVector pool;
-  while (pool.size() < 10 * KeyPool::kQblockBits) {
+  while (pool.size() < 10 * qkd::keystore::KeySupply::kQblockBits) {
     const BatchResult batch = qkd.run_batch();
     ASSERT_LT(qkd.totals().batches, 96u);
     if (batch.accepted) pool.append(batch.key);

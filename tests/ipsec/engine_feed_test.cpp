@@ -57,6 +57,17 @@ TEST(EngineFeed, FillsBothPoolsWithIdenticalDistilledBits) {
   EXPECT_EQ(a_stats.bits_deposited, b_stats.bits_deposited);
   EXPECT_EQ(vpn.a().key_pool().available_bits(),
             vpn.b().key_pool().available_bits());
+  // The producer delivers to the attached gateway sinks; its own supply
+  // stays idle (no hand-mirrored drain/deposit loop anywhere).
+  EXPECT_EQ(vpn.key_service()->supply(0).available_bits(), 0u);
+  // Both gateways hold bit-identical streams: withdrawing through the
+  // supply interface yields the same bits — and, because both pools see
+  // an identical call sequence here, the same key_ids.
+  const auto from_a = vpn.a().key_supply().request_bits(256, "test");
+  const auto from_b = vpn.b().key_supply().request_bits(256, "test");
+  ASSERT_TRUE(from_a && from_b);
+  EXPECT_TRUE(from_a->bits == from_b->bits);
+  EXPECT_EQ(from_a->key_id, from_b->key_id);
 }
 
 TEST(EngineFeed, TunnelNegotiatesFromEngineDistilledQblocks) {
@@ -84,7 +95,11 @@ TEST(EngineFeed, EveSuppressingDistillationStarvesIkeRekey) {
   // *quantum* channel she stops the key supply; SA rekeys then find the
   // pools dry and negotiate degraded (no quantum material) until she
   // relents and distillation refills the pools.
-  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 23);
+  VpnLinkSimulation::Params params;
+  // The feed supplies ~300 bits per accepted batch, so a 512-bit low-water
+  // mark makes the starvation episode observable through supply events.
+  params.supply_low_water_bits = 512;
+  VpnLinkSimulation vpn(params, 23);
   vpn.install_mirrored_policy(protect_policy(/*lifetime_s=*/20.0));
   vpn.enable_engine_feed(feed_config(), /*seed=*/23);
   vpn.advance(22.0);  // ~5 engine batches: comfortably past one Qblock
@@ -114,6 +129,9 @@ TEST(EngineFeed, EveSuppressingDistillationStarvesIkeRekey) {
             aborted_before);
   EXPECT_LT(vpn.a().key_pool().available_bits(), 1024u);  // pools ran dry
   EXPECT_GT(vpn.a().ike().stats().degraded_negotiations, 0u);  // starved
+  // Starvation arrived as supply events (low-water crossing on the rekey
+  // that drained the pool), not as polling.
+  EXPECT_GT(vpn.a().stats().supply_low_water, 0u);
 
   // Eve relents: distillation resumes and rekeys consume fresh Qblocks.
   vpn.set_feed_attack(nullptr);
@@ -123,6 +141,18 @@ TEST(EngineFeed, EveSuppressingDistillationStarvesIkeRekey) {
   }
   EXPECT_GT(vpn.a().key_pool().stats().bits_deposited, 0u);
   EXPECT_GT(vpn.a().ike().stats().qblocks_consumed, healthy_qblocks);
+  // The recovery crossed the low-water mark upward on both gateways.
+  EXPECT_GT(vpn.a().stats().supply_replenished, 0u);
+  // Through the whole starve/recover cycle the mirrored supplies consumed
+  // identically and every negotiated key matched.
+  EXPECT_EQ(vpn.a().key_pool().available_bits(),
+            vpn.b().key_pool().available_bits());
+  EXPECT_EQ(vpn.a().key_pool().stats().bits_deposited,
+            vpn.b().key_pool().stats().bits_deposited);
+  EXPECT_EQ(vpn.a().ike().stats().qblocks_consumed,
+            vpn.b().ike().stats().qblocks_consumed);
+  EXPECT_EQ(vpn.a().stats().auth_failures, 0u);
+  EXPECT_EQ(vpn.b().stats().auth_failures, 0u);
 }
 
 }  // namespace

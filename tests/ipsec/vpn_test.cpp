@@ -289,6 +289,108 @@ TEST(Vpn, TripleDesTunnelWorks) {
   EXPECT_EQ(delivered[0], red_packet(3));
 }
 
+TEST(Vpn, ConcurrentOppositeRekeysStayInLockstep) {
+  // Both gateways initiate Phase 2 simultaneously, round after round,
+  // across several SA lifetimes. KeySupply lane ownership (initiator lane
+  // by address order) keeps the mirrored supplies consuming disjoint
+  // blocks in lockstep: every SA decrypts, zero authentication failures.
+  SpdEntry policy = protect_policy();
+  policy.lifetime_seconds = 10.0;
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 18);
+  vpn.install_mirrored_policy(policy);
+  qkd::Rng rng(18);
+  vpn.deposit_key_material(rng.next_bits(128 * 1024));
+  vpn.start();
+
+  IpPacket reverse;
+  reverse.src = parse_ipv4("10.2.0.7");
+  reverse.dst = parse_ipv4("10.1.0.5");
+  reverse.payload = {7, 7};
+
+  for (int round = 0; round < 12; ++round) {
+    // Submit on both ends before any message exchange: both daemons start
+    // a Phase-2 negotiation for the (expired) SA at the same instant, so
+    // the two negotiations cross on the wire.
+    vpn.a().submit_plaintext(red_packet(round), vpn.clock().now());
+    vpn.b().submit_plaintext(reverse, vpn.clock().now());
+    vpn.advance(11.0);  // past the lifetime: the next round renegotiates
+  }
+
+  // Each end acted as initiator of one direction and responder of the
+  // other, repeatedly.
+  EXPECT_GT(vpn.a().ike().stats().phase2_initiated, 3u);
+  EXPECT_GT(vpn.a().ike().stats().phase2_responded, 3u);
+  EXPECT_GT(vpn.b().ike().stats().phase2_initiated, 3u);
+  EXPECT_GT(vpn.b().ike().stats().phase2_responded, 3u);
+  // Lockstep: identical consumption on both ends, keys always matched.
+  EXPECT_EQ(vpn.a().ike().stats().qblocks_consumed,
+            vpn.b().ike().stats().qblocks_consumed);
+  EXPECT_EQ(vpn.a().key_pool().available_bits(),
+            vpn.b().key_pool().available_bits());
+  EXPECT_EQ(vpn.a().stats().auth_failures, 0u);
+  EXPECT_EQ(vpn.b().stats().auth_failures, 0u);
+  EXPECT_GT(vpn.a().stats().delivered, 5u);
+  EXPECT_GT(vpn.b().stats().delivered, 5u);
+}
+
+TEST(Vpn, ReplenishedSupplyWakesStalledNegotiationWithoutNewTraffic) {
+  // Starvation is an event, not a poll: an OTP negotiation that stalled on
+  // an empty supply restarts when the deposit arrives — no fresh red-side
+  // packet needed to re-trigger it.
+  VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 19);
+  vpn.install_mirrored_policy(
+      protect_policy("otp", CipherAlgo::kOneTimePad, QkdMode::kOtp));
+  vpn.start();
+  vpn.a().submit_plaintext(red_packet(1), vpn.clock().now());
+  vpn.advance(2.0);
+  // Stalled: the pool is empty, the offer could not even be made.
+  EXPECT_EQ(vpn.b().drain_delivered().size(), 0u);
+  EXPECT_GT(vpn.a().stats().supply_exhausted, 0u);
+  EXPECT_GT(vpn.a().ike().stats().failed_otp_negotiations, 0u);
+
+  // The QKD layer catches up; the replenish callback wakes the stalled
+  // negotiation on the next tick.
+  qkd::Rng rng(19);
+  vpn.deposit_key_material(rng.next_bits(64 * 1024));
+  vpn.advance(2.0);
+  EXPECT_GT(vpn.a().stats().supply_replenished, 0u);
+  const auto delivered = vpn.b().drain_delivered();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], red_packet(1));
+}
+
+TEST(Vpn, WakeupStaysArmedWhenReplenishmentIsStillTooSmall) {
+  // kReplenished is edge-triggered on the low-water crossing. If the
+  // crossing happens with less key than the stalled OTP offer needs, the
+  // wakeup must stay armed so the later (non-crossing) deposits still get
+  // the negotiation going.
+  VpnLinkSimulation::Params params;
+  params.supply_low_water_bits = 2048;
+  VpnLinkSimulation vpn(params, 20);
+  vpn.install_mirrored_policy(
+      protect_policy("otp", CipherAlgo::kOneTimePad, QkdMode::kOtp));
+  vpn.start();
+  vpn.a().submit_plaintext(red_packet(2), vpn.clock().now());
+  vpn.advance(2.0);
+  ASSERT_EQ(vpn.b().drain_delivered().size(), 0u);  // stalled, empty pool
+
+  // Crosses the mark (fires kReplenished) but holds only 2 blocks in the
+  // initiator's lane — the OTP offer needs 3.
+  qkd::Rng rng(20);
+  vpn.deposit_key_material(rng.next_bits(3 * 1024));
+  vpn.advance(1.0);
+  EXPECT_GT(vpn.a().stats().supply_replenished, 0u);
+  EXPECT_EQ(vpn.b().drain_delivered().size(), 0u);  // still short
+
+  // This deposit does not produce another crossing (already above the
+  // mark), yet the still-armed wakeup must pick it up.
+  vpn.deposit_key_material(rng.next_bits(16 * 1024));
+  vpn.advance(2.0);
+  const auto delivered = vpn.b().drain_delivered();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], red_packet(2));
+}
+
 TEST(Vpn, ReplayedEspPacketsAreDropped) {
   // Eve captures every A->B message and replays the lot afterwards.
   VpnLinkSimulation vpn2(VpnLinkSimulation::Params{}, 17);

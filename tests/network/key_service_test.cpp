@@ -54,7 +54,9 @@ TEST(LinkKeyService, ThreadCountDoesNotChangeAnyLinkKeyStream) {
   serial.run_batches(2);
   parallel.run_batches(2);
   for (LinkId id = 0; id < topo.link_count(); ++id)
-    EXPECT_TRUE(serial.drain(id) == parallel.drain(id)) << "link " << id;
+    EXPECT_TRUE(serial.supply(id).take_all().bits ==
+                parallel.supply(id).take_all().bits)
+        << "link " << id;
 }
 
 TEST(LinkKeyService, LinksDeriveIndependentKeyStreams) {
@@ -69,28 +71,38 @@ TEST(LinkKeyService, LinksDeriveIndependentKeyStreams) {
   LinkKeyService service(topo, test_config());
   service.run_batches(2);
   ASSERT_GT(service.pool_bits(0), 0u);
-  EXPECT_FALSE(service.drain(0) == service.drain(1));
+  EXPECT_FALSE(service.supply(0).take_all().bits ==
+               service.supply(1).take_all().bits);
 }
 
-TEST(LinkKeyService, WithdrawIsFifoAndRefusesShortPools) {
+TEST(LinkKeyService, SupplyRequestsAreFifoAndRefuseShortPools) {
+  // A failed request must not consume or reorder pool bits: a refusal
+  // followed by a sufficient request yields the same stream as a single
+  // withdrawal would have.
   const Topology topo = single_link_topology(10.0);
   LinkKeyService reference(topo, test_config(3, 1));
   LinkKeyService service(topo, test_config(3, 1));
   reference.run_batches(3);
   service.run_batches(3);
-  const qkd::BitVector all = reference.drain(0);
+  const qkd::BitVector all = reference.supply(0).take_all().bits;
   ASSERT_GT(all.size(), 48u);
 
-  const auto first = service.withdraw(0, 16);
-  const auto second = service.withdraw(0, 32);
+  qkd::keystore::KeySupply& supply = service.supply(0);
+  const auto first = supply.request_bits(16);
+  // Over-ask between two good requests: refused without consuming.
+  EXPECT_FALSE(supply.request_bits(all.size()).has_value());
+  const auto second = supply.request_bits(32);
   ASSERT_TRUE(first.has_value() && second.has_value());
-  EXPECT_TRUE(*first == all.slice(0, 16));
-  EXPECT_TRUE(*second == all.slice(16, 32));
+  EXPECT_TRUE(first->bits == all.slice(0, 16));
+  EXPECT_TRUE(second->bits == all.slice(16, 32));
   EXPECT_EQ(service.pool_bits(0), all.size() - 48);
 
-  // A request beyond the pool fails without consuming anything.
-  EXPECT_FALSE(service.withdraw(0, all.size()).has_value());
+  // And another refusal at the tail still leaves the remainder intact.
+  EXPECT_FALSE(supply.request_bits(all.size()).has_value());
   EXPECT_EQ(service.pool_bits(0), all.size() - 48);
+  const auto rest = supply.request_bits(all.size() - 48);
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_TRUE(rest->bits == all.slice(48, all.size() - 48));
 }
 
 TEST(LinkKeyService, InterceptResendSuppressesOnlyTheAttackedLink) {
