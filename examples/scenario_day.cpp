@@ -1,0 +1,81 @@
+// One scripted hour in the life of the QKD network — the discrete-event
+// scenario engine driving the whole stack on a single virtual timeline.
+//
+//   $ ./scenario_day
+//
+// A 6-relay ring with two endpoints distills pairwise key around the clock
+// while scripted operations traffic arrives: end-to-end key requests every
+// five minutes, Eve camping on a fiber at 00:10 (QBER alarm, link
+// abandoned, mesh reroutes), a backhoe cut elsewhere at 00:30, repairs, and
+// a relay compromise near the end of the hour. Nothing is hand-interleaved:
+// every action is an event on the EventScheduler, distillation accrues on
+// scheduled ticks, and the TimelineRecorder samples the network once a
+// simulated minute. The hour simulates in well under a second of wall time.
+#include <cstdio>
+
+#include "src/sim/scenario.hpp"
+
+using namespace qkd;
+using namespace qkd::sim;
+using qkd::network::MeshSimulation;
+using qkd::network::NodeId;
+using qkd::network::Topology;
+
+int main() {
+  // relay_ring(6): relays 0..5 (ring links 0..5), alice = node 6 on link 6,
+  // bob = node 7 on link 7. Two disjoint relay paths east/west.
+  MeshSimulation mesh(Topology::relay_ring(6), 2003);
+  const NodeId alice = 6, bob = 7;
+
+  Scenario day;
+  // Operations traffic: a 256-bit end-to-end key every five minutes.
+  for (SimTime t = 5 * kMinute; t < kHour; t += 5 * kMinute)
+    day.at(t, KeyRequest{alice, bob, 256});
+  // 00:10 Eve camps on ring link 1 (relay1-relay2): alarm, abandoned.
+  day.at(10 * kMinute, StartEavesdrop{1, 1.0});
+  // 00:30 a backhoe finds the west side's link 4 (relay4-relay5).
+  day.at(30 * kMinute, CutLink{4});
+  // 00:38 Eve gives up; the eavesdropped fiber is trusted again.
+  day.at(38 * kMinute, StopEavesdrop{1});
+  // 00:45 the splice crew restores the cut fiber.
+  day.at(45 * kMinute, RestoreLink{4});
+  // 00:50 worse news: relay 2 is discovered compromised.
+  day.at(50 * kMinute, CompromiseNode{2});
+
+  ScenarioRunner::Config config;
+  config.sample_interval = kMinute;
+  ScenarioRunner runner(day, config);
+  runner.attach_mesh(mesh);
+  const std::size_t dispatched = runner.run(kHour);
+
+  std::printf("== one scripted network hour (%zu events dispatched) ==\n\n",
+              dispatched);
+  std::printf("%s\n", runner.recorder().render().c_str());
+
+  std::printf("-- key requests --\n");
+  for (const auto& outcome : runner.key_requests()) {
+    std::printf("  %02lld:%02lld  %s",
+                static_cast<long long>(outcome.at / kHour),
+                static_cast<long long>((outcome.at / kMinute) % 60),
+                outcome.result.success ? "delivered" : "FAILED   ");
+    if (outcome.result.success) {
+      std::printf("  via [");
+      for (std::size_t i = 0; i < outcome.result.route.nodes.size(); ++i)
+        std::printf("%s%u", i ? " " : "", outcome.result.route.nodes[i]);
+      std::printf("]%s",
+                  outcome.result.compromised ? "  ** SEEN BY EVE **" : "");
+    }
+    std::printf("\n");
+  }
+
+  const auto& stats = mesh.stats();
+  std::printf(
+      "\n-- the hour in numbers --\n"
+      "  transports: %llu attempted, %llu delivered, %llu rerouted,\n"
+      "              %llu exposed to a compromised relay\n",
+      static_cast<unsigned long long>(stats.transports_attempted),
+      static_cast<unsigned long long>(stats.transports_succeeded),
+      static_cast<unsigned long long>(stats.reroutes),
+      static_cast<unsigned long long>(stats.transports_compromised));
+  return 0;
+}

@@ -5,9 +5,16 @@
 // time, so experiments are deterministic and can simulate hours in
 // milliseconds. Time is kept in integer nanoseconds to avoid floating-point
 // drift over long runs.
+//
+// Time never runs backwards: advance() rejects negative deltas and
+// advance_to() rejects targets before now. Every layer above (the event
+// scheduler in src/sim most of all) leans on that invariant — a silently
+// ignored backwards jump used to leave callers believing time had moved.
 #pragma once
 
 #include <cstdint>
+#include <stdexcept>
+#include <string>
 
 namespace qkd {
 
@@ -19,20 +26,73 @@ constexpr SimTime kMicrosecond = 1000 * kNanosecond;
 constexpr SimTime kMillisecond = 1000 * kMicrosecond;
 constexpr SimTime kSecond = 1000 * kMillisecond;
 constexpr SimTime kMinute = 60 * kSecond;
+constexpr SimTime kHour = 60 * kMinute;
+
+/// Converts a duration in seconds to SimTime ticks (truncating toward zero).
+/// Throws std::invalid_argument on negative durations — the one-stop check
+/// for every `double seconds` API boundary.
+inline SimTime seconds_to_sim(double seconds) {
+  if (seconds < 0.0)
+    throw std::invalid_argument("seconds_to_sim: negative duration " +
+                                std::to_string(seconds));
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+inline double sim_to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Ceiling conversion for deadlines: the earliest tick at which a
+/// seconds-domain predicate (`elapsed_seconds >= seconds`) is true. The
+/// truncating seconds_to_sim would place a deadline one tick early, where
+/// the predicate still reads false and a scheduled wakeup is a no-op.
+inline SimTime seconds_to_sim_ceil(double seconds) {
+  const SimTime floor = seconds_to_sim(seconds);
+  return sim_to_seconds(floor) < seconds ? floor + 1 : floor;
+}
 
 class SimClock {
  public:
   SimTime now() const { return now_; }
 
-  void advance(SimTime delta) { now_ += delta; }
-  void advance_to(SimTime t) {
-    if (t > now_) now_ = t;
+  void advance(SimTime delta) {
+    if (delta < 0)
+      throw std::invalid_argument("SimClock::advance: negative delta " +
+                                  std::to_string(delta) + " ns");
+    now_ += delta;
   }
 
-  double seconds() const { return static_cast<double>(now_) / kSecond; }
+  void advance_to(SimTime t) {
+    if (t < now_)
+      throw std::invalid_argument("SimClock::advance_to: target " +
+                                  std::to_string(t) + " ns is before now " +
+                                  std::to_string(now_) + " ns");
+    now_ = t;
+  }
+
+  double seconds() const { return sim_to_seconds(now_); }
 
  private:
   SimTime now_ = 0;
 };
+
+/// Advances `clock` by `seconds`, in slices of at most `max_step`, invoking
+/// `on_step(dt_seconds)` after each slice with the slice width in seconds.
+/// This is THE seconds->SimTime stepping loop; the VPN harness and the mesh
+/// step paths share it instead of hand-rolling the conversion (where each
+/// copy had its own truncation behavior).
+template <typename Fn>
+void advance_clock_stepped(SimClock& clock, double seconds, SimTime max_step,
+                           Fn&& on_step) {
+  if (max_step <= 0)
+    throw std::invalid_argument("advance_clock_stepped: max_step must be > 0");
+  SimTime remaining = seconds_to_sim(seconds);
+  while (remaining > 0) {
+    const SimTime delta = remaining < max_step ? remaining : max_step;
+    clock.advance(delta);
+    remaining -= delta;
+    on_step(sim_to_seconds(delta));
+  }
+}
 
 }  // namespace qkd

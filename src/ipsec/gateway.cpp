@@ -267,6 +267,17 @@ void VpnGateway::tick(qkd::SimTime now) {
   flush_established(now);
 }
 
+std::optional<qkd::SimTime> VpnGateway::next_deadline(qkd::SimTime now) const {
+  if (supply_wakeup_) return now;  // replenished supply: wake immediately
+  std::optional<qkd::SimTime> earliest = sad_.next_expiry();
+  const auto ike_timer = ike_.next_timer();
+  if (ike_timer.has_value() &&
+      (!earliest.has_value() || *ike_timer < *earliest))
+    earliest = ike_timer;
+  if (earliest.has_value() && *earliest < now) return now;  // overdue
+  return earliest;
+}
+
 std::vector<IpPacket> VpnGateway::drain_delivered() {
   std::vector<IpPacket> out;
   out.swap(delivered_);

@@ -86,6 +86,13 @@ class VpnGateway {
   /// Periodic timer: SA expiry/rollover, IKE retransmits, queue flush.
   void tick(qkd::SimTime now);
 
+  /// Earliest instant tick() has scheduled work: the next SA lifetime
+  /// expiry, the next IKE retransmit/negotiation deadline, or `now` itself
+  /// when a supply-replenished wakeup is armed. nullopt when the gateway is
+  /// fully idle. An event-driven driver (src/sim) calls tick() exactly at
+  /// these deadlines instead of on a fixed poll interval.
+  std::optional<qkd::SimTime> next_deadline(qkd::SimTime now) const;
+
   /// Decrypted (or bypassed) packets delivered to the red side.
   std::vector<IpPacket> drain_delivered();
 

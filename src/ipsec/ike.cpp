@@ -423,8 +423,7 @@ std::vector<Bytes> IkeDaemon::poll(qkd::SimTime now) {
   std::vector<Bytes> out;
   for (auto it = pending_.begin(); it != pending_.end();) {
     PendingNegotiation& pending = it->second;
-    const double age =
-        static_cast<double>(now - pending.started_at) / qkd::kSecond;
+    const double age = qkd::sim_to_seconds(now - pending.started_at);
     if (age >= config_.phase2_timeout_s ||
         pending.retransmits > config_.max_retransmits) {
       ++stats_.phase2_timeouts;
@@ -438,8 +437,7 @@ std::vector<Bytes> IkeDaemon::poll(qkd::SimTime now) {
       it = pending_.erase(it);
       continue;
     }
-    const double since_send =
-        static_cast<double>(now - pending.last_send) / qkd::kSecond;
+    const double since_send = qkd::sim_to_seconds(now - pending.last_send);
     if (since_send >= config_.retransmit_interval_s) {
       pending.last_send = now;
       ++pending.retransmits;
@@ -449,6 +447,22 @@ std::vector<Bytes> IkeDaemon::poll(qkd::SimTime now) {
     ++it;
   }
   return out;
+}
+
+std::optional<qkd::SimTime> IkeDaemon::next_timer() const {
+  std::optional<qkd::SimTime> earliest;
+  const auto consider = [&earliest](qkd::SimTime t) {
+    if (!earliest.has_value() || t < *earliest) earliest = t;
+  };
+  // Ceiling conversions: poll() compares ages in the seconds domain, so a
+  // truncated deadline would be one tick too early to act on.
+  for (const auto& [exchange_id, pending] : pending_) {
+    consider(pending.started_at +
+             qkd::seconds_to_sim_ceil(config_.phase2_timeout_s));
+    consider(pending.last_send +
+             qkd::seconds_to_sim_ceil(config_.retransmit_interval_s));
+  }
+  return earliest;
 }
 
 std::vector<NegotiatedSa> IkeDaemon::drain_established() {

@@ -112,6 +112,12 @@ class IkeDaemon {
   /// messages to send.
   std::vector<Bytes> poll(qkd::SimTime now);
 
+  /// Earliest instant poll() would act — the next retransmit or negotiation
+  /// deadline across pending Phase-2 exchanges. nullopt when nothing is
+  /// pending; an event-driven driver schedules its next poll() here instead
+  /// of polling on a fixed tick.
+  std::optional<qkd::SimTime> next_timer() const;
+
   /// SAs installed since the last drain (the gateway wires these up).
   std::vector<NegotiatedSa> drain_established();
 

@@ -4,12 +4,18 @@ namespace qkd::ipsec {
 
 bool SecurityAssociation::expired(qkd::SimTime now) const {
   if (lifetime_seconds > 0.0) {
-    const double age =
-        static_cast<double>(now - established_at) / qkd::kSecond;
-    if (age >= lifetime_seconds) return true;
+    if (qkd::sim_to_seconds(now - established_at) >= lifetime_seconds)
+      return true;
   }
   if (lifetime_bytes > 0 && bytes_protected >= lifetime_bytes) return true;
   return false;
+}
+
+std::optional<qkd::SimTime> SecurityAssociation::expires_at() const {
+  if (lifetime_seconds <= 0.0) return std::nullopt;
+  // Ceiling: expired() compares in the seconds domain, so a truncated
+  // deadline would wake the driver one tick before it reads true.
+  return established_at + qkd::seconds_to_sim_ceil(lifetime_seconds);
 }
 
 bool SecurityAssociation::replay_check_and_update(std::uint64_t seq) {
@@ -60,6 +66,16 @@ std::vector<std::uint32_t> SecurityAssociationDatabase::expire(
     }
   }
   return removed;
+}
+
+std::optional<qkd::SimTime> SecurityAssociationDatabase::next_expiry() const {
+  std::optional<qkd::SimTime> earliest;
+  for (const auto& [spi, sa] : by_spi_) {
+    const auto at = sa.expires_at();
+    if (at.has_value() && (!earliest.has_value() || *at < *earliest))
+      earliest = at;
+  }
+  return earliest;
 }
 
 }  // namespace qkd::ipsec

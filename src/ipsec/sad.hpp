@@ -41,6 +41,9 @@ struct SecurityAssociation {
   std::uint64_t bytes_protected = 0;
 
   bool expired(qkd::SimTime now) const;
+  /// The instant the time-based lifetime runs out, or nullopt for SAs
+  /// limited only by bytes (their expiry has no schedulable time).
+  std::optional<qkd::SimTime> expires_at() const;
   std::size_t otp_bits_available() const {
     return otp_pool.size() - otp_cursor;
   }
@@ -62,6 +65,11 @@ class SecurityAssociationDatabase {
 
   /// Expires (removes) all SAs past their lifetime; returns the SPIs removed.
   std::vector<std::uint32_t> expire(qkd::SimTime now);
+
+  /// Earliest time-based expiry across installed SAs — the rollover deadline
+  /// an event-driven driver schedules its next wakeup at. nullopt when no SA
+  /// has a time lifetime.
+  std::optional<qkd::SimTime> next_expiry() const;
 
   std::size_t size() const { return by_spi_.size(); }
 

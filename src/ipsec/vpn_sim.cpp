@@ -109,16 +109,12 @@ void VpnLinkSimulation::pump() {
 }
 
 void VpnLinkSimulation::advance(double seconds) {
-  const qkd::SimTime step =
-      static_cast<qkd::SimTime>(params_.tick_interval_s * qkd::kSecond);
-  qkd::SimTime remaining = static_cast<qkd::SimTime>(seconds * qkd::kSecond);
-  while (remaining > 0) {
-    const qkd::SimTime delta = std::min(step, remaining);
-    clock_.advance(delta);
-    remaining -= delta;
-    run_engine_feed(static_cast<double>(delta) / qkd::kSecond);
-    pump();
-  }
+  qkd::advance_clock_stepped(clock_, seconds,
+                             qkd::seconds_to_sim(params_.tick_interval_s),
+                             [this](double dt_seconds) {
+                               run_engine_feed(dt_seconds);
+                               pump();
+                             });
 }
 
 }  // namespace qkd::ipsec

@@ -106,6 +106,17 @@ void LinkKeyService::run_batches(std::size_t batches_per_link) {
   });
 }
 
+void LinkKeyService::run_link_batch(LinkId id) {
+  LinkState& link = links_.at(id);
+  if (!link.enabled) return;
+  link.session->produce_batches(1);
+}
+
+double LinkKeyService::link_frame_duration_s(LinkId id) const {
+  const qkd::proto::QkdLinkSession& session = *links_.at(id).session;
+  return session.link().frame_duration_s(session.config().frame_slots);
+}
+
 void LinkKeyService::advance(double dt_seconds) {
   if (dt_seconds <= 0.0) return;
   for_each_enabled_link(

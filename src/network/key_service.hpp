@@ -68,6 +68,15 @@ class LinkKeyService : public qkd::keystore::KeyProducer {
   /// supply (or its attached sinks).
   void run_batches(std::size_t batches_per_link);
 
+  /// Runs a single batch on one link (no-op while the link is disabled) —
+  /// the unit the discrete-event scheduler dispatches: each link's next
+  /// batch completion is an event at now + link_frame_duration_s().
+  void run_link_batch(LinkId id);
+
+  /// Wall-clock duration of one Qframe on this link at its trigger rate:
+  /// the natural batch-completion period.
+  double link_frame_duration_s(LinkId id) const;
+
   /// Distilled bits pending in a link's supply (convenience for
   /// supply(id).available_bits()).
   std::size_t pool_bits(LinkId id) const { return supply(id).available_bits(); }

@@ -43,7 +43,8 @@ MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed)
     : topology_(std::move(topology)),
       rng_(seed),
       pools_(topology_.link_count(), 0.0),
-      eavesdrop_fraction_(topology_.link_count(), 0.0) {}
+      eavesdrop_fraction_(topology_.link_count(), 0.0),
+      compromised_(topology_.node_count(), 0) {}
 
 MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed,
                                LinkKeyService::Config engine)
@@ -51,7 +52,8 @@ MeshSimulation::MeshSimulation(Topology topology, std::uint64_t seed,
       rng_(seed),
       rate_model_(RateModel::kEngine),
       pools_(topology_.link_count(), 0.0),
-      eavesdrop_fraction_(topology_.link_count(), 0.0) {
+      eavesdrop_fraction_(topology_.link_count(), 0.0),
+      compromised_(topology_.node_count(), 0) {
   engine.seed = seed;
   service_ = std::make_unique<LinkKeyService>(topology_, engine);
 }
@@ -100,16 +102,26 @@ void MeshSimulation::step(double dt_seconds) {
   }
 }
 
+void MeshSimulation::run_on_clock(qkd::SimClock& clock, double seconds,
+                                  double tick_seconds) {
+  qkd::advance_clock_stepped(clock, seconds, qkd::seconds_to_sim(tick_seconds),
+                             [this](double dt_seconds) { step(dt_seconds); });
+}
+
 MeshSimulation::TransportResult MeshSimulation::transport_key(
     NodeId src, NodeId dst, std::size_t bits) {
   TransportResult result;
   ++stats_.transports_attempted;
 
-  // Prefer key-rich links: cost = 1 + shortage penalty.
+  // Prefer key-rich links that skirt compromised relays: cost = 1 plus a
+  // shortage penalty plus a trust penalty (either makes the link a last
+  // resort, never absent — a starved or owned path still beats no path).
   const double need = static_cast<double>(bits);
   const auto cost = [this, need](const Link& link) {
     const double pool = link_pool_bits(link.id);
-    return pool >= need ? 1.0 : 1000.0;  // starved links only as last resort
+    double c = pool >= need ? 1.0 : 1000.0;
+    if (node_compromised(link.a) || node_compromised(link.b)) c += 1000.0;
+    return c;
   };
   const auto route = shortest_route(topology_, src, dst, cost);
   if (!route.has_value()) {
@@ -161,6 +173,10 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
   if (!(in_flight == result.key))
     throw std::logic_error("MeshSimulation: relay chain corrupted the key");
 
+  for (NodeId relay : result.exposed_to)
+    if (node_compromised(relay)) result.compromised = true;
+  if (result.compromised) ++stats_.transports_compromised;
+
   result.success = true;
   ++stats_.transports_succeeded;
   return result;
@@ -190,6 +206,16 @@ double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
     purge_pool(link);
   }
   return q;
+}
+
+void MeshSimulation::compromise_node(NodeId node) {
+  compromised_.at(node) = 1;
+}
+
+void MeshSimulation::restore_node(NodeId node) { compromised_.at(node) = 0; }
+
+bool MeshSimulation::node_compromised(NodeId node) const {
+  return node < compromised_.size() && compromised_[node] != 0;
 }
 
 void MeshSimulation::restore_link(LinkId link) {

@@ -16,6 +16,7 @@
 #include <optional>
 
 #include "src/common/rng.hpp"
+#include "src/common/sim_clock.hpp"
 #include "src/network/key_service.hpp"
 #include "src/network/routing.hpp"
 #include "src/network/topology.hpp"
@@ -52,6 +53,9 @@ class MeshSimulation {
     qkd::BitVector key;                 // delivered end-to-end key
     std::vector<NodeId> exposed_to;     // relays that held the key in clear
     std::size_t pool_bits_consumed = 0; // summed across hops
+    /// Some relay in exposed_to is compromised: Eve read this key in the
+    /// clear inside that relay's memory.
+    bool compromised = false;
   };
 
   struct Stats {
@@ -60,6 +64,7 @@ class MeshSimulation {
     std::uint64_t transports_no_route = 0;
     std::uint64_t transports_starved = 0;  // route found but pools too dry
     std::uint64_t reroutes = 0;            // route differed from previous
+    std::uint64_t transports_compromised = 0;  // delivered via an owned relay
   };
 
   /// Analytic-rate mesh (the fast estimator).
@@ -83,6 +88,11 @@ class MeshSimulation {
   /// which case the key lands in the service's per-link KeySupply).
   void step(double dt_seconds);
 
+  /// The clocked form of step(): advances `clock` by `seconds` in
+  /// `tick_seconds` slices, stepping the mesh each slice (the shared
+  /// advance_clock_stepped helper — no hand-rolled seconds->SimTime loops).
+  void run_on_clock(qkd::SimClock& clock, double seconds, double tick_seconds);
+
   /// Current pairwise pool of a link, in bits (engine mode reads the
   /// link's KeySupply).
   double link_pool_bits(LinkId link) const;
@@ -103,6 +113,15 @@ class MeshSimulation {
   double eavesdrop_link(LinkId link, double intercept_fraction);
   void restore_link(LinkId link);
 
+  /// Eve owns this relay: its QKD links keep working (she plays both
+  /// protocols honestly), but every end-to-end key it relays is hers.
+  /// Routing avoids compromised relays when an alternative exists;
+  /// transports that do traverse one are counted in
+  /// Stats::transports_compromised and flagged on the result.
+  void compromise_node(NodeId node);
+  void restore_node(NodeId node);
+  bool node_compromised(NodeId node) const;
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -116,6 +135,7 @@ class MeshSimulation {
   std::unique_ptr<LinkKeyService> service_;  // kEngine only
   std::vector<double> pools_;  // bits, indexed by LinkId; kAnalytic only
   std::vector<double> eavesdrop_fraction_;
+  std::vector<char> compromised_;  // indexed by NodeId
   std::optional<Route> last_route_;
   Stats stats_;
 };

@@ -1,0 +1,130 @@
+#include "src/sim/event_scheduler.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace qkd::sim {
+
+EventScheduler::Handle EventScheduler::schedule(SimTime when, SimTime period,
+                                                Callback callback) {
+  if (when < clock_.now())
+    throw std::invalid_argument(
+        "EventScheduler: scheduling at " + std::to_string(when) +
+        " ns, before now (" + std::to_string(clock_.now()) + " ns)");
+  if (!callback)
+    throw std::invalid_argument("EventScheduler: empty callback");
+  const std::uint64_t id = next_id_++;
+  events_.emplace(id, Event{std::move(callback), period});
+  heap_.push(HeapEntry{when, next_seq_++, id});
+  return Handle(id);
+}
+
+EventScheduler::Handle EventScheduler::at(SimTime when, Callback callback) {
+  return schedule(when, 0, std::move(callback));
+}
+
+EventScheduler::Handle EventScheduler::after(SimTime delay,
+                                             Callback callback) {
+  if (delay < 0)
+    throw std::invalid_argument("EventScheduler::after: negative delay " +
+                                std::to_string(delay) + " ns");
+  return schedule(clock_.now() + delay, 0, std::move(callback));
+}
+
+EventScheduler::Handle EventScheduler::every(SimTime first_after,
+                                             SimTime period,
+                                             Callback callback) {
+  if (first_after < 0)
+    throw std::invalid_argument(
+        "EventScheduler::every: negative first_after " +
+        std::to_string(first_after) + " ns");
+  if (period <= 0)
+    throw std::invalid_argument("EventScheduler::every: period must be > 0");
+  return schedule(clock_.now() + first_after, period, std::move(callback));
+}
+
+bool EventScheduler::cancel(Handle handle) {
+  if (!handle.valid()) return false;
+  // An event whose callback is on the stack (at any nesting depth) must not
+  // have its Event erased mid-call: mark the frame and let dispatch() erase
+  // on unwind.
+  for (DispatchFrame& frame : dispatch_stack_) {
+    if (frame.id == handle.id_) {
+      const bool was_live = !frame.cancelled;
+      frame.cancelled = true;
+      return was_live;
+    }
+  }
+  return events_.erase(handle.id_) > 0;
+}
+
+void EventScheduler::prune_cancelled_top() const {
+  while (!heap_.empty() && events_.count(heap_.top().id) == 0) heap_.pop();
+}
+
+std::optional<SimTime> EventScheduler::next_time() const {
+  prune_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  return heap_.top().time;
+}
+
+std::optional<EventScheduler::HeapEntry> EventScheduler::pop_live() {
+  prune_cancelled_top();
+  if (heap_.empty()) return std::nullopt;
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  return top;
+}
+
+void EventScheduler::dispatch(const HeapEntry& entry) {
+  clock_.advance_to(entry.time);
+  auto it = events_.find(entry.id);  // guaranteed live by pop_live()
+  dispatch_stack_.push_back(DispatchFrame{entry.id, false});
+  try {
+    it->second.callback(clock_.now());
+  } catch (...) {
+    dispatch_stack_.pop_back();
+    events_.erase(entry.id);  // a throwing event does not re-arm
+    throw;
+  }
+  const bool cancelled = dispatch_stack_.back().cancelled;
+  dispatch_stack_.pop_back();
+  ++dispatched_;
+  // The callback may have scheduled or dispatched around us, but this
+  // event's map entry survives (cancellation of an executing event is
+  // deferred above), so the iterator is still valid (std::map: only
+  // erasure invalidates).
+  if (cancelled || it->second.period == 0) {
+    events_.erase(it);
+    return;
+  }
+  heap_.push(HeapEntry{entry.time + it->second.period, next_seq_++, entry.id});
+}
+
+std::size_t EventScheduler::run_until(SimTime until) {
+  if (until < clock_.now())
+    throw std::invalid_argument(
+        "EventScheduler::run_until: target precedes now");
+  std::size_t count = 0;
+  for (;;) {
+    prune_cancelled_top();
+    if (heap_.empty() || heap_.top().time > until) break;
+    const HeapEntry entry = heap_.top();
+    heap_.pop();
+    dispatch(entry);
+    ++count;
+  }
+  // A nested run_one()/run_until() inside a callback may already have
+  // carried the clock past this horizon; landing on it is then a no-op.
+  if (until > clock_.now()) clock_.advance_to(until);
+  return count;
+}
+
+bool EventScheduler::run_one() {
+  const auto entry = pop_live();
+  if (!entry.has_value()) return false;
+  dispatch(*entry);
+  return true;
+}
+
+}  // namespace qkd::sim

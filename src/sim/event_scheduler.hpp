@@ -1,0 +1,143 @@
+// Discrete-event simulation core.
+//
+// An EventScheduler owns the ordering of everything that happens on one
+// virtual timeline: callbacks are scheduled at absolute times (at), relative
+// delays (after) or fixed periods (every), kept in a binary heap keyed by
+// {SimTime, sequence number}, and dispatched in strict time order — ties
+// break FIFO by schedule order, so two events armed for the same instant
+// always fire in the order they were armed, regardless of heap internals.
+// Dispatch advances the shared SimClock to each event's timestamp, so a
+// callback always observes now() == its own due time.
+//
+// Handles returned by the schedule calls cancel events (including periodic
+// timers, including from inside their own callback). Cancellation is lazy:
+// the heap entry stays behind and is skipped when popped, so cancel() is
+// O(log n) map work rather than a heap rebuild.
+//
+// This is the substrate the scenario layer (src/sim/scenario.hpp) scripts
+// against, and what the formerly step-driven layers (LinkKeyService batch
+// completions, gateway rekey/retransmit deadlines) now schedule onto.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "src/common/sim_clock.hpp"
+
+namespace qkd::sim {
+
+class EventScheduler {
+ public:
+  /// Invoked with the simulation time the event was due (== clock.now()).
+  using Callback = std::function<void(SimTime)>;
+
+  /// Cancellation token. Default-constructed handles are inert.
+  class Handle {
+   public:
+    Handle() = default;
+    bool valid() const { return id_ != 0; }
+
+   private:
+    friend class EventScheduler;
+    explicit Handle(std::uint64_t id) : id_(id) {}
+    std::uint64_t id_ = 0;
+  };
+
+  /// The scheduler advances `clock` as it dispatches; the clock must outlive
+  /// the scheduler and must not be advanced behind its back past a pending
+  /// event (the strict SimClock would then refuse the dispatch).
+  explicit EventScheduler(SimClock& clock) : clock_(clock) {}
+
+  // ---- Scheduling ---------------------------------------------------------
+  /// One-shot at absolute time `when`; `when` may equal now() (the event
+  /// fires on the next dispatch) but may not precede it.
+  Handle at(SimTime when, Callback callback);
+
+  /// One-shot `delay` after now(); delay must be >= 0.
+  Handle after(SimTime delay, Callback callback);
+
+  /// Periodic: first fires at now() + first_after, then every `period`
+  /// (period > 0) until cancelled.
+  Handle every(SimTime first_after, SimTime period, Callback callback);
+
+  /// Cancels a pending event or live periodic timer; safe from inside the
+  /// event's own callback. Returns false if the handle was invalid, already
+  /// fired (one-shots), or already cancelled.
+  bool cancel(Handle handle);
+
+  // ---- Dispatch -----------------------------------------------------------
+  /// Dispatches every event due at or before `until` in timestamp order,
+  /// then advances the clock to exactly `until`. Events scheduled during
+  /// dispatch participate (a callback arming an event inside the window gets
+  /// it dispatched in this same call). Returns the number dispatched.
+  std::size_t run_until(SimTime until);
+
+  /// run_until(now() + duration).
+  std::size_t run_for(SimTime duration) {
+    return run_until(clock_.now() + duration);
+  }
+
+  /// Dispatches the single next pending event (advancing the clock to it);
+  /// false when nothing is pending.
+  bool run_one();
+
+  // ---- Introspection ------------------------------------------------------
+  SimTime now() const { return clock_.now(); }
+  SimClock& clock() { return clock_; }
+  std::size_t pending() const { return events_.size(); }
+  bool empty() const { return events_.empty(); }
+  /// Due time of the next live event, if any.
+  std::optional<SimTime> next_time() const;
+  /// Total events dispatched over the scheduler's lifetime (bench counter).
+  std::uint64_t dispatched() const { return dispatched_; }
+
+ private:
+  struct HeapEntry {
+    SimTime time = 0;
+    std::uint64_t seq = 0;  // schedule order: the FIFO tiebreak
+    std::uint64_t id = 0;
+    bool operator>(const HeapEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct Event {
+    Callback callback;
+    SimTime period = 0;  // 0: one-shot
+  };
+
+  Handle schedule(SimTime when, SimTime period, Callback callback);
+  /// Drops lazily-cancelled entries off the heap top (they are dead weight;
+  /// removing them never changes observable order). Safe from const
+  /// introspection, hence the mutable heap.
+  void prune_cancelled_top() const;
+  /// Pops heap entries until one refers to a live event; nullopt when the
+  /// heap drains. Keeps `events_` and the heap consistent.
+  std::optional<HeapEntry> pop_live();
+  void dispatch(const HeapEntry& entry);
+
+  SimClock& clock_;
+  mutable std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                              std::greater<>>
+      heap_;
+  std::map<std::uint64_t, Event> events_;  // live (non-cancelled) events
+  std::uint64_t next_id_ = 1;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t dispatched_ = 0;
+  // Dispatch-reentrancy state: one frame per callback on the stack (nested
+  // run_one()/run_until() from inside a callback pushes another). cancel()
+  // of any event currently executing marks its frame instead of erasing the
+  // Event — erasing would destroy the std::function mid-call.
+  struct DispatchFrame {
+    std::uint64_t id = 0;
+    bool cancelled = false;
+  };
+  std::vector<DispatchFrame> dispatch_stack_;
+};
+
+}  // namespace qkd::sim

@@ -1,0 +1,322 @@
+#include "src/sim/scenario.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/optics/attacks.hpp"
+
+namespace qkd::sim {
+
+const char* action_name(const ScenarioAction& action) {
+  struct Namer {
+    const char* operator()(const CutLink&) const { return "CutLink"; }
+    const char* operator()(const RestoreLink&) const { return "RestoreLink"; }
+    const char* operator()(const StartEavesdrop&) const {
+      return "StartEavesdrop";
+    }
+    const char* operator()(const StopEavesdrop&) const {
+      return "StopEavesdrop";
+    }
+    const char* operator()(const TrafficBurst&) const {
+      return "TrafficBurst";
+    }
+    const char* operator()(const KeyRequest&) const { return "KeyRequest"; }
+    const char* operator()(const CompromiseNode&) const {
+      return "CompromiseNode";
+    }
+  };
+  return std::visit(Namer{}, action);
+}
+
+std::string describe(const ScenarioAction& action) {
+  struct Describer {
+    std::string operator()(const CutLink& a) const {
+      return "CutLink link=" + std::to_string(a.link);
+    }
+    std::string operator()(const RestoreLink& a) const {
+      return "RestoreLink link=" + std::to_string(a.link);
+    }
+    std::string operator()(const StartEavesdrop& a) const {
+      return "StartEavesdrop link=" + std::to_string(a.link) +
+             " fraction=" + std::to_string(a.intercept_fraction);
+    }
+    std::string operator()(const StopEavesdrop& a) const {
+      return "StopEavesdrop link=" + std::to_string(a.link);
+    }
+    std::string operator()(const TrafficBurst& a) const {
+      return "TrafficBurst " + std::to_string(a.packets_per_s) + " pkt/s for " +
+             std::to_string(a.duration_s) + " s";
+    }
+    std::string operator()(const KeyRequest& a) const {
+      return "KeyRequest " + std::to_string(a.src) + "->" +
+             std::to_string(a.dst) + " bits=" + std::to_string(a.bits);
+    }
+    std::string operator()(const CompromiseNode& a) const {
+      return "CompromiseNode node=" + std::to_string(a.node);
+    }
+  };
+  return std::visit(Describer{}, action);
+}
+
+Scenario& Scenario::at(SimTime when, ScenarioAction action) {
+  if (when < 0)
+    throw std::invalid_argument("Scenario::at: negative time");
+  events_.push_back(ScenarioEvent{when, std::move(action)});
+  return *this;
+}
+
+ScenarioRunner::ScenarioRunner(Scenario scenario)
+    : ScenarioRunner(std::move(scenario), Config()) {}
+
+ScenarioRunner::ScenarioRunner(Scenario scenario, Config config)
+    : scenario_(std::move(scenario)),
+      config_(config),
+      scheduler_(std::make_unique<EventScheduler>(own_clock_)) {}
+
+ScenarioRunner::~ScenarioRunner() {
+  if (vpn_ != nullptr && supply_subscriptions_.size() == 2) {
+    vpn_->a().key_supply().unsubscribe(supply_subscriptions_[0]);
+    vpn_->b().key_supply().unsubscribe(supply_subscriptions_[1]);
+  }
+}
+
+void ScenarioRunner::attach_mesh(network::MeshSimulation& mesh) {
+  mesh_ = &mesh;
+  recorder_.attach_mesh(mesh);
+}
+
+void ScenarioRunner::attach_vpn(ipsec::VpnLinkSimulation& vpn) {
+  if (scheduler_->pending() > 0 || scheduler_->dispatched() > 0)
+    throw std::logic_error(
+        "ScenarioRunner::attach_vpn: attach before scheduling anything (the "
+        "scheduler rebinds to the VPN's clock)");
+  vpn_ = &vpn;
+  clock_ = &vpn.clock();
+  scheduler_ = std::make_unique<EventScheduler>(*clock_);
+  recorder_.attach_gateway(vpn.a());
+  recorder_.attach_gateway(vpn.b());
+  // A replenished supply ends a starvation episode: wake the tunnel
+  // immediately instead of waiting for the next scheduled deadline.
+  const auto on_event = [this](const keystore::SupplyEvent& event) {
+    if (event.kind == keystore::SupplyEventKind::kReplenished)
+      arm_vpn_deadline(clock_->now());
+  };
+  supply_subscriptions_.push_back(vpn.a().key_supply().subscribe(on_event));
+  supply_subscriptions_.push_back(vpn.b().key_supply().subscribe(on_event));
+}
+
+void ScenarioRunner::set_traffic_source(
+    std::function<ipsec::IpPacket(std::uint64_t)> make) {
+  traffic_source_ = std::move(make);
+}
+
+void ScenarioRunner::pump_vpn(SimTime now) {
+  vpn_->pump();
+  arm_vpn_deadline(now);
+}
+
+void ScenarioRunner::catch_up_mesh(SimTime now) {
+  if (mesh_ == nullptr || mesh_->key_service() != nullptr) return;
+  if (now <= mesh_accrued_to_) return;
+  mesh_->step(sim_to_seconds(now - mesh_accrued_to_));
+  mesh_accrued_to_ = now;
+}
+
+void ScenarioRunner::arm_vpn_deadline(SimTime now) {
+  if (vpn_ == nullptr) return;
+  std::optional<SimTime> deadline = vpn_->a().next_deadline(now);
+  const auto b_deadline = vpn_->b().next_deadline(now);
+  if (b_deadline.has_value() &&
+      (!deadline.has_value() || *b_deadline < *deadline))
+    deadline = b_deadline;
+  if (vpn_wakeup_.valid()) scheduler_->cancel(vpn_wakeup_);
+  vpn_wakeup_ = EventScheduler::Handle();
+  if (!deadline.has_value()) return;
+  // A deadline that still reads "now" right after a pump means a gateway is
+  // starved and stays starved; back off instead of respinning this instant.
+  const SimTime when =
+      *deadline <= now ? now + config_.stalled_retry : *deadline;
+  vpn_wakeup_ = scheduler_->at(when, [this](SimTime t) {
+    vpn_wakeup_ = EventScheduler::Handle();  // consumed
+    pump_vpn(t);
+  });
+}
+
+void ScenarioRunner::start_traffic(SimTime now, const TrafficBurst& burst) {
+  if (vpn_ == nullptr)
+    throw std::logic_error("ScenarioRunner: TrafficBurst without a VPN");
+  if (burst.tunnel != 0)
+    throw std::logic_error(
+        "ScenarioRunner: TrafficBurst tunnel " +
+        std::to_string(burst.tunnel) +
+        " — only tunnel 0 (the attached VpnLinkSimulation) exists");
+  if (!traffic_source_)
+    throw std::logic_error(
+        "ScenarioRunner: TrafficBurst without set_traffic_source()");
+  if (burst.packets_per_s <= 0.0 || burst.duration_s <= 0.0)
+    throw std::invalid_argument("ScenarioRunner: degenerate TrafficBurst");
+  const auto total = static_cast<std::uint64_t>(
+      std::max(1.0, burst.packets_per_s * burst.duration_s));
+  const SimTime period = std::max<SimTime>(
+      1, seconds_to_sim(1.0 / burst.packets_per_s));
+  auto remaining = std::make_shared<std::uint64_t>(total);
+  auto handle = std::make_shared<EventScheduler::Handle>();
+  *handle = scheduler_->every(0, period, [this, remaining,
+                                          handle](SimTime t) {
+    vpn_->a().submit_plaintext(traffic_source_(traffic_seq_++), t);
+    pump_vpn(t);
+    if (--*remaining == 0) scheduler_->cancel(*handle);
+  });
+  (void)now;
+}
+
+void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
+  catch_up_mesh(now);  // act on pools as of this instant, not the last tick
+  recorder_.note(now, describe(action));
+  struct Applier {
+    ScenarioRunner& r;
+    SimTime now;
+
+    qkd::network::LinkKeyService* vpn_feed() const {
+      return r.vpn_ != nullptr ? r.vpn_->key_service() : nullptr;
+    }
+
+    void operator()(const CutLink& a) const {
+      if (r.mesh_ != nullptr) {
+        r.mesh_->cut_link(a.link);
+      } else if (auto* feed = vpn_feed()) {
+        feed->set_link_enabled(a.link, false);
+      } else {
+        throw std::logic_error("ScenarioRunner: CutLink with nothing attached");
+      }
+    }
+    void operator()(const RestoreLink& a) const {
+      if (r.mesh_ != nullptr) {
+        r.mesh_->restore_link(a.link);
+      } else if (auto* feed = vpn_feed()) {
+        feed->set_link_enabled(a.link, true);
+      } else {
+        throw std::logic_error(
+            "ScenarioRunner: RestoreLink with nothing attached");
+      }
+    }
+    void operator()(const StartEavesdrop& a) const {
+      if (r.mesh_ != nullptr) {
+        r.mesh_->eavesdrop_link(a.link, a.intercept_fraction);
+      } else if (r.vpn_ != nullptr && r.vpn_->key_service() != nullptr) {
+        r.vpn_->set_feed_attack(
+            std::make_unique<qkd::optics::InterceptResendAttack>(
+                a.intercept_fraction));
+      } else {
+        throw std::logic_error(
+            "ScenarioRunner: StartEavesdrop with nothing attached");
+      }
+    }
+    void operator()(const StopEavesdrop& a) const {
+      if (r.mesh_ != nullptr) {
+        r.mesh_->eavesdrop_link(a.link, 0.0);
+        // The alarm abandoned the link; Eve leaving puts it back in
+        // service (a concurrent fiber cut stays cut).
+        if (r.mesh_->topology().link(a.link).state ==
+            network::LinkState::kEavesdropped)
+          r.mesh_->restore_link(a.link);
+      } else if (r.vpn_ != nullptr && r.vpn_->key_service() != nullptr) {
+        r.vpn_->set_feed_attack(nullptr);
+      } else {
+        throw std::logic_error(
+            "ScenarioRunner: StopEavesdrop with nothing attached");
+      }
+    }
+    void operator()(const TrafficBurst& a) const { r.start_traffic(now, a); }
+    void operator()(const KeyRequest& a) const {
+      if (r.mesh_ == nullptr)
+        throw std::logic_error("ScenarioRunner: KeyRequest without a mesh");
+      KeyRequestOutcome outcome;
+      outcome.at = now;
+      outcome.request = a;
+      outcome.result = r.mesh_->transport_key(a.src, a.dst, a.bits);
+      r.recorder_.note(
+          now, std::string("  -> ") +
+                   (outcome.result.success ? "delivered" : "failed") +
+                   ", hops=" + std::to_string(outcome.result.route.hop_count()));
+      r.key_requests_.push_back(std::move(outcome));
+    }
+    void operator()(const CompromiseNode& a) const {
+      if (r.mesh_ == nullptr)
+        throw std::logic_error(
+            "ScenarioRunner: CompromiseNode without a mesh");
+      r.mesh_->compromise_node(a.node);
+    }
+  };
+  std::visit(Applier{*this, now}, action);
+}
+
+std::size_t ScenarioRunner::run(SimTime horizon) {
+  if (running_)
+    throw std::logic_error("ScenarioRunner::run: already ran");
+  running_ = true;
+  if (horizon < clock_->now())
+    throw std::invalid_argument("ScenarioRunner::run: horizon precedes now");
+
+  // Analytic distillation is accrued exactly up to every observation
+  // instant (catch_up_mesh runs before each sample and each scripted
+  // action), so same-instant ordering between driver ticks and actions is
+  // immaterial; engine-backed links produce at real batch boundaries, and
+  // an action between batches sees the last completed batch — as it would
+  // on hardware.
+  scheduler_->every(config_.sample_interval, config_.sample_interval,
+                    [this](SimTime t) {
+                      catch_up_mesh(t);
+                      recorder_.sample(t);
+                    });
+
+  if (mesh_ != nullptr) {
+    if (auto* service = mesh_->key_service()) {
+      // Engine-backed links: one periodic batch-completion event per link,
+      // at that link's real Qframe period.
+      for (const network::Link& link : mesh_->topology().links()) {
+        const SimTime frame =
+            seconds_to_sim(service->link_frame_duration_s(link.id));
+        const network::LinkId id = link.id;
+        scheduler_->every(frame, frame, [this, service, id](SimTime) {
+          if (mesh_->topology().link(id).usable()) service->run_link_batch(id);
+        });
+      }
+    } else {
+      // Accrual cadence between observations (keeps long idle stretches
+      // from accruing in one jump at the next sample).
+      const SimTime tick = seconds_to_sim(config_.mesh_tick_s);
+      scheduler_->every(tick, tick,
+                        [this](SimTime t) { catch_up_mesh(t); });
+    }
+  }
+
+  if (vpn_ != nullptr) {
+    if (auto* feed = vpn_->key_service()) {
+      // The tunnel's QKD feed: scheduled batch completions, each followed
+      // by a pump so the gateways react to fresh key at delivery time.
+      const SimTime frame = seconds_to_sim(feed->link_frame_duration_s(0));
+      scheduler_->every(frame, frame, [this, feed](SimTime t) {
+        feed->run_link_batch(0);
+        pump_vpn(t);
+      });
+    }
+    arm_vpn_deadline(clock_->now());
+  }
+
+  for (const ScenarioEvent& event : scenario_.events()) {
+    scheduler_->at(event.at, [this, &event](SimTime t) {
+      apply(t, event.action);
+      if (vpn_ != nullptr) arm_vpn_deadline(t);
+    });
+  }
+
+  const std::size_t dispatched = scheduler_->run_until(horizon);
+  // Close the series at the horizon (unless periodic sampling just did).
+  catch_up_mesh(horizon);
+  if (recorder_.points().empty() || recorder_.points().back().t != horizon)
+    recorder_.sample(clock_->now());
+  return dispatched;
+}
+
+}  // namespace qkd::sim

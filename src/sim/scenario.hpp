@@ -1,0 +1,194 @@
+// Declarative scenarios on the discrete-event timeline.
+//
+// A Scenario is an ordered script of typed events — fiber cuts, restores,
+// eavesdroppers arriving and leaving, traffic bursts, end-to-end key
+// requests, relay compromises — each pinned to a SimTime. A ScenarioRunner
+// binds the script to the live stack (a MeshSimulation and/or a
+// VpnLinkSimulation), schedules every action on one EventScheduler, and
+// ports the formerly step-driven layers onto the same timeline:
+//
+//  * QKD producers advance as scheduled batch-completion events: each
+//    engine-backed link (mesh links, the VPN's engine feed) gets a periodic
+//    event with the link's Qframe duration as its period; an analytic mesh
+//    accrues on a fixed distillation tick instead.
+//  * MeshSimulation serves KeyRequest events (recording every
+//    TransportResult) and reroutes around CutLink/StartEavesdrop damage on
+//    the next request.
+//  * The VPN gateways' rekey timers, IKE retransmits and supply-replenished
+//    wakeups run as events scheduled at VpnGateway::next_deadline() — no
+//    fixed-dt polling anywhere in the run.
+//
+// So one script runs "Eve appears on link B-C at t=100 s, the mesh
+// reroutes, IKE survives on the reserve pool, fiber restored at t=300 s"
+// end to end, with a TimelineRecorder sampling the whole stack as it goes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "src/ipsec/vpn_sim.hpp"
+#include "src/network/key_transport.hpp"
+#include "src/sim/event_scheduler.hpp"
+#include "src/sim/timeline.hpp"
+
+namespace qkd::sim {
+
+// ---- Event vocabulary -----------------------------------------------------
+
+/// Fiber cut: the link stops distilling and routing abandons it.
+struct CutLink {
+  network::LinkId link = 0;
+};
+
+/// Fiber repaired: distillation resumes, the link rejoins routing.
+struct RestoreLink {
+  network::LinkId link = 0;
+};
+
+/// Eve taps a link's quantum channel with an intercept-resend attack on
+/// `intercept_fraction` of the pulses. Past the QBER alarm the link is
+/// abandoned; below it, her presence is paid for in distilled-key yield.
+struct StartEavesdrop {
+  network::LinkId link = 0;
+  double intercept_fraction = 1.0;
+};
+
+/// Eve leaves; the link is trusted and used again.
+struct StopEavesdrop {
+  network::LinkId link = 0;
+};
+
+/// `packets_per_s` plaintext packets per second for `duration_s`, submitted
+/// to the VPN tunnel's A-side gateway (tunnel 0 is the attached
+/// VpnLinkSimulation).
+struct TrafficBurst {
+  std::size_t tunnel = 0;
+  double packets_per_s = 10.0;
+  double duration_s = 1.0;
+};
+
+/// End-to-end key agreement: transport `bits` of fresh key src -> dst over
+/// the trusted-relay mesh.
+struct KeyRequest {
+  network::NodeId src = 0;
+  network::NodeId dst = 0;
+  std::size_t bits = 256;
+};
+
+/// Eve owns a relay from this instant: keys relayed through it are hers.
+struct CompromiseNode {
+  network::NodeId node = 0;
+};
+
+using ScenarioAction =
+    std::variant<CutLink, RestoreLink, StartEavesdrop, StopEavesdrop,
+                 TrafficBurst, KeyRequest, CompromiseNode>;
+
+/// Human-readable action tag for timeline annotations.
+const char* action_name(const ScenarioAction& action);
+/// One-line description (tag plus operands).
+std::string describe(const ScenarioAction& action);
+
+struct ScenarioEvent {
+  SimTime at = 0;
+  ScenarioAction action;
+};
+
+/// The script: an append-only list of timed actions. Order of same-instant
+/// actions is the append order (the scheduler's FIFO tie-break preserves
+/// it).
+class Scenario {
+ public:
+  Scenario& at(SimTime when, ScenarioAction action);
+  const std::vector<ScenarioEvent>& events() const { return events_; }
+
+ private:
+  std::vector<ScenarioEvent> events_;
+};
+
+// ---- Runner ---------------------------------------------------------------
+
+class ScenarioRunner {
+ public:
+  struct Config {
+    /// TimelineRecorder sampling period.
+    SimTime sample_interval = kSecond;
+    /// Distillation-accrual tick for an analytic-rate mesh (engine-backed
+    /// links schedule real per-frame batch events instead).
+    double mesh_tick_s = 1.0;
+    /// Retry delay when a gateway stays starved after a wakeup (its
+    /// deadline reads "now" again); bounds the event rate of a starvation
+    /// episode instead of livelocking at one instant.
+    SimTime stalled_retry = 100 * kMillisecond;
+  };
+
+  struct KeyRequestOutcome {
+    SimTime at = 0;
+    KeyRequest request;
+    network::MeshSimulation::TransportResult result;
+  };
+
+  explicit ScenarioRunner(Scenario scenario);
+  ScenarioRunner(Scenario scenario, Config config);
+  ~ScenarioRunner();
+
+  /// Attach the stack under test; attached objects must outlive run().
+  void attach_mesh(network::MeshSimulation& mesh);
+  /// Attaching a VPN adopts ITS SimClock as the scenario timeline, so the
+  /// gateways' SA lifetimes and IKE deadlines share the scheduler's time.
+  /// Attach before scheduling anything through scheduler().
+  void attach_vpn(ipsec::VpnLinkSimulation& vpn);
+
+  /// Packet factory for TrafficBurst events (sequence number -> plaintext
+  /// packet). Required if the scenario contains TrafficBurst actions.
+  void set_traffic_source(std::function<ipsec::IpPacket(std::uint64_t)> make);
+
+  /// Runs the script: schedules every scenario action plus the stack
+  /// drivers (producer batch completions, gateway deadlines, recorder
+  /// sampling) and dispatches events until `horizon`, then takes a final
+  /// sample. Returns the number of events dispatched.
+  std::size_t run(SimTime horizon);
+
+  TimelineRecorder& recorder() { return recorder_; }
+  EventScheduler& scheduler() { return *scheduler_; }
+  SimClock& clock() { return *clock_; }
+  const std::vector<KeyRequestOutcome>& key_requests() const {
+    return key_requests_;
+  }
+
+ private:
+  void apply(SimTime now, const ScenarioAction& action);
+  /// Accrues an analytic mesh's distillation exactly up to `now`, so
+  /// actions and samples at any instant observe pools as of that instant
+  /// (the periodic tick only sets the accrual cadence between
+  /// observations). Engine-backed meshes accrue by batch events instead.
+  void catch_up_mesh(SimTime now);
+  void start_traffic(SimTime now, const TrafficBurst& burst);
+  /// Schedules (or reschedules) the tunnel wakeup at the gateways' earliest
+  /// deadline; called after every event that may have moved a deadline.
+  void arm_vpn_deadline(SimTime now);
+  void pump_vpn(SimTime now);
+
+  Scenario scenario_;
+  Config config_;
+  SimClock own_clock_;
+  SimClock* clock_ = &own_clock_;  // the VPN's clock once attached
+  std::unique_ptr<EventScheduler> scheduler_;  // rebound by attach_vpn
+  TimelineRecorder recorder_;
+
+  network::MeshSimulation* mesh_ = nullptr;
+  SimTime mesh_accrued_to_ = 0;  // analytic mesh: accrual high-water mark
+  ipsec::VpnLinkSimulation* vpn_ = nullptr;
+  std::function<ipsec::IpPacket(std::uint64_t)> traffic_source_;
+  std::uint64_t traffic_seq_ = 0;
+  std::vector<KeyRequestOutcome> key_requests_;
+  EventScheduler::Handle vpn_wakeup_;
+  std::vector<std::uint64_t> supply_subscriptions_;  // [gateway] -> token
+  bool running_ = false;
+};
+
+}  // namespace qkd::sim

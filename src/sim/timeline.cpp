@@ -1,0 +1,114 @@
+#include "src/sim/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace qkd::sim {
+
+void TimelineRecorder::start(EventScheduler& scheduler, SimTime interval) {
+  if (sampling_.valid())
+    throw std::logic_error("TimelineRecorder: sampling already armed");
+  scheduler_ = &scheduler;
+  sampling_ = scheduler.every(interval, interval,
+                              [this](SimTime now) { sample(now); });
+}
+
+void TimelineRecorder::stop() {
+  if (scheduler_ != nullptr && sampling_.valid()) scheduler_->cancel(sampling_);
+  sampling_ = EventScheduler::Handle();
+  scheduler_ = nullptr;
+}
+
+void TimelineRecorder::sample(SimTime now) {
+  TimelinePoint point;
+  point.t = now;
+  if (mesh_ != nullptr) {
+    const auto& topology = mesh_->topology();
+    point.links.reserve(topology.link_count());
+    for (const network::Link& link : topology.links()) {
+      LinkSample sample;
+      sample.pool_bits = mesh_->link_pool_bits(link.id);
+      sample.usable = link.usable();
+      point.links.push_back(sample);
+    }
+    point.mesh = mesh_->stats();
+  }
+  point.tunnels.reserve(gateways_.size());
+  for (ipsec::VpnGateway* gateway : gateways_) {
+    TunnelSample sample;
+    sample.sas_installed = gateway->sad().size();
+    sample.sa_rollovers = gateway->stats().sa_rollovers;
+    sample.phase2_completed = gateway->ike().stats().phase2_completed;
+    sample.phase2_timeouts = gateway->ike().stats().phase2_timeouts;
+    sample.supply_bits = gateway->key_supply().available_bits();
+    sample.supply_low_water = gateway->stats().supply_low_water;
+    sample.esp_sent = gateway->stats().esp_sent;
+    sample.delivered = gateway->stats().delivered;
+    point.tunnels.push_back(sample);
+  }
+  points_.push_back(std::move(point));
+}
+
+void TimelineRecorder::note(SimTime t, std::string text) {
+  notes_.push_back(TimelineNote{t, std::move(text)});
+}
+
+std::vector<double> TimelineRecorder::link_pool_series(
+    network::LinkId link) const {
+  std::vector<double> series;
+  series.reserve(points_.size());
+  for (const TimelinePoint& point : points_)
+    series.push_back(link < point.links.size() ? point.links[link].pool_bits
+                                               : 0.0);
+  return series;
+}
+
+std::string TimelineRecorder::render() const {
+  std::string out;
+  char line[256];
+  // Interleave samples and notes chronologically (notes first on ties, so an
+  // action prints before the sample that shows its effect).
+  std::size_t note_idx = 0;
+  const auto flush_notes = [&](SimTime up_to) {
+    while (note_idx < notes_.size() && notes_[note_idx].t <= up_to) {
+      std::snprintf(line, sizeof(line), "t=%8.1fs  ** %s\n",
+                    sim_to_seconds(notes_[note_idx].t),
+                    notes_[note_idx].text.c_str());
+      out += line;
+      ++note_idx;
+    }
+  };
+  for (const TimelinePoint& point : points_) {
+    flush_notes(point.t);
+    std::snprintf(line, sizeof(line), "t=%8.1fs ", sim_to_seconds(point.t));
+    out += line;
+    for (std::size_t i = 0; i < point.links.size(); ++i) {
+      std::snprintf(line, sizeof(line), " L%zu:%s%.0f", i,
+                    point.links[i].usable ? "" : "x",
+                    point.links[i].pool_bits);
+      out += line;
+    }
+    if (!point.links.empty()) {
+      std::snprintf(line, sizeof(line), "  ok=%llu reroutes=%llu",
+                    static_cast<unsigned long long>(
+                        point.mesh.transports_succeeded),
+                    static_cast<unsigned long long>(point.mesh.reroutes));
+      out += line;
+    }
+    for (std::size_t i = 0; i < point.tunnels.size(); ++i) {
+      const TunnelSample& tunnel = point.tunnels[i];
+      std::snprintf(line, sizeof(line),
+                    "  gw%zu: sas=%zu roll=%llu supply=%zu", i,
+                    tunnel.sas_installed,
+                    static_cast<unsigned long long>(tunnel.sa_rollovers),
+                    tunnel.supply_bits);
+      out += line;
+    }
+    out += '\n';
+  }
+  flush_notes(notes_.empty() ? 0 : notes_.back().t);
+  return out;
+}
+
+}  // namespace qkd::sim

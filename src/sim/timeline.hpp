@@ -1,0 +1,100 @@
+// Time-series recording for scenario runs.
+//
+// A TimelineRecorder periodically samples the observable state of the
+// attached stack — per-link pool depth and usability from a MeshSimulation,
+// mesh transport Stats, and per-gateway tunnel state (installed SAs,
+// rollovers, IKE phase-2 progress, key-supply level and starvation
+// counters) — into an in-memory series that tests assert on and benches and
+// examples print. Scenario actions are recorded alongside as annotations,
+// so a dumped timeline reads as the run's story: what was scheduled, when,
+// and what the stack did about it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/ipsec/gateway.hpp"
+#include "src/network/key_transport.hpp"
+#include "src/sim/event_scheduler.hpp"
+
+namespace qkd::sim {
+
+/// One link's state at a sample instant.
+struct LinkSample {
+  double pool_bits = 0.0;
+  bool usable = true;
+};
+
+/// One gateway's tunnel state at a sample instant.
+struct TunnelSample {
+  std::size_t sas_installed = 0;       // live entries in the SAD
+  std::uint64_t sa_rollovers = 0;
+  std::uint64_t phase2_completed = 0;
+  std::uint64_t phase2_timeouts = 0;
+  std::size_t supply_bits = 0;         // key reservoir depth
+  std::uint64_t supply_low_water = 0;  // starvation events seen so far
+  std::uint64_t esp_sent = 0;
+  std::uint64_t delivered = 0;
+};
+
+struct TimelinePoint {
+  SimTime t = 0;
+  std::vector<LinkSample> links;                // mesh links, by LinkId
+  network::MeshSimulation::Stats mesh;          // copy at sample time
+  std::vector<TunnelSample> tunnels;            // attached gateways, in order
+};
+
+/// A scenario action (or any other notable instant) on the timeline.
+struct TimelineNote {
+  SimTime t = 0;
+  std::string text;
+};
+
+class TimelineRecorder {
+ public:
+  /// Sources are optional and may be attached in any combination; they must
+  /// outlive the recorder's sampling.
+  void attach_mesh(network::MeshSimulation& mesh) { mesh_ = &mesh; }
+  void attach_gateway(ipsec::VpnGateway& gateway) {
+    gateways_.push_back(&gateway);
+  }
+
+  /// Arms periodic sampling on `scheduler` (first sample after one
+  /// interval). Call at most once per run.
+  void start(EventScheduler& scheduler, SimTime interval);
+  void stop();
+
+  /// Takes one sample immediately (also what the periodic event calls).
+  void sample(SimTime now);
+
+  void note(SimTime t, std::string text);
+
+  const std::vector<TimelinePoint>& points() const { return points_; }
+  const std::vector<TimelineNote>& notes() const { return notes_; }
+
+  // ---- Series queries (tests and benches) ---------------------------------
+  /// Pool-depth series of one mesh link, one value per sample.
+  std::vector<double> link_pool_series(network::LinkId link) const;
+  /// First sample time at which `pred(point)` held, or nullopt.
+  template <typename Pred>
+  std::optional<SimTime> first_time(const Pred& pred) const {
+    for (const TimelinePoint& p : points_)
+      if (pred(p)) return p.t;
+    return std::nullopt;
+  }
+
+  /// Renders the annotated series as an ASCII table (examples, bench logs).
+  std::string render() const;
+
+ private:
+  network::MeshSimulation* mesh_ = nullptr;
+  std::vector<ipsec::VpnGateway*> gateways_;
+  std::vector<TimelinePoint> points_;
+  std::vector<TimelineNote> notes_;
+  EventScheduler* scheduler_ = nullptr;
+  EventScheduler::Handle sampling_;
+};
+
+}  // namespace qkd::sim

@@ -1,0 +1,84 @@
+// SimClock strictness (time never runs backwards) and the shared
+// seconds->SimTime stepping helper.
+#include "src/common/sim_clock.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace qkd {
+namespace {
+
+TEST(SimClock, AdvancesAndReportsSeconds) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(3 * kSecond);
+  clock.advance_to(5 * kSecond);
+  EXPECT_EQ(clock.now(), 5 * kSecond);
+  EXPECT_DOUBLE_EQ(clock.seconds(), 5.0);
+}
+
+TEST(SimClock, NegativeAdvanceThrows) {
+  SimClock clock;
+  clock.advance(kSecond);
+  EXPECT_THROW(clock.advance(-1), std::invalid_argument);
+  EXPECT_EQ(clock.now(), kSecond) << "a rejected advance must not move time";
+}
+
+TEST(SimClock, AdvanceToPastThrows) {
+  SimClock clock;
+  clock.advance(kSecond);
+  EXPECT_THROW(clock.advance_to(kSecond - 1), std::invalid_argument);
+  EXPECT_EQ(clock.now(), kSecond);
+  // Equal time is a legal no-op (schedulers advance_to the current instant).
+  clock.advance_to(kSecond);
+  EXPECT_EQ(clock.now(), kSecond);
+}
+
+TEST(SimClock, SecondsConversionRoundTripsAndRejectsNegative) {
+  EXPECT_EQ(seconds_to_sim(1.5), kSecond + 500 * kMillisecond);
+  EXPECT_EQ(seconds_to_sim(0.0), 0);
+  EXPECT_DOUBLE_EQ(sim_to_seconds(250 * kMillisecond), 0.25);
+  EXPECT_THROW(seconds_to_sim(-0.1), std::invalid_argument);
+}
+
+TEST(SimClock, CeilConversionLandsWhereTheSecondsPredicateHolds) {
+  // 1/3 s truncates to 333'333'333 ns, where sim_to_seconds(t) >= 1/3 is
+  // still false — a deadline there wakes one tick early and finds its
+  // predicate not yet true. The ceiling conversion lands on the first tick
+  // where it holds; exactly representable durations are untouched.
+  const double third = 1.0 / 3.0;
+  EXPECT_LT(sim_to_seconds(seconds_to_sim(third)), third);
+  EXPECT_GE(sim_to_seconds(seconds_to_sim_ceil(third)), third);
+  EXPECT_EQ(seconds_to_sim_ceil(third), seconds_to_sim(third) + 1);
+  EXPECT_EQ(seconds_to_sim_ceil(2.0), 2 * kSecond);
+  EXPECT_EQ(seconds_to_sim_ceil(0.5), 500 * kMillisecond);
+}
+
+TEST(AdvanceClockStepped, SlicesExactlyAndReportsSliceWidths) {
+  SimClock clock;
+  std::vector<double> slices;
+  advance_clock_stepped(clock, 0.25, 100 * kMillisecond,
+                        [&](double dt) { slices.push_back(dt); });
+  EXPECT_EQ(clock.now(), 250 * kMillisecond);
+  ASSERT_EQ(slices.size(), 3u);  // 100 + 100 + 50 ms
+  EXPECT_DOUBLE_EQ(slices[0], 0.1);
+  EXPECT_DOUBLE_EQ(slices[1], 0.1);
+  EXPECT_DOUBLE_EQ(slices[2], 0.05);
+}
+
+TEST(AdvanceClockStepped, ZeroDurationIsANoOpAndNegativeThrows) {
+  SimClock clock;
+  int calls = 0;
+  advance_clock_stepped(clock, 0.0, kSecond, [&](double) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(clock.now(), 0);
+  EXPECT_THROW(
+      advance_clock_stepped(clock, -1.0, kSecond, [&](double) { ++calls; }),
+      std::invalid_argument);
+  EXPECT_THROW(advance_clock_stepped(clock, 1.0, 0, [&](double) { ++calls; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "src/network/key_service.hpp"
 #include "src/qkd/engine.hpp"
 
@@ -156,6 +158,63 @@ TEST(Mesh, StarvedPoolsFailWithoutConsuming) {
   mesh.step(60.0);
   const auto retry = mesh.transport_key(6, 7, 128);
   EXPECT_TRUE(retry.success);
+}
+
+TEST(Mesh, MidRunRerouteAvoidsCutLinkAndUpdatesExposure) {
+  // Transports are already flowing when the failure lands — the dynamic
+  // version of the static-topology cut tests above. Time advances through
+  // the shared clocked stepping path (run_on_clock), not ad-hoc step()s.
+  MeshSimulation mesh(Topology::relay_ring(6), 10);
+  qkd::SimClock clock;
+  mesh.run_on_clock(clock, 240.0, /*tick_seconds=*/1.0);
+  const auto first = mesh.transport_key(6, 7, 64);
+  const auto second = mesh.transport_key(6, 7, 64);
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  EXPECT_EQ(second.route.links, first.route.links) << "route stable pre-cut";
+  EXPECT_EQ(mesh.stats().reroutes, 0u);
+
+  // Cut a ring link in the middle of the active route; the rest of the
+  // mesh keeps distilling.
+  const LinkId cut = first.route.links[first.route.links.size() / 2];
+  mesh.cut_link(cut);
+  mesh.run_on_clock(clock, 30.0, /*tick_seconds=*/1.0);
+  EXPECT_EQ(clock.now(), 270 * qkd::kSecond);
+
+  const auto after = mesh.transport_key(6, 7, 64);
+  ASSERT_TRUE(after.success);
+  EXPECT_EQ(mesh.stats().reroutes, 1u);
+  EXPECT_EQ(std::count(after.route.links.begin(), after.route.links.end(),
+                       cut),
+            0)
+      << "new route must avoid the cut link";
+  // The detour crosses the far side of the ring: a different relay set now
+  // holds the key in the clear.
+  EXPECT_NE(after.exposed_to, first.exposed_to);
+  EXPECT_EQ(after.exposed_to.size(), after.route.hop_count() - 1);
+  for (NodeId relay : after.exposed_to)
+    EXPECT_EQ(mesh.topology().node(relay).kind, NodeKind::kTrustedRelay);
+}
+
+TEST(Mesh, CompromisedRelaysFlagDeliveredKeysUntilRestored) {
+  MeshSimulation mesh(Topology::relay_ring(6), 11);
+  mesh.step(240.0);
+  // Relays 1 (east path) and 4 (west path) both fall: no clean route
+  // remains, so delivery succeeds but is flagged as exposed to Eve.
+  mesh.compromise_node(1);
+  mesh.compromise_node(4);
+  EXPECT_TRUE(mesh.node_compromised(1));
+  const auto owned = mesh.transport_key(6, 7, 64);
+  ASSERT_TRUE(owned.success);
+  EXPECT_TRUE(owned.compromised);
+  EXPECT_EQ(mesh.stats().transports_compromised, 1u);
+
+  mesh.restore_node(1);
+  mesh.restore_node(4);
+  const auto clean = mesh.transport_key(6, 7, 64);
+  ASSERT_TRUE(clean.success);
+  EXPECT_FALSE(clean.compromised);
+  EXPECT_EQ(mesh.stats().transports_compromised, 1u);
 }
 
 TEST(Mesh, RestoreLinkHeals) {

@@ -1,0 +1,66 @@
+// TimelineRecorder used standalone (its own sampling event on a scheduler,
+// no ScenarioRunner): series shape, stop(), annotations and rendering.
+#include "src/sim/timeline.hpp"
+
+#include <gtest/gtest.h>
+
+namespace qkd::sim {
+namespace {
+
+TEST(TimelineRecorder, SamplesMeshPeriodicallyUntilStopped) {
+  network::MeshSimulation mesh(network::Topology::star(3), 1);
+  SimClock clock;
+  EventScheduler sched(clock);
+  // Distillation on the same timeline the recorder samples.
+  sched.every(kSecond, kSecond, [&mesh](SimTime) { mesh.step(1.0); });
+
+  TimelineRecorder recorder;
+  recorder.attach_mesh(mesh);
+  recorder.start(sched, 2 * kSecond);
+  sched.run_until(10 * kSecond);
+  ASSERT_EQ(recorder.points().size(), 5u);  // t = 2, 4, 6, 8, 10
+  EXPECT_EQ(recorder.points().front().t, 2 * kSecond);
+  EXPECT_EQ(recorder.points().back().t, 10 * kSecond);
+  ASSERT_EQ(recorder.points().front().links.size(),
+            mesh.topology().link_count());
+
+  const auto series = recorder.link_pool_series(0);
+  ASSERT_EQ(series.size(), 5u);
+  EXPECT_GT(series.front(), 0.0);
+  EXPECT_GT(series.back(), series.front()) << "pools grow across samples";
+
+  recorder.stop();
+  sched.run_until(20 * kSecond);
+  EXPECT_EQ(recorder.points().size(), 5u) << "stop() cancels the sampling";
+}
+
+TEST(TimelineRecorder, DoubleStartThrowsAndRestartAfterStopWorks) {
+  SimClock clock;
+  EventScheduler sched(clock);
+  TimelineRecorder recorder;
+  recorder.start(sched, kSecond);
+  EXPECT_THROW(recorder.start(sched, kSecond), std::logic_error);
+  recorder.stop();
+  recorder.start(sched, kSecond);  // re-arming after stop is fine
+  sched.run_until(3 * kSecond);
+  EXPECT_EQ(recorder.points().size(), 3u);
+}
+
+TEST(TimelineRecorder, RenderInterleavesNotesWithSamples) {
+  network::MeshSimulation mesh(network::Topology::star(2), 2);
+  SimClock clock;
+  EventScheduler sched(clock);
+  TimelineRecorder recorder;
+  recorder.attach_mesh(mesh);
+  recorder.start(sched, kSecond);
+  recorder.note(1500 * kMillisecond, "backhoe sighted");
+  sched.run_until(3 * kSecond);
+  const std::string out = recorder.render();
+  EXPECT_NE(out.find("backhoe sighted"), std::string::npos);
+  // The note lands between the t=1 s and t=2 s sample lines.
+  EXPECT_LT(out.find("t=     1.0s"), out.find("backhoe sighted"));
+  EXPECT_LT(out.find("backhoe sighted"), out.find("t=     2.0s"));
+}
+
+}  // namespace
+}  // namespace qkd::sim
