@@ -1,5 +1,7 @@
 #include "src/keystore/key_supply.hpp"
 
+#include <algorithm>
+
 namespace qkd::keystore {
 
 const char* supply_event_kind_name(SupplyEventKind kind) {
@@ -47,7 +49,23 @@ void KeySupply::emit(SupplyEventKind kind, std::size_t available,
   event.kind = kind;
   event.available_bits = available;
   event.requested_bits = requested;
-  for (const auto& [token, callback] : callbacks_) callback(event);
+  // Callbacks may re-enter the supply (a replenish handler that immediately
+  // withdraws) and may subscribe/unsubscribe while we iterate. Snapshot the
+  // tokens and re-resolve each before calling: an observer unsubscribed
+  // mid-event (itself or by a peer) is skipped without displacing anyone
+  // else, a subscriber added mid-event waits for the next event, and the
+  // copied function object survives self-unsubscription.
+  std::vector<std::uint64_t> tokens;
+  tokens.reserve(callbacks_.size());
+  for (const auto& [token, callback] : callbacks_) tokens.push_back(token);
+  for (const std::uint64_t token : tokens) {
+    const auto it =
+        std::find_if(callbacks_.begin(), callbacks_.end(),
+                     [token](const auto& entry) { return entry.first == token; });
+    if (it == callbacks_.end()) continue;
+    const EventCallback callback = it->second;
+    callback(event);
+  }
 }
 
 }  // namespace qkd::keystore

@@ -1,0 +1,75 @@
+#include "src/kms/ike_bridge.hpp"
+
+#include <stdexcept>
+
+namespace qkd::kms {
+
+KmsIkeBridge::KmsIkeBridge(KeyManagementService& kms, network::NodeId src,
+                           network::NodeId dst,
+                           keystore::KeySupply& initiator_supply,
+                           keystore::KeySupply& peer_supply, Config config)
+    : kms_(kms),
+      initiator_supply_(initiator_supply),
+      peer_supply_(peer_supply),
+      config_(config) {
+  if (config_.refill_bits == 0)
+    throw std::invalid_argument("KmsIkeBridge: refill_bits == 0");
+  ClientConfig client;
+  client.name = "ike-" + std::to_string(src) + "-" + std::to_string(dst);
+  client.src = src;
+  client.dst = dst;
+  client.qos = config_.qos;
+  client_ = kms_.register_client(std::move(client));
+
+  initiator_supply_.set_low_water_bits(config_.low_water_bits);
+  subscription_ = initiator_supply_.subscribe(
+      [this](const keystore::SupplyEvent& event) {
+        if (event.kind == keystore::SupplyEventKind::kLowWater ||
+            event.kind == keystore::SupplyEventKind::kExhausted)
+          request_refill();
+      });
+}
+
+KmsIkeBridge::KmsIkeBridge(KeyManagementService& kms, network::NodeId src,
+                           network::NodeId dst,
+                           keystore::KeySupply& initiator_supply,
+                           keystore::KeySupply& peer_supply)
+    : KmsIkeBridge(kms, src, dst, initiator_supply, peer_supply, Config()) {}
+
+KmsIkeBridge::~KmsIkeBridge() {
+  initiator_supply_.unsubscribe(subscription_);
+  // Drains any in-flight refill request (as kDeparted) while this object
+  // is still alive — a grant after destruction would invoke a callback
+  // capturing freed memory.
+  kms_.deregister_client(client_);
+}
+
+void KmsIkeBridge::prime() { request_refill(); }
+
+void KmsIkeBridge::request_refill() {
+  if (refill_in_flight_) return;
+  refill_in_flight_ = true;
+  ++stats_.refills_requested;
+  kms_.get_key(client_, config_.refill_bits,
+               [this](const Grant& grant) { on_grant(grant); });
+}
+
+void KmsIkeBridge::on_grant(const Grant& grant) {
+  refill_in_flight_ = false;
+  if (grant.status != GrantStatus::kGranted) {
+    ++stats_.refills_denied;
+    return;
+  }
+  // The peer gateway's KMS hands over the same bits under the same key_id;
+  // mirrored deposits are a property of the service, not of this process.
+  const auto peer = kms_.get_key_with_id(client_, grant.key_id);
+  if (!peer.has_value() || !(peer->bits == grant.bits))
+    throw std::logic_error(
+        "KmsIkeBridge: peer copy disagrees with the initiator grant");
+  ++stats_.refills_granted;
+  stats_.bits_delivered += grant.bits.size();
+  initiator_supply_.deposit(grant.bits);
+  peer_supply_.deposit(peer->bits);
+}
+
+}  // namespace qkd::kms

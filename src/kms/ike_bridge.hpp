@@ -1,0 +1,73 @@
+// IKE consumes through the KMS like any other client.
+//
+// Before the KMS, the VPN layer's key arrived either by hand-mirrored
+// deposits or by attaching both gateway pools as sinks of one QKD link's
+// stream — a dedicated-link arrangement. KmsIkeBridge replaces that with
+// service consumption: it registers ONE client on the KMS for the gateway
+// pair's endpoints and keeps both gateways' existing KeySupply reservoirs
+// topped up from KMS grants — the initiator-side grant bits and the
+// peer-side get_key_with_id copy are byte-identical (asserted), so the
+// deposits stay mirror images and the IkeDaemons' Qblock/lane discipline
+// works unchanged on top. Refills are event-driven: a low-water or
+// exhausted event on the initiator supply triggers the next get_key (one
+// in flight at a time), so the bridge consumes exactly the fair-share the
+// scheduler awards its QoS class alongside every other tenant.
+#pragma once
+
+#include <cstdint>
+
+#include "src/kms/kms.hpp"
+
+namespace qkd::kms {
+
+class KmsIkeBridge {
+ public:
+  struct Config {
+    QosClass qos = QosClass::kRealtime;
+    /// Bits requested per refill (whole Qblocks keep IKE's lane framing
+    /// fed in round numbers).
+    std::size_t refill_bits = 16 * keystore::KeySupply::kQblockBits;
+    /// Low-water mark installed on the initiator supply; crossing it (or
+    /// an exhausted request) triggers the next refill.
+    std::size_t low_water_bits = 8 * keystore::KeySupply::kQblockBits;
+  };
+
+  struct Stats {
+    std::uint64_t refills_requested = 0;
+    std::uint64_t refills_granted = 0;
+    std::uint64_t refills_denied = 0;  // rejected or shed by the KMS
+    std::uint64_t bits_delivered = 0;  // per gateway supply
+  };
+
+  /// `initiator_supply` / `peer_supply` are the two gateways' reservoirs
+  /// (they, the KMS and the scheduler must outlive the bridge). `src`/`dst`
+  /// are the mesh endpoints the gateways sit on.
+  KmsIkeBridge(KeyManagementService& kms, network::NodeId src,
+               network::NodeId dst, keystore::KeySupply& initiator_supply,
+               keystore::KeySupply& peer_supply, Config config);
+  KmsIkeBridge(KeyManagementService& kms, network::NodeId src,
+               network::NodeId dst, keystore::KeySupply& initiator_supply,
+               keystore::KeySupply& peer_supply);
+  ~KmsIkeBridge();
+
+  /// Issues the first refill request (call once before IKE starts; the
+  /// low-water machinery takes over from there).
+  void prime();
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void request_refill();
+  void on_grant(const Grant& grant);
+
+  KeyManagementService& kms_;
+  keystore::KeySupply& initiator_supply_;
+  keystore::KeySupply& peer_supply_;
+  Config config_;
+  ClientId client_ = 0;
+  std::uint64_t subscription_ = 0;
+  bool refill_in_flight_ = false;
+  Stats stats_;
+};
+
+}  // namespace qkd::kms

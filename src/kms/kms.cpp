@@ -1,0 +1,477 @@
+#include "src/kms/kms.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "src/network/key_service.hpp"
+
+namespace qkd::kms {
+
+const char* qos_class_name(QosClass qos) {
+  switch (qos) {
+    case QosClass::kRealtime: return "realtime";
+    case QosClass::kInteractive: return "interactive";
+    case QosClass::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+const char* grant_status_name(GrantStatus status) {
+  switch (status) {
+    case GrantStatus::kGranted: return "granted";
+    case GrantStatus::kRejectedQueueFull: return "rejected-queue-full";
+    case GrantStatus::kShed: return "shed";
+    case GrantStatus::kDeparted: return "departed";
+  }
+  return "?";
+}
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+void KeyManagementService::LatencyHistogram::record(qkd::SimTime latency) {
+  if (latency < 0) latency = 0;
+  std::size_t index = std::bit_width(static_cast<std::uint64_t>(latency));
+  if (index >= kBuckets) index = kBuckets - 1;
+  ++buckets_[index];
+  ++count_;
+  total_ += latency;
+}
+
+double KeyManagementService::LatencyHistogram::quantile_s(double q) const {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // Bucket i holds latencies in [2^(i-1), 2^i) ns; report the upper
+      // bound — a conservative percentile.
+      return static_cast<double>(1ULL << i) / 1e9;
+    }
+  }
+  return 0.0;
+}
+
+double KeyManagementService::LatencyHistogram::mean_s() const {
+  if (count_ == 0) return 0.0;
+  return sim_to_seconds(total_) / static_cast<double>(count_);
+}
+
+// ---- Construction ----------------------------------------------------------
+
+KeyManagementService::KeyManagementService(network::MeshSimulation& mesh,
+                                           sim::EventScheduler& scheduler,
+                                           Config config)
+    : mesh_(mesh), scheduler_(scheduler), config_(config) {
+  if (config_.quantum_bits == 0)
+    throw std::invalid_argument("KeyManagementService: quantum_bits == 0");
+  if (config_.max_frame_bits == 0)
+    throw std::invalid_argument("KeyManagementService: max_frame_bits == 0");
+  for (unsigned weight : config_.class_weights)
+    if (weight == 0)
+      throw std::invalid_argument(
+          "KeyManagementService: every class weight must be >= 1 "
+          "(a zero-weight class would starve)");
+  // Engine-backed meshes announce replenishment through each link's
+  // KeySupply; arm the low-water machinery and wake stalled queues on it.
+  if (auto* service = mesh_.key_service();
+      service != nullptr && config_.link_low_water_bits > 0) {
+    for (std::size_t id = 0; id < service->supply_count(); ++id) {
+      auto& supply = service->supply(id);
+      supply.set_low_water_bits(config_.link_low_water_bits);
+      supply_subscriptions_.push_back(
+          supply.subscribe([this](const keystore::SupplyEvent& event) {
+            if (event.kind == keystore::SupplyEventKind::kReplenished)
+              on_supply_replenished(scheduler_.now());
+          }));
+    }
+  }
+}
+
+KeyManagementService::KeyManagementService(network::MeshSimulation& mesh,
+                                           sim::EventScheduler& scheduler)
+    : KeyManagementService(mesh, scheduler, Config()) {}
+
+KeyManagementService::~KeyManagementService() {
+  for (auto& [key, pair] : pairs_)
+    if (pair->service_event.valid()) scheduler_.cancel(pair->service_event);
+  if (auto* service = mesh_.key_service()) {
+    for (std::size_t id = 0; id < supply_subscriptions_.size(); ++id)
+      service->supply(id).unsubscribe(supply_subscriptions_[id]);
+  }
+}
+
+// ---- Registry --------------------------------------------------------------
+
+KeyManagementService::PairState& KeyManagementService::pair_for(
+    network::NodeId src, network::NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    auto pair = std::make_unique<PairState>();
+    pair->src = src;
+    pair->dst = dst;
+    const std::string tag =
+        std::to_string(src) + "->" + std::to_string(dst);
+    pair->src_store.set_label("kms:" + tag + ":src");
+    pair->dst_store.set_label("kms:" + tag + ":dst");
+    it = pairs_.emplace(key, std::move(pair)).first;
+  }
+  return *it->second;
+}
+
+ClientId KeyManagementService::register_client(ClientConfig config) {
+  if (config.src == config.dst)
+    throw std::invalid_argument("KeyManagementService: src == dst for \"" +
+                                config.name + "\"");
+  if (static_cast<std::size_t>(config.qos) >= kQosClassCount)
+    throw std::invalid_argument(
+        "KeyManagementService: unknown QoS class for \"" + config.name +
+        "\"");
+  ClientRecord record;
+  record.pair = &pair_for(config.src, config.dst);
+  record.config = std::move(config);
+  record.live = true;
+  clients_.push_back(std::move(record));
+  ++live_clients_;
+  return static_cast<ClientId>(clients_.size() - 1);
+}
+
+KeyManagementService::ClientRecord& KeyManagementService::live_client(
+    ClientId id, const char* op) {
+  if (id >= clients_.size() || !clients_[id].live)
+    throw std::invalid_argument(std::string("KeyManagementService::") + op +
+                                ": unknown or departed client " +
+                                std::to_string(id));
+  return clients_[id];
+}
+
+void KeyManagementService::deregister_client(ClientId id) {
+  ClientRecord& record = live_client(id, "deregister_client");
+  record.live = false;
+  --live_clients_;
+  // Drain the departing client's queued requests so callers never wait on
+  // a grant that can no longer arrive.
+  const qkd::SimTime now = scheduler_.now();
+  for (std::size_t qos = 0; qos < kQosClassCount; ++qos) {
+    auto& queue = record.pair->queues[qos];
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->client == id) {
+        finish(*it, GrantStatus::kDeparted, now, class_stats_[qos]);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+const ClientConfig& KeyManagementService::client(ClientId id) const {
+  if (id >= clients_.size())
+    throw std::invalid_argument("KeyManagementService::client: unknown id " +
+                                std::to_string(id));
+  return clients_[id].config;
+}
+
+// ---- Delivery --------------------------------------------------------------
+
+void KeyManagementService::finish(Request& request, GrantStatus status,
+                                  qkd::SimTime now, ClassStats& stats) {
+  switch (status) {
+    case GrantStatus::kRejectedQueueFull: ++stats.rejected_queue_full; break;
+    case GrantStatus::kShed: ++stats.shed; break;
+    case GrantStatus::kDeparted: ++stats.departed; break;
+    case GrantStatus::kGranted: break;  // grant_round accounts these
+  }
+  Grant grant;
+  grant.client = request.client;
+  grant.status = status;
+  grant.requested_at = request.requested_at;
+  grant.granted_at = now;
+  request.callback(grant);
+}
+
+void KeyManagementService::get_key(ClientId id, std::size_t bits,
+                                   GrantCallback on_grant) {
+  if (bits == 0)
+    throw std::invalid_argument("KeyManagementService::get_key: bits == 0");
+  if (!on_grant)
+    throw std::invalid_argument(
+        "KeyManagementService::get_key: empty callback");
+  ClientRecord& record = live_client(id, "get_key");
+  const auto qos = static_cast<std::size_t>(record.config.qos);
+  ClassStats& stats = class_stats_[qos];
+  ++stats.requests;
+
+  const qkd::SimTime now = scheduler_.now();
+  Request request;
+  request.client = id;
+  request.bits = bits;
+  request.callback = std::move(on_grant);
+  request.requested_at = now;
+
+  PairState& pair = *record.pair;
+  // Admission control: a full (pair, class) queue pushes back at request
+  // time instead of letting grant latency grow without bound.
+  if (pair.queues[qos].size() >= config_.max_queue_per_class) {
+    finish(request, GrantStatus::kRejectedQueueFull, now, stats);
+    return;
+  }
+  pair.queues[qos].push_back(std::move(request));
+  arm_service(pair, now + config_.batch_window);
+}
+
+std::optional<keystore::KeyBlock> KeyManagementService::get_key_with_id(
+    ClientId id, std::uint64_t key_id) {
+  ClientRecord& record = live_client(id, "get_key_with_id");
+  const qkd::SimTime now = scheduler_.now();
+  // A claim in the claimant's own ordered pair is only its own grant's
+  // peer copy (an initiator retrieving both halves in-process); a claim in
+  // the REVERSED pair is claimable by any application at the peer endpoint
+  // (the ETSI slave side registers dst->src). A co-tenant on the same
+  // pair never gets another tenant's key.
+  PairState* candidates[2] = {record.pair, nullptr};
+  const auto reversed =
+      pairs_.find(std::make_pair(record.config.dst, record.config.src));
+  if (reversed != pairs_.end()) candidates[1] = reversed->second.get();
+  for (std::size_t side = 0; side < 2; ++side) {
+    PairState* pair = candidates[side];
+    if (pair == nullptr) continue;
+    purge_expired_claims(*pair, now);
+    const auto it = pair->claims.find(key_id);
+    if (it == pair->claims.end()) continue;
+    const bool own_pair = side == 0;
+    if (own_pair && it->second.initiator != id) return std::nullopt;
+    keystore::KeyBlock block = std::move(it->second.block);
+    pair->claims.erase(it);
+    ++stats_.claims_fulfilled;
+    return block;
+  }
+  return std::nullopt;
+}
+
+void KeyManagementService::purge_expired_claims(PairState& pair,
+                                                qkd::SimTime now) {
+  // key_ids are monotonic per pair and claim_ttl is constant, so the map's
+  // iteration order is also expiry order.
+  while (!pair.claims.empty() &&
+         pair.claims.begin()->second.expires_at <= now) {
+    pair.claims.erase(pair.claims.begin());
+    ++stats_.claims_expired;
+  }
+}
+
+// ---- Scheduling ------------------------------------------------------------
+
+void KeyManagementService::arm_service(PairState& pair, qkd::SimTime when) {
+  if (when < scheduler_.now()) when = scheduler_.now();
+  if (pair.service_event.valid() && pair.armed_for <= when) return;
+  if (pair.service_event.valid()) scheduler_.cancel(pair.service_event);
+  pair.armed_for = when;
+  PairState* target = &pair;
+  pair.service_event = scheduler_.at(when, [this, target](qkd::SimTime now) {
+    target->service_event = sim::EventScheduler::Handle();
+    target->armed_for = -1;
+    service_round(*target, now);
+  });
+}
+
+std::vector<std::pair<unsigned, KeyManagementService::Request>>
+KeyManagementService::select_round(PairState& pair) {
+  // Deficit round robin, work-conserving: crediting passes repeat until
+  // the frame payload cap is reached or every queue drains, so an idle
+  // class's capacity flows to the backlogged ones — still at the weighted
+  // ratio, still highest-priority-first within each pass, and a request
+  // bigger than one pass's credit accrues deficit across passes instead of
+  // blocking anyone else (no priority inversion).
+  std::vector<std::pair<unsigned, Request>> round;
+  std::size_t total_bits = 0;
+  bool backlog = true;
+  while (backlog && total_bits < config_.max_frame_bits) {
+    backlog = false;
+    for (unsigned qos = 0; qos < kQosClassCount; ++qos) {
+      auto& queue = pair.queues[qos];
+      if (queue.empty()) {
+        pair.deficit_bits[qos] = 0;  // DRR: idle classes do not hoard credit
+        continue;
+      }
+      pair.deficit_bits[qos] +=
+          config_.class_weights[qos] * config_.quantum_bits;
+      while (!queue.empty() &&
+             queue.front().bits <= pair.deficit_bits[qos] &&
+             total_bits < config_.max_frame_bits) {
+        pair.deficit_bits[qos] -= queue.front().bits;
+        total_bits += queue.front().bits;
+        round.emplace_back(qos, std::move(queue.front()));
+        queue.pop_front();
+      }
+      if (queue.empty())
+        pair.deficit_bits[qos] = 0;
+      else
+        backlog = true;
+    }
+  }
+  return round;
+}
+
+void KeyManagementService::requeue_round(
+    PairState& pair, std::vector<std::pair<unsigned, Request>>& round) {
+  // Reverse order keeps each class queue's FIFO order; the spent deficit is
+  // handed back so the retry round can select the same set immediately.
+  for (auto it = round.rbegin(); it != round.rend(); ++it) {
+    pair.deficit_bits[it->first] += it->second.bits;
+    pair.queues[it->first].push_front(std::move(it->second));
+  }
+  round.clear();
+}
+
+void KeyManagementService::shed_lowest_class(PairState& pair,
+                                             qkd::SimTime now) {
+  // Lowest-priority backlog goes first; realtime (class 0) is never shed.
+  for (unsigned qos = kQosClassCount; qos-- > 1;) {
+    auto& queue = pair.queues[qos];
+    if (queue.empty()) continue;
+    for (Request& request : queue)
+      finish(request, GrantStatus::kShed, now, class_stats_[qos]);
+    queue.clear();
+    pair.deficit_bits[qos] = 0;
+    ++stats_.shed_events;
+    shedding_ = true;
+    return;
+  }
+}
+
+void KeyManagementService::grant_round(
+    PairState& pair, std::vector<std::pair<unsigned, Request>>& round,
+    const network::MeshSimulation::TransportResult& frame, qkd::SimTime now) {
+  // Both endpoints received the frame payload: deposit it into the two
+  // mirror-image pools, then withdraw per request through identical calls —
+  // the key_ids the two stores assign are equal by the keystore's mirrored
+  // lockstep, which is exactly the cross-end key-ID agreement get_key /
+  // get_key_with_id needs.
+  pair.src_store.deposit(frame.key);
+  pair.dst_store.deposit(frame.key);
+  for (auto& [qos, request] : round) {
+    const auto src_block =
+        pair.src_store.request_bits(request.bits, "kms::grant_round(src)");
+    const auto dst_block =
+        pair.dst_store.request_bits(request.bits, "kms::grant_round(dst)");
+    if (!src_block.has_value() || !dst_block.has_value() ||
+        src_block->key_id != dst_block->key_id)
+      throw std::logic_error(
+          "KeyManagementService: mirrored pair stores diverged");
+    pair.claims[dst_block->key_id] =
+        PendingClaim{*dst_block, request.client, now + config_.claim_ttl};
+
+    ClassStats& stats = class_stats_[qos];
+    ++stats.granted;
+    stats.bits_granted += request.bits;
+    latency_[qos].record(now - request.requested_at);
+
+    Grant grant;
+    grant.client = request.client;
+    grant.status = GrantStatus::kGranted;
+    grant.key_id = src_block->key_id;
+    grant.bits = src_block->bits;
+    grant.exposed_to = frame.exposed_to;
+    grant.requested_at = request.requested_at;
+    grant.granted_at = now;
+    request.callback(grant);
+  }
+}
+
+void KeyManagementService::service_round(PairState& pair, qkd::SimTime now) {
+  ++stats_.service_rounds;
+  purge_expired_claims(pair, now);
+
+  auto round = select_round(pair);
+  const auto backlog = [&pair] {
+    for (const auto& queue : pair.queues)
+      if (!queue.empty()) return true;
+    return false;
+  };
+  if (round.empty()) {
+    // A backlogged class whose head request outruns this round's credit
+    // keeps accruing deficit on the next round.
+    if (backlog()) arm_service(pair, now + config_.batch_window);
+    return;
+  }
+
+  // Batch: every request this round selected rides one relay frame.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(round.size());
+  for (const auto& [qos, request] : round) sizes.push_back(request.bits);
+  const auto frame = mesh_.transport_key_batch(pair.src, pair.dst, sizes);
+  if (!frame.success) {
+    ++stats_.starved_rounds;
+    ++pair.consecutive_starved;
+    requeue_round(pair, round);
+    if (pair.consecutive_starved >= config_.shed_after_starved_rounds)
+      shed_lowest_class(pair, now);
+    if (backlog()) arm_service(pair, now + config_.retry_backoff);
+    return;
+  }
+  ++stats_.transports;
+  pair.consecutive_starved = 0;
+  shedding_ = false;
+  grant_round(pair, round, frame, now);
+  if (backlog()) arm_service(pair, now + config_.batch_window);
+}
+
+void KeyManagementService::on_supply_replenished(qkd::SimTime now) {
+  // A drought just ended: serve stalled queues immediately instead of
+  // waiting out the retry backoff.
+  bool woke = false;
+  for (auto& [key, pair] : pairs_) {
+    bool backlog = false;
+    for (const auto& queue : pair->queues)
+      if (!queue.empty()) backlog = true;
+    if (!backlog) continue;
+    arm_service(*pair, now);
+    woke = true;
+  }
+  if (woke) ++stats_.replenish_wakeups;
+}
+
+// ---- Introspection ---------------------------------------------------------
+
+const KeyManagementService::ClassStats& KeyManagementService::class_stats(
+    QosClass qos) const {
+  return class_stats_.at(static_cast<std::size_t>(qos));
+}
+
+std::size_t KeyManagementService::queue_depth(QosClass qos) const {
+  const auto index = static_cast<std::size_t>(qos);
+  std::size_t depth = 0;
+  for (const auto& [key, pair] : pairs_) depth += pair->queues[index].size();
+  return depth;
+}
+
+double KeyManagementService::p99_grant_latency_s(QosClass qos) const {
+  return latency_.at(static_cast<std::size_t>(qos)).quantile_s(0.99);
+}
+
+double KeyManagementService::mean_grant_latency_s(QosClass qos) const {
+  return latency_.at(static_cast<std::size_t>(qos)).mean_s();
+}
+
+std::vector<sim::ClassSample> KeyManagementService::sample_service(
+    qkd::SimTime) {
+  std::vector<sim::ClassSample> samples;
+  samples.reserve(kQosClassCount);
+  for (std::size_t qos = 0; qos < kQosClassCount; ++qos) {
+    sim::ClassSample sample;
+    sample.label = qos_class_name(static_cast<QosClass>(qos));
+    sample.queue_depth = queue_depth(static_cast<QosClass>(qos));
+    sample.granted = class_stats_[qos].granted;
+    sample.rejected =
+        class_stats_[qos].rejected_queue_full + class_stats_[qos].shed;
+    sample.p99_grant_latency_s = latency_[qos].quantile_s(0.99);
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace qkd::kms

@@ -110,13 +110,31 @@ void MeshSimulation::run_on_clock(qkd::SimClock& clock, double seconds,
 
 MeshSimulation::TransportResult MeshSimulation::transport_key(
     NodeId src, NodeId dst, std::size_t bits) {
+  return transport_key_batch(src, dst, {bits});
+}
+
+MeshSimulation::TransportResult MeshSimulation::transport_key_batch(
+    NodeId src, NodeId dst, const std::vector<std::size_t>& request_bits) {
+  if (request_bits.empty())
+    throw std::invalid_argument("MeshSimulation: empty transport batch");
+  std::size_t payload_bits = 0;
+  for (std::size_t bits : request_bits) {
+    if (bits == 0)
+      throw std::invalid_argument(
+          "MeshSimulation: zero-bit request in transport batch");
+    payload_bits += bits;
+  }
+  // One frame per hop: the concatenated payloads plus the header+tag
+  // overhead, all of it OTP-encrypted under the hop's pairwise pad.
+  const std::size_t frame_bits = payload_bits + kFrameOverheadBits;
+
   TransportResult result;
   ++stats_.transports_attempted;
 
   // Prefer key-rich links that skirt compromised relays: cost = 1 plus a
   // shortage penalty plus a trust penalty (either makes the link a last
   // resort, never absent — a starved or owned path still beats no path).
-  const double need = static_cast<double>(bits);
+  const double need = static_cast<double>(frame_bits);
   const auto cost = [this, need](const Link& link) {
     const double pool = link_pool_bits(link.id);
     double c = pool >= need ? 1.0 : 1000.0;
@@ -133,7 +151,7 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
   last_route_ = route;
   result.route = *route;
 
-  // Check every hop can afford the transport before consuming anything.
+  // Check every hop can afford the frame before consuming anything.
   for (LinkId link_id : route->links) {
     if (link_pool_bits(link_id) < need) {
       ++stats_.transports_starved;
@@ -143,29 +161,31 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
 
   // Hop-by-hop one-time-pad relay. The key leaves the source encrypted,
   // is decrypted and re-encrypted inside every relay, and arrives intact.
-  result.key = rng_.next_bits(bits);
+  result.key = rng_.next_bits(payload_bits);
   qkd::BitVector in_flight = result.key;
   for (std::size_t hop = 0; hop < route->links.size(); ++hop) {
     const LinkId link_id = route->links[hop];
-    // Pairwise link pad: in engine mode the actual distilled bits withdrawn
-    // from the link's KeySupply (both link ends hold the same stream); in
-    // analytic mode a simulated draw against the rate-model pool.
+    // Pairwise link pad covering the whole frame: in engine mode the actual
+    // distilled bits withdrawn from the link's KeySupply (both link ends
+    // hold the same stream); in analytic mode a simulated draw against the
+    // rate-model pool.
     qkd::BitVector pad;
     if (rate_model_ == RateModel::kEngine) {
       pad = service_->supply(link_id)
-                .request_bits(bits, "MeshSimulation::transport_key")
+                .request_bits(frame_bits, "MeshSimulation::transport_key")
                 ->bits;
     } else {
-      pad = rng_.next_bits(bits);
+      pad = rng_.next_bits(frame_bits);
       pools_[link_id] -= need;
     }
+    const qkd::BitVector payload_pad = pad.slice(0, payload_bits);
     qkd::BitVector ciphertext = in_flight;
-    ciphertext ^= pad;  // encrypted on the wire
-    result.pool_bits_consumed += bits;
+    ciphertext ^= payload_pad;  // encrypted on the wire (tag under the rest)
+    result.pool_bits_consumed += frame_bits;
     // The far end of the hop decrypts; if it is a relay, the key is now in
     // its memory in the clear.
     in_flight = ciphertext;
-    in_flight ^= pad;
+    in_flight ^= payload_pad;
     const NodeId holder = route->nodes[hop + 1];
     if (topology_.node(holder).kind == NodeKind::kTrustedRelay)
       result.exposed_to.push_back(holder);

@@ -47,12 +47,22 @@ enum class RateModel {
 
 class MeshSimulation {
  public:
+  /// Per-frame relay overhead, paid once per hop per transport frame: the
+  /// relayed message carries a key-id/route header plus a Wegman-Carter
+  /// authentication tag, and the hop pad must cover them too. Batching
+  /// same-destination requests into one frame amortizes this cost — the
+  /// lever the KMS layer pulls (Gilbert & Hamrick's computational-load
+  /// bound made visible in pool bits).
+  static constexpr std::size_t kFrameOverheadBits = 96;
+
   struct TransportResult {
     bool success = false;
     Route route;
-    qkd::BitVector key;                 // delivered end-to-end key
+    /// Delivered end-to-end key: for a batch frame, the requests'
+    /// payloads concatenated in request order (slice per request).
+    qkd::BitVector key;
     std::vector<NodeId> exposed_to;     // relays that held the key in clear
-    std::size_t pool_bits_consumed = 0; // summed across hops
+    std::size_t pool_bits_consumed = 0; // summed across hops, incl. overhead
     /// Some relay in exposed_to is compromised: Eve read this key in the
     /// clear inside that relay's memory.
     bool compromised = false;
@@ -98,12 +108,24 @@ class MeshSimulation {
   double link_pool_bits(LinkId link) const;
 
   /// Moves `bits` of fresh end-to-end key from src to dst hop by hop.
-  /// Consumes `bits` from every link pool along the route — in engine mode
-  /// through each link's KeySupply, whose withdrawn bits are the actual
-  /// hop pads. Routes prefer key-rich paths. Fails (without consuming)
-  /// when no usable route exists or some pool on the best route cannot
-  /// cover the request.
+  /// Consumes `bits + kFrameOverheadBits` from every link pool along the
+  /// route — in engine mode through each link's KeySupply, whose withdrawn
+  /// bits are the actual hop pads. Routes prefer key-rich paths. Fails
+  /// (without consuming) when no usable route exists or some pool on the
+  /// best route cannot cover the request. Equivalent to a one-request
+  /// batch frame.
   TransportResult transport_key(NodeId src, NodeId dst, std::size_t bits);
+
+  /// Moves several same-destination key requests in ONE relay frame: the
+  /// payloads travel concatenated under a single per-hop header+tag, so the
+  /// frame consumes `sum(request_bits) + kFrameOverheadBits` per hop —
+  /// strictly fewer pool bits than one frame per request. All requests
+  /// share the frame's route, and every relay in `exposed_to` saw every
+  /// request's key (the trust cost is per frame, not per request).
+  /// `result.key` holds the payloads in request order. Throws
+  /// std::invalid_argument on an empty batch or a zero-bit request.
+  TransportResult transport_key_batch(NodeId src, NodeId dst,
+                                      const std::vector<std::size_t>& request_bits);
 
   /// Failure injection.
   void cut_link(LinkId link);

@@ -24,6 +24,12 @@ const char* action_name(const ScenarioAction& action) {
     const char* operator()(const CompromiseNode&) const {
       return "CompromiseNode";
     }
+    const char* operator()(const ClientArrival&) const {
+      return "ClientArrival";
+    }
+    const char* operator()(const ClientDeparture&) const {
+      return "ClientDeparture";
+    }
   };
   return std::visit(Namer{}, action);
 }
@@ -53,6 +59,17 @@ std::string describe(const ScenarioAction& action) {
     }
     std::string operator()(const CompromiseNode& a) const {
       return "CompromiseNode node=" + std::to_string(a.node);
+    }
+    std::string operator()(const ClientArrival& a) const {
+      return "ClientArrival " + std::to_string(a.count) + " x qos" +
+             std::to_string(a.qos) + " " + std::to_string(a.src) + "->" +
+             std::to_string(a.dst) + " @" +
+             std::to_string(a.request_rate_hz) + "/s";
+    }
+    std::string operator()(const ClientDeparture& a) const {
+      return "ClientDeparture " + std::to_string(a.count) + " x qos" +
+             std::to_string(a.qos) + " " + std::to_string(a.src) + "->" +
+             std::to_string(a.dst);
     }
   };
   return std::visit(Describer{}, action);
@@ -108,6 +125,10 @@ void ScenarioRunner::attach_vpn(ipsec::VpnLinkSimulation& vpn) {
 void ScenarioRunner::set_traffic_source(
     std::function<ipsec::IpPacket(std::uint64_t)> make) {
   traffic_source_ = std::move(make);
+}
+
+void ScenarioRunner::attach_client_driver(ClientWorkloadDriver& driver) {
+  client_driver_ = &driver;
 }
 
 void ScenarioRunner::pump_vpn(SimTime now) {
@@ -246,6 +267,18 @@ void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
         throw std::logic_error(
             "ScenarioRunner: CompromiseNode without a mesh");
       r.mesh_->compromise_node(a.node);
+    }
+    void operator()(const ClientArrival& a) const {
+      if (r.client_driver_ == nullptr)
+        throw std::logic_error(
+            "ScenarioRunner: ClientArrival without attach_client_driver()");
+      r.client_driver_->client_arrival(now, a);
+    }
+    void operator()(const ClientDeparture& a) const {
+      if (r.client_driver_ == nullptr)
+        throw std::logic_error(
+            "ScenarioRunner: ClientDeparture without attach_client_driver()");
+      r.client_driver_->client_departure(now, a);
     }
   };
   std::visit(Applier{*this, now}, action);

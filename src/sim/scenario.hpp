@@ -84,9 +84,34 @@ struct CompromiseNode {
   network::NodeId node = 0;
 };
 
+/// `count` key-consuming client applications come online on the (src, dst)
+/// endpoint pair: each registers with the attached client driver (the KMS
+/// fleet) in QoS class `qos` and issues `bits`-bit key requests at
+/// `request_rate_hz` until it departs. Scripted days ramp thousands of
+/// clients up with a handful of these.
+struct ClientArrival {
+  network::NodeId src = 0;
+  network::NodeId dst = 0;
+  unsigned qos = 1;              // QoS class index (0 = highest priority)
+  std::size_t count = 1;         // clients arriving together
+  double request_rate_hz = 1.0;  // per-client get_key cadence
+  std::size_t bits = 256;        // bits per request
+};
+
+/// `count` clients of that same (src, dst, qos) shape go offline (most
+/// recently arrived first); their periodic requests stop and queued
+/// requests are drained as departed.
+struct ClientDeparture {
+  network::NodeId src = 0;
+  network::NodeId dst = 0;
+  unsigned qos = 1;
+  std::size_t count = 1;
+};
+
 using ScenarioAction =
     std::variant<CutLink, RestoreLink, StartEavesdrop, StopEavesdrop,
-                 TrafficBurst, KeyRequest, CompromiseNode>;
+                 TrafficBurst, KeyRequest, CompromiseNode, ClientArrival,
+                 ClientDeparture>;
 
 /// Human-readable action tag for timeline annotations.
 const char* action_name(const ScenarioAction& action);
@@ -111,6 +136,18 @@ class Scenario {
 };
 
 // ---- Runner ---------------------------------------------------------------
+
+/// Receives ClientArrival/ClientDeparture actions. The key-management
+/// service lives ABOVE src/sim (src/kms links qkd_sim), so the runner
+/// stays KMS-agnostic and the fleet plugs in through this seam
+/// (kms::KmsClientFleet is the production implementation).
+class ClientWorkloadDriver {
+ public:
+  virtual ~ClientWorkloadDriver() = default;
+  virtual void client_arrival(SimTime now, const ClientArrival& arrival) = 0;
+  virtual void client_departure(SimTime now,
+                                const ClientDeparture& departure) = 0;
+};
 
 class ScenarioRunner {
  public:
@@ -146,6 +183,10 @@ class ScenarioRunner {
   /// Packet factory for TrafficBurst events (sequence number -> plaintext
   /// packet). Required if the scenario contains TrafficBurst actions.
   void set_traffic_source(std::function<ipsec::IpPacket(std::uint64_t)> make);
+
+  /// Receiver for ClientArrival/ClientDeparture actions (required if the
+  /// scenario contains them); must outlive run().
+  void attach_client_driver(ClientWorkloadDriver& driver);
 
   /// Runs the script: schedules every scenario action plus the stack
   /// drivers (producer batch completions, gateway deadlines, recorder
@@ -183,6 +224,7 @@ class ScenarioRunner {
   network::MeshSimulation* mesh_ = nullptr;
   SimTime mesh_accrued_to_ = 0;  // analytic mesh: accrual high-water mark
   ipsec::VpnLinkSimulation* vpn_ = nullptr;
+  ClientWorkloadDriver* client_driver_ = nullptr;
   std::function<ipsec::IpPacket(std::uint64_t)> traffic_source_;
   std::uint64_t traffic_seq_ = 0;
   std::vector<KeyRequestOutcome> key_requests_;

@@ -47,6 +47,7 @@ void TimelineRecorder::sample(SimTime now) {
     sample.delivered = gateway->stats().delivered;
     point.tunnels.push_back(sample);
   }
+  if (service_ != nullptr) point.service = service_->sample_service(now);
   points_.push_back(std::move(point));
 }
 
@@ -105,9 +106,120 @@ std::string TimelineRecorder::render() const {
                     tunnel.supply_bits);
       out += line;
     }
+    for (const ClassSample& cls : point.service) {
+      std::snprintf(line, sizeof(line), "  %s:q%zu/g%llu/r%llu",
+                    cls.label.c_str(), cls.queue_depth,
+                    static_cast<unsigned long long>(cls.granted),
+                    static_cast<unsigned long long>(cls.rejected));
+      out += line;
+    }
     out += '\n';
   }
   flush_notes(notes_.empty() ? 0 : notes_.back().t);
+  return out;
+}
+
+std::string TimelineRecorder::to_csv() const {
+  if (points_.empty()) return "t_s\n";
+  std::string out;
+  char cell[256];
+  // The column set is the union over all samples (a source attached
+  // between a stop() and a restart widens later points); short rows are
+  // zero-padded so every row has the header's arity.
+  std::size_t n_links = 0, n_tunnels = 0;
+  const std::vector<ClassSample>* widest_service = nullptr;
+  for (const TimelinePoint& point : points_) {
+    n_links = std::max(n_links, point.links.size());
+    n_tunnels = std::max(n_tunnels, point.tunnels.size());
+    if (widest_service == nullptr ||
+        point.service.size() > widest_service->size())
+      widest_service = &point.service;
+  }
+  const std::size_t n_classes = widest_service->size();
+
+  out += "t_s";
+  for (std::size_t i = 0; i < n_links; ++i) {
+    std::snprintf(cell, sizeof(cell), ",link%zu_pool_bits,link%zu_usable", i,
+                  i);
+    out += cell;
+  }
+  if (n_links > 0)
+    out += ",mesh_ok,mesh_starved,mesh_no_route,mesh_reroutes"
+           ",mesh_compromised";
+  for (std::size_t i = 0; i < n_tunnels; ++i) {
+    std::snprintf(cell, sizeof(cell),
+                  ",gw%zu_sas,gw%zu_rollovers,gw%zu_supply_bits"
+                  ",gw%zu_p2_done,gw%zu_p2_timeouts",
+                  i, i, i, i, i);
+    out += cell;
+  }
+  for (const ClassSample& cls : *widest_service) {
+    std::snprintf(cell, sizeof(cell),
+                  ",svc_%s_queue,svc_%s_granted,svc_%s_rejected"
+                  ",svc_%s_p99_s",
+                  cls.label.c_str(), cls.label.c_str(), cls.label.c_str(),
+                  cls.label.c_str());
+    out += cell;
+  }
+  out += '\n';
+
+  for (const TimelinePoint& point : points_) {
+    std::snprintf(cell, sizeof(cell), "%.6f", sim_to_seconds(point.t));
+    out += cell;
+    for (std::size_t i = 0; i < n_links; ++i) {
+      if (i < point.links.size()) {
+        std::snprintf(cell, sizeof(cell), ",%.1f,%d",
+                      point.links[i].pool_bits,
+                      point.links[i].usable ? 1 : 0);
+      } else {
+        std::snprintf(cell, sizeof(cell), ",0.0,0");
+      }
+      out += cell;
+    }
+    if (n_links > 0) {
+      std::snprintf(cell, sizeof(cell), ",%llu,%llu,%llu,%llu,%llu",
+                    static_cast<unsigned long long>(
+                        point.mesh.transports_succeeded),
+                    static_cast<unsigned long long>(
+                        point.mesh.transports_starved),
+                    static_cast<unsigned long long>(
+                        point.mesh.transports_no_route),
+                    static_cast<unsigned long long>(point.mesh.reroutes),
+                    static_cast<unsigned long long>(
+                        point.mesh.transports_compromised));
+      out += cell;
+    }
+    for (std::size_t i = 0; i < n_tunnels; ++i) {
+      if (i < point.tunnels.size()) {
+        const TunnelSample& tunnel = point.tunnels[i];
+        std::snprintf(cell, sizeof(cell), ",%zu,%llu,%zu,%llu,%llu",
+                      tunnel.sas_installed,
+                      static_cast<unsigned long long>(tunnel.sa_rollovers),
+                      tunnel.supply_bits,
+                      static_cast<unsigned long long>(
+                          tunnel.phase2_completed),
+                      static_cast<unsigned long long>(
+                          tunnel.phase2_timeouts));
+      } else {
+        std::snprintf(cell, sizeof(cell), ",0,0,0,0,0");
+      }
+      out += cell;
+    }
+    for (std::size_t i = 0; i < n_classes; ++i) {
+      if (i < point.service.size()) {
+        const ClassSample& cls = point.service[i];
+        std::snprintf(cell, sizeof(cell), ",%zu,%llu,%llu,%.6f",
+                      cls.queue_depth,
+                      static_cast<unsigned long long>(cls.granted),
+                      static_cast<unsigned long long>(cls.rejected),
+                      cls.p99_grant_latency_s);
+      } else {
+        std::snprintf(cell, sizeof(cell), ",0,0,0,0.000000");
+      }
+      out += cell;
+    }
+    out += '\n';
+  }
   return out;
 }
 

@@ -39,11 +39,29 @@ struct TunnelSample {
   std::uint64_t delivered = 0;
 };
 
+/// One service class (e.g. a KMS QoS class) at a sample instant.
+struct ClassSample {
+  std::string label;                  // class name ("realtime", ...)
+  std::size_t queue_depth = 0;        // requests waiting right now
+  std::uint64_t granted = 0;          // cumulative grants
+  std::uint64_t rejected = 0;         // cumulative admission rejections + sheds
+  double p99_grant_latency_s = 0.0;   // request -> grant, 99th percentile
+};
+
+/// A service layer (the KMS lives above src/sim, so it plugs in through
+/// this seam) that can report per-class state for the timeline.
+class ServiceSampler {
+ public:
+  virtual ~ServiceSampler() = default;
+  virtual std::vector<ClassSample> sample_service(SimTime now) = 0;
+};
+
 struct TimelinePoint {
   SimTime t = 0;
   std::vector<LinkSample> links;                // mesh links, by LinkId
   network::MeshSimulation::Stats mesh;          // copy at sample time
   std::vector<TunnelSample> tunnels;            // attached gateways, in order
+  std::vector<ClassSample> service;             // attached service's classes
 };
 
 /// A scenario action (or any other notable instant) on the timeline.
@@ -60,6 +78,8 @@ class TimelineRecorder {
   void attach_gateway(ipsec::VpnGateway& gateway) {
     gateways_.push_back(&gateway);
   }
+  /// At most one service layer (the KMS) per recorder.
+  void attach_service(ServiceSampler& service) { service_ = &service; }
 
   /// Arms periodic sampling on `scheduler` (first sample after one
   /// interval). Call at most once per run.
@@ -88,9 +108,15 @@ class TimelineRecorder {
   /// Renders the annotated series as an ASCII table (examples, bench logs).
   std::string render() const;
 
+  /// The series as CSV (one row per sample; header from the first point's
+  /// shape), so long load-test timelines can be plotted outside the
+  /// process. Annotations are not included — they live in notes().
+  std::string to_csv() const;
+
  private:
   network::MeshSimulation* mesh_ = nullptr;
   std::vector<ipsec::VpnGateway*> gateways_;
+  ServiceSampler* service_ = nullptr;
   std::vector<TimelinePoint> points_;
   std::vector<TimelineNote> notes_;
   EventScheduler* scheduler_ = nullptr;

@@ -345,5 +345,113 @@ TEST(KeySupply, ReleaseCanReplenishPastTheMark) {
   EXPECT_EQ(kinds[1], SupplyEventKind::kReplenished);
 }
 
+TEST(KeySupply, FailedReserveEmitsExactlyOneExhaustedEventPerFailure) {
+  // The event names the FAILURE, not the shortfall: a reserve that asks
+  // for five blocks from an empty lane is one failed call, one kExhausted —
+  // not one per missing block.
+  KeyPool pool("starved");
+  std::size_t exhausted = 0;
+  std::vector<SupplyEvent> events;
+  pool.subscribe([&](const SupplyEvent& event) {
+    events.push_back(event);
+    if (event.kind == SupplyEventKind::kExhausted) ++exhausted;
+  });
+
+  EXPECT_FALSE(pool.reserve_qblocks(5, 0).has_value());
+  EXPECT_EQ(exhausted, 1u);
+  EXPECT_EQ(events.back().requested_bits, 5 * KeySupply::kQblockBits);
+  EXPECT_EQ(events.back().available_bits, 0u);
+
+  // A second failed call is a second failure: exactly one more event.
+  EXPECT_FALSE(pool.reserve_qblocks(3, 1).has_value());
+  EXPECT_EQ(exhausted, 2u);
+
+  // A partially-stocked lane that still cannot cover the ask: one event.
+  qkd::Rng rng(5);
+  pool.deposit(rng.next_bits(2 * KeySupply::kQblockBits));  // 1 block/lane
+  EXPECT_FALSE(pool.reserve_qblocks(4, 0).has_value());
+  EXPECT_EQ(exhausted, 3u);
+  EXPECT_EQ(events.size(), 3u) << "no other event kinds fired";
+}
+
+TEST(KeySupply, SelfUnsubscribingObserverDoesNotStarveLaterObservers) {
+  // An observer that unsubscribes from inside its own callback must not
+  // displace the observers behind it out of the in-flight event.
+  KeyPool pool("one-shot");
+  std::uint64_t first_token = 0;
+  std::size_t first_seen = 0, second_seen = 0;
+  first_token = pool.subscribe([&](const SupplyEvent&) {
+    ++first_seen;
+    pool.unsubscribe(first_token);  // one-shot observer
+  });
+  pool.subscribe([&second_seen](const SupplyEvent&) { ++second_seen; });
+
+  EXPECT_FALSE(pool.request_bits(64).has_value());  // kExhausted
+  EXPECT_EQ(first_seen, 1u);
+  EXPECT_EQ(second_seen, 1u) << "must still receive the in-flight event";
+
+  EXPECT_FALSE(pool.request_bits(64).has_value());
+  EXPECT_EQ(first_seen, 1u) << "one-shot observer is gone";
+  EXPECT_EQ(second_seen, 2u);
+}
+
+TEST(KeySupply, ReplenishHandlerThatImmediatelyWithdrawsKeepsLaneLockstep) {
+  // A callback re-entering the supply mid-event (the replenish handler of
+  // a stalled consumer withdrawing on the spot) must leave lane state
+  // coherent: a mirrored pool driven through the *resulting* call sequence
+  // derives identical blocks and ids.
+  qkd::Rng rng(6);
+  const qkd::BitVector seed_bits = rng.next_bits(2 * KeySupply::kQblockBits);
+  const qkd::BitVector refill_bits = rng.next_bits(8 * KeySupply::kQblockBits);
+
+  KeyPool pool("reentrant");
+  pool.set_low_water_bits(2 * KeySupply::kQblockBits);
+  pool.deposit(seed_bits);
+  ASSERT_TRUE(pool.request_qblocks(1, 0).has_value());  // dip below the mark
+
+  std::vector<KeyBlock> reentrant_blocks;
+  pool.subscribe([&pool, &reentrant_blocks](const SupplyEvent& event) {
+    if (event.kind != SupplyEventKind::kReplenished) return;
+    // Withdraw from inside the deposit's own callback.
+    auto block = pool.request_qblocks(1, 0, "replenish-handler");
+    ASSERT_TRUE(block.has_value());
+    reentrant_blocks.push_back(std::move(*block));
+  });
+  pool.deposit(refill_bits);
+  ASSERT_EQ(reentrant_blocks.size(), 1u);
+
+  // After the dust settles, the pool still reserves/acknowledges/releases
+  // coherently...
+  auto reserved = pool.reserve_qblocks(2, 0);
+  ASSERT_TRUE(reserved.has_value());
+  pool.release(reserved->key_id);
+  auto reserved_again = pool.reserve_qblocks(2, 0);
+  ASSERT_TRUE(reserved_again.has_value());
+  EXPECT_TRUE(reserved_again->bits == reserved->bits);
+  pool.acknowledge(reserved_again->key_id);
+
+  // ...and a mirror pool replaying the same external sequence (with the
+  // reentrant withdrawal inlined where the event fired) lands on the same
+  // bits and ids throughout.
+  KeyPool mirror("mirror");
+  mirror.deposit(seed_bits);
+  ASSERT_TRUE(mirror.request_qblocks(1, 0).has_value());
+  mirror.deposit(refill_bits);
+  const auto mirror_reentrant = mirror.request_qblocks(1, 0);
+  ASSERT_TRUE(mirror_reentrant.has_value());
+  EXPECT_EQ(mirror_reentrant->key_id, reentrant_blocks[0].key_id);
+  EXPECT_TRUE(mirror_reentrant->bits == reentrant_blocks[0].bits);
+  auto mirror_reserved = mirror.reserve_qblocks(2, 0);
+  ASSERT_TRUE(mirror_reserved.has_value());
+  mirror.release(mirror_reserved->key_id);
+  const auto mirror_again = mirror.reserve_qblocks(2, 0);
+  ASSERT_TRUE(mirror_again.has_value());
+  EXPECT_EQ(mirror_again->key_id, reserved_again->key_id);
+  EXPECT_TRUE(mirror_again->bits == reserved_again->bits);
+  mirror.acknowledge(mirror_again->key_id);
+  EXPECT_EQ(mirror.available_qblocks(0), pool.available_qblocks(0));
+  EXPECT_EQ(mirror.available_qblocks(1), pool.available_qblocks(1));
+}
+
 }  // namespace
 }  // namespace qkd::keystore

@@ -149,7 +149,9 @@ TEST(EngineMesh, TransportsKeyEndToEndOverAFourRelayRing) {
 
   const double frame_s = mesh.key_service()->session(0).link().frame_duration_s(
       mesh.key_service()->session(0).config().frame_slots);
-  mesh.step(3.0 * frame_s);
+  // Six frames per link: every pool must cover the 64-bit payload plus the
+  // per-hop frame overhead.
+  mesh.step(6.0 * frame_s);
   for (LinkId id = 0; id < mesh.topology().link_count(); ++id)
     EXPECT_GT(mesh.link_pool_bits(id), 0.0) << "link " << id;
 
@@ -157,7 +159,9 @@ TEST(EngineMesh, TransportsKeyEndToEndOverAFourRelayRing) {
   const auto result = mesh.transport_key(4, 5, 64);
   ASSERT_TRUE(result.success);
   EXPECT_EQ(result.key.size(), 64u);
-  EXPECT_EQ(result.pool_bits_consumed, 64u * result.route.hop_count());
+  EXPECT_EQ(result.pool_bits_consumed,
+            (64u + MeshSimulation::kFrameOverheadBits) *
+                result.route.hop_count());
 }
 
 TEST(EngineMesh, EavesdroppedLinkIsAbandonedAndStopsDistilling) {

@@ -78,8 +78,61 @@ TEST(Mesh, TransportDeliversKeyEndToEnd) {
   EXPECT_EQ(result.key.size(), 256u);
   EXPECT_EQ(result.route.nodes.front(), 6u);
   EXPECT_EQ(result.route.nodes.back(), 7u);
-  // Every hop consumed 256 bits of pairwise key.
-  EXPECT_EQ(result.pool_bits_consumed, 256u * result.route.hop_count());
+  // Every hop consumed the 256 payload bits plus the frame header+tag.
+  EXPECT_EQ(result.pool_bits_consumed,
+            (256u + MeshSimulation::kFrameOverheadBits) *
+                result.route.hop_count());
+}
+
+TEST(Mesh, BatchedTransportAmortizesFrameOverheadAcrossRequests) {
+  // Two same-destination requests in one frame pay the per-hop header+tag
+  // once; two separate transports pay it twice. Same payload either way.
+  MeshSimulation batched(Topology::relay_ring(6), 12);
+  MeshSimulation separate(Topology::relay_ring(6), 12);
+  batched.step(120.0);
+  separate.step(120.0);
+
+  const auto one_frame = batched.transport_key_batch(6, 7, {128, 64});
+  ASSERT_TRUE(one_frame.success);
+  const auto first = separate.transport_key(6, 7, 128);
+  const auto second = separate.transport_key(6, 7, 64);
+  ASSERT_TRUE(first.success);
+  ASSERT_TRUE(second.success);
+  ASSERT_EQ(one_frame.route.links, first.route.links);
+
+  EXPECT_EQ(one_frame.key.size(), 128u + 64u);
+  EXPECT_EQ(one_frame.pool_bits_consumed,
+            (128u + 64u + MeshSimulation::kFrameOverheadBits) *
+                one_frame.route.hop_count());
+  EXPECT_LT(one_frame.pool_bits_consumed,
+            first.pool_bits_consumed + second.pool_bits_consumed);
+  EXPECT_EQ(first.pool_bits_consumed + second.pool_bits_consumed -
+                one_frame.pool_bits_consumed,
+            MeshSimulation::kFrameOverheadBits * one_frame.route.hop_count());
+
+  // Both requests rode one frame, so both keys were seen by exactly the
+  // frame's relay set — the same relays the separate transports exposed to.
+  EXPECT_EQ(one_frame.exposed_to.size(), one_frame.route.hop_count() - 1);
+  EXPECT_EQ(one_frame.exposed_to, first.exposed_to);
+  for (NodeId relay : one_frame.exposed_to)
+    EXPECT_EQ(batched.topology().node(relay).kind, NodeKind::kTrustedRelay);
+}
+
+TEST(Mesh, DegenerateTransportBatchesThrow) {
+  MeshSimulation mesh(Topology::star(2), 13);
+  mesh.step(10.0);
+  EXPECT_THROW(mesh.transport_key_batch(1, 2, {}), std::invalid_argument);
+  EXPECT_THROW(mesh.transport_key_batch(1, 2, {64, 0}),
+               std::invalid_argument);
+}
+
+TEST(Mesh, StarvedBatchFailsWithoutConsumingAnyHop) {
+  MeshSimulation mesh(Topology::relay_ring(6), 14);
+  mesh.step(60.0);
+  const double before = mesh.link_pool_bits(0);
+  const auto result = mesh.transport_key_batch(6, 7, {1 << 20, 64});
+  EXPECT_FALSE(result.success);
+  EXPECT_DOUBLE_EQ(mesh.link_pool_bits(0), before);
 }
 
 TEST(Mesh, TransportExposesKeyToEveryIntermediateRelay) {

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 namespace qkd::sim {
 namespace {
 
@@ -44,6 +48,80 @@ TEST(TimelineRecorder, DoubleStartThrowsAndRestartAfterStopWorks) {
   recorder.start(sched, kSecond);  // re-arming after stop is fine
   sched.run_until(3 * kSecond);
   EXPECT_EQ(recorder.points().size(), 3u);
+}
+
+TEST(TimelineRecorder, ToCsvExportsOneRowPerSampleWithStableHeader) {
+  network::MeshSimulation mesh(network::Topology::star(3), 4);
+  SimClock clock;
+  EventScheduler sched(clock);
+  sched.every(kSecond, kSecond, [&mesh](SimTime) { mesh.step(1.0); });
+  TimelineRecorder recorder;
+  recorder.attach_mesh(mesh);
+  recorder.start(sched, kSecond);
+  recorder.note(1500 * kMillisecond, "notes stay out of the CSV");
+  sched.run_until(4 * kSecond);
+
+  const std::string csv = recorder.to_csv();
+  // Header names every link column plus the mesh counters.
+  EXPECT_EQ(csv.rfind("t_s,link0_pool_bits,link0_usable", 0), 0u);
+  EXPECT_NE(csv.find("link2_usable"), std::string::npos);
+  EXPECT_NE(csv.find("mesh_reroutes"), std::string::npos);
+  EXPECT_EQ(csv.find("notes stay out"), std::string::npos);
+
+  // One row per sample plus the header, every row with the same arity.
+  std::vector<std::string> lines;
+  for (std::size_t start = 0; start < csv.size();) {
+    const std::size_t end = csv.find('\n', start);
+    lines.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), recorder.points().size() + 1);
+  const auto commas = [](const std::string& line) {
+    return std::count(line.begin(), line.end(), ',');
+  };
+  for (const std::string& line : lines)
+    EXPECT_EQ(commas(line), commas(lines[0])) << line;
+
+  // First data row: t=1 s, link pools grown past zero, link usable.
+  EXPECT_EQ(lines[1].rfind("1.000000,", 0), 0u);
+  EXPECT_NE(lines[1].find(",1,"), std::string::npos);
+
+  // An empty recorder still emits a parseable header.
+  EXPECT_EQ(TimelineRecorder().to_csv(), "t_s\n");
+}
+
+TEST(TimelineRecorder, ToCsvPadsRowsWhenASourceAttachesMidSeries) {
+  // stop() + restart keeps old points; a source attached in between
+  // widens later samples. The CSV must stay rectangular: the union of
+  // columns in the header, zeros where an early sample had no source.
+  network::MeshSimulation mesh(network::Topology::star(2), 5);
+  SimClock clock;
+  EventScheduler sched(clock);
+  TimelineRecorder recorder;
+  recorder.start(sched, kSecond);
+  sched.run_until(2 * kSecond);  // two sourceless samples
+  recorder.stop();
+  recorder.attach_mesh(mesh);
+  mesh.step(1.0);
+  recorder.start(sched, kSecond);
+  sched.run_until(4 * kSecond);  // two mesh-backed samples
+
+  const std::string csv = recorder.to_csv();
+  EXPECT_NE(csv.find("link1_usable"), std::string::npos);
+  std::vector<std::string> lines;
+  for (std::size_t start = 0; start < csv.size();) {
+    const std::size_t end = csv.find('\n', start);
+    lines.push_back(csv.substr(start, end - start));
+    start = end + 1;
+  }
+  ASSERT_EQ(lines.size(), 5u);  // header + 4 samples
+  const auto commas = [](const std::string& line) {
+    return std::count(line.begin(), line.end(), ',');
+  };
+  for (const std::string& line : lines)
+    EXPECT_EQ(commas(line), commas(lines[0])) << line;
+  EXPECT_NE(lines[1].find(",0.0,0"), std::string::npos)
+      << "pre-attachment rows zero-padded";
 }
 
 TEST(TimelineRecorder, RenderInterleavesNotesWithSamples) {
