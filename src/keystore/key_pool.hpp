@@ -79,6 +79,11 @@ class KeyPool final : public KeySupply {
 
   const Stats& stats() const { return stats_; }
 
+  /// The key_id the next successful withdrawal/reservation will be issued.
+  /// Two mirrored pools driven through identical calls agree on this at
+  /// every step — the lockstep witness invariant checkers compare.
+  std::uint64_t next_key_id() const { return next_key_id_; }
+
  private:
   enum class Mode { kUnset, kLinear, kLaned };
 

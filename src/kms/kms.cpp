@@ -190,6 +190,7 @@ void KeyManagementService::finish(Request& request, GrantStatus status,
   grant.status = status;
   grant.requested_at = request.requested_at;
   grant.granted_at = now;
+  if (grant_observer_) grant_observer_(grant);
   request.callback(grant);
 }
 
@@ -258,6 +259,14 @@ void KeyManagementService::purge_expired_claims(PairState& pair,
   // iteration order is also expiry order.
   while (!pair.claims.empty() &&
          pair.claims.begin()->second.expires_at <= now) {
+    // Reclaim, don't leak: the unclaimed peer copy's bits go back into BOTH
+    // mirror stores through identical deposits, so the pair stays in
+    // lockstep and the material is re-servable. (A claim at exactly
+    // expires_at already reads expired — strictly before, or it's gone.)
+    const qkd::BitVector& bits = pair.claims.begin()->second.block.bits;
+    pair.src_store.deposit(bits);
+    pair.dst_store.deposit(bits);
+    stats_.bits_reclaimed += bits.size();
     pair.claims.erase(pair.claims.begin());
     ++stats_.claims_expired;
   }
@@ -376,8 +385,10 @@ void KeyManagementService::grant_round(
     grant.key_id = src_block->key_id;
     grant.bits = src_block->bits;
     grant.exposed_to = frame.exposed_to;
+    grant.compromised = frame.compromised;
     grant.requested_at = request.requested_at;
     grant.granted_at = now;
+    if (grant_observer_) grant_observer_(grant);
     request.callback(grant);
   }
 }
@@ -457,6 +468,28 @@ double KeyManagementService::mean_grant_latency_s(QosClass qos) const {
   return latency_.at(static_cast<std::size_t>(qos)).mean_s();
 }
 
+std::vector<KeyManagementService::PairInspection>
+KeyManagementService::inspect_pairs() const {
+  std::vector<PairInspection> out;
+  out.reserve(pairs_.size());
+  for (const auto& [key, pair] : pairs_) {
+    PairInspection inspection;
+    inspection.src = pair->src;
+    inspection.dst = pair->dst;
+    inspection.src_available_bits = pair->src_store.available_bits();
+    inspection.dst_available_bits = pair->dst_store.available_bits();
+    inspection.src_next_key_id = pair->src_store.next_key_id();
+    inspection.dst_next_key_id = pair->dst_store.next_key_id();
+    inspection.src_stats = pair->src_store.stats();
+    inspection.dst_stats = pair->dst_store.stats();
+    inspection.claims_outstanding = pair->claims.size();
+    for (std::size_t qos = 0; qos < kQosClassCount; ++qos)
+      inspection.queue_depths[qos] = pair->queues[qos].size();
+    out.push_back(std::move(inspection));
+  }
+  return out;
+}
+
 std::vector<sim::ClassSample> KeyManagementService::sample_service(
     qkd::SimTime) {
   std::vector<sim::ClassSample> samples;
@@ -466,8 +499,8 @@ std::vector<sim::ClassSample> KeyManagementService::sample_service(
     sample.label = qos_class_name(static_cast<QosClass>(qos));
     sample.queue_depth = queue_depth(static_cast<QosClass>(qos));
     sample.granted = class_stats_[qos].granted;
-    sample.rejected =
-        class_stats_[qos].rejected_queue_full + class_stats_[qos].shed;
+    sample.rejected = class_stats_[qos].rejected_queue_full;
+    sample.shed = class_stats_[qos].shed;
     sample.p99_grant_latency_s = latency_[qos].quantile_s(0.99);
     samples.push_back(std::move(sample));
   }

@@ -105,6 +105,9 @@ struct Grant {
   std::uint64_t key_id = 0;
   qkd::BitVector bits;                      // the initiator's copy
   std::vector<network::NodeId> exposed_to;  // relays that saw the frame
+  /// The delivering frame traversed a relay that was compromised at grant
+  /// time (the mesh flags it; policy above decides whether to discard).
+  bool compromised = false;
   qkd::SimTime requested_at = 0;
   qkd::SimTime granted_at = 0;
 };
@@ -174,6 +177,25 @@ class KeyManagementService final : public sim::ServiceSampler {
     std::uint64_t replenish_wakeups = 0;
     std::uint64_t claims_fulfilled = 0;
     std::uint64_t claims_expired = 0;
+    /// Bits of expired unclaimed peer copies redeposited into BOTH pair
+    /// stores (never silently leaked).
+    std::uint64_t bits_reclaimed = 0;
+  };
+
+  /// Snapshot of one endpoint pair's mirrored state, for invariant
+  /// checkers: the fuzzer asserts src/dst agree on every field after every
+  /// scenario event.
+  struct PairInspection {
+    network::NodeId src = 0;
+    network::NodeId dst = 0;
+    std::size_t src_available_bits = 0;
+    std::size_t dst_available_bits = 0;
+    std::uint64_t src_next_key_id = 0;
+    std::uint64_t dst_next_key_id = 0;
+    keystore::KeyPool::Stats src_stats;
+    keystore::KeyPool::Stats dst_stats;
+    std::size_t claims_outstanding = 0;
+    std::array<std::size_t, kQosClassCount> queue_depths{};
   };
 
   /// The mesh and scheduler must outlive the service. Engine-backed meshes
@@ -219,6 +241,16 @@ class KeyManagementService final : public sim::ServiceSampler {
   /// True while the service is in a shedding episode (cleared by the next
   /// successful round).
   bool shedding() const { return shedding_; }
+  /// One snapshot per live endpoint pair (ordered by (src, dst)).
+  std::vector<PairInspection> inspect_pairs() const;
+
+  /// Observer invoked for EVERY delivered Grant — granted, rejected, shed
+  /// and departed alike — just before the client's own callback. The fuzz
+  /// harness checks its invariants (compromise flagging, conservation)
+  /// here without disturbing delivery.
+  void set_grant_observer(GrantCallback observer) {
+    grant_observer_ = std::move(observer);
+  }
 
   // ---- sim::ServiceSampler ------------------------------------------------
   std::vector<sim::ClassSample> sample_service(qkd::SimTime now) override;
@@ -312,6 +344,7 @@ class KeyManagementService final : public sim::ServiceSampler {
   std::array<ClassStats, kQosClassCount> class_stats_{};
   std::array<LatencyHistogram, kQosClassCount> latency_{};
   Stats stats_;
+  GrantCallback grant_observer_;
   bool shedding_ = false;
   std::vector<std::uint64_t> supply_subscriptions_;  // engine mode only
 };

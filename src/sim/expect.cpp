@@ -1,0 +1,262 @@
+#include "src/sim/expect.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace qkd::sim {
+
+namespace {
+
+std::string time_str(SimTime t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.1fs", sim_to_seconds(t));
+  return buffer;
+}
+
+}  // namespace
+
+const ScenarioRunner::KeyRequestOutcome* TimelineExpect::request(
+    std::size_t index, const char* check) {
+  const auto& outcomes = runner_.key_requests();
+  if (index >= outcomes.size()) {
+    fail(std::string(check) + ": request #" + std::to_string(index) +
+         " does not exist (only " + std::to_string(outcomes.size()) +
+         " KeyRequest outcomes recorded)");
+    return nullptr;
+  }
+  return &outcomes[index];
+}
+
+const ClassSample* TimelineExpect::class_in(const TimelinePoint& point,
+                                            const std::string& label) {
+  for (const ClassSample& cls : point.service)
+    if (cls.label == label) return &cls;
+  return nullptr;
+}
+
+TimelineExpect& TimelineExpect::link_down_by(network::LinkId link,
+                                             SimTime deadline) {
+  for (const TimelinePoint& point : points()) {
+    if (point.t > deadline) break;
+    if (link < point.links.size() && !point.links[link].usable) return *this;
+  }
+  fail("link_down_by: link " + std::to_string(link) +
+       " never sampled unusable by " + time_str(deadline));
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::link_up_by(network::LinkId link, SimTime after,
+                                           SimTime deadline) {
+  for (const TimelinePoint& point : points()) {
+    if (point.t <= after) continue;
+    if (point.t > deadline) break;
+    if (link < point.links.size() && point.links[link].usable) return *this;
+  }
+  fail("link_up_by: link " + std::to_string(link) +
+       " never sampled usable in (" + time_str(after) + ", " +
+       time_str(deadline) + "]");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::pool_at_least_by(network::LinkId link,
+                                                 double bits,
+                                                 SimTime deadline) {
+  double best = 0.0;
+  for (const TimelinePoint& point : points()) {
+    if (point.t > deadline) break;
+    if (link < point.links.size())
+      best = std::max(best, point.links[link].pool_bits);
+    if (best >= bits) return *this;
+  }
+  char buffer[160];
+  std::snprintf(buffer, sizeof(buffer),
+                "pool_at_least_by: link %u peaked at %.0f bits by %s, wanted "
+                ">= %.0f",
+                link, best, time_str(deadline).c_str(), bits);
+  fail(buffer);
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_served(std::size_t index) {
+  if (const auto* outcome = request(index, "request_served");
+      outcome != nullptr && !outcome->result.success)
+    fail("request_served: request #" + std::to_string(index) + " (t=" +
+         time_str(outcome->at) + ") failed");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_failed(std::size_t index) {
+  if (const auto* outcome = request(index, "request_failed");
+      outcome != nullptr && outcome->result.success)
+    fail("request_failed: request #" + std::to_string(index) + " (t=" +
+         time_str(outcome->at) + ") was unexpectedly delivered");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_avoids_link(std::size_t index,
+                                                    network::LinkId link) {
+  const auto* outcome = request(index, "request_avoids_link");
+  if (outcome == nullptr) return *this;
+  const auto& links = outcome->result.route.links;
+  if (std::find(links.begin(), links.end(), link) != links.end())
+    fail("request_avoids_link: request #" + std::to_string(index) +
+         " was routed over link " + std::to_string(link));
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_avoids_node(std::size_t index,
+                                                    network::NodeId node) {
+  const auto* outcome = request(index, "request_avoids_node");
+  if (outcome == nullptr) return *this;
+  const auto& exposed = outcome->result.exposed_to;
+  if (std::find(exposed.begin(), exposed.end(), node) != exposed.end())
+    fail("request_avoids_node: request #" + std::to_string(index) +
+         " exposed its key to node " + std::to_string(node));
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::requests_rerouted(std::size_t first,
+                                                  std::size_t second) {
+  const auto* a = request(first, "requests_rerouted");
+  const auto* b = request(second, "requests_rerouted");
+  if (a == nullptr || b == nullptr) return *this;
+  if (a->result.route.links == b->result.route.links)
+    fail("requests_rerouted: requests #" + std::to_string(first) + " and #" +
+         std::to_string(second) + " took the same route");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_clean(std::size_t index) {
+  if (const auto* outcome = request(index, "request_clean");
+      outcome != nullptr && outcome->result.compromised)
+    fail("request_clean: request #" + std::to_string(index) +
+         " traversed a compromised relay");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::request_flagged_compromised(
+    std::size_t index) {
+  if (const auto* outcome = request(index, "request_flagged_compromised");
+      outcome != nullptr && !outcome->result.compromised)
+    fail("request_flagged_compromised: request #" + std::to_string(index) +
+         " was not flagged compromised");
+  return *this;
+}
+
+SimTime TimelineExpect::first_shed_time(const std::string& label) const {
+  for (const TimelinePoint& point : points())
+    if (const ClassSample* cls = class_in(point, label);
+        cls != nullptr && cls->shed > 0)
+      return point.t;
+  return -1;
+}
+
+TimelineExpect& TimelineExpect::class_never_shed(const std::string& label) {
+  if (const SimTime t = first_shed_time(label); t >= 0)
+    fail("class_never_shed: class \"" + label + "\" was shed by " +
+         time_str(t));
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::class_shed_by(const std::string& label,
+                                              SimTime deadline) {
+  const SimTime t = first_shed_time(label);
+  if (t < 0 || t > deadline)
+    fail("class_shed_by: class \"" + label + "\" not shed by " +
+         time_str(deadline) +
+         (t < 0 ? " (never shed)" : " (first shed at " + time_str(t) + ")"));
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::shed_order(const std::string& first,
+                                           const std::string& second) {
+  const SimTime t_first = first_shed_time(first);
+  const SimTime t_second = first_shed_time(second);
+  if (t_second >= 0 && (t_first < 0 || t_first > t_second))
+    fail("shed_order: class \"" + second + "\" was shed at " +
+         time_str(t_second) + " before class \"" + first + "\" (" +
+         (t_first < 0 ? std::string("never shed") : time_str(t_first)) + ")");
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::class_queue_at_most_by(
+    const std::string& label, std::size_t depth, SimTime deadline) {
+  const ClassSample* last = nullptr;
+  SimTime last_t = -1;
+  for (const TimelinePoint& point : points()) {
+    if (point.t < deadline) continue;
+    if (const ClassSample* cls = class_in(point, label); cls != nullptr) {
+      last = cls;
+      last_t = point.t;
+    }
+  }
+  if (last == nullptr) {
+    fail("class_queue_at_most_by: no \"" + label + "\" sample at or after " +
+         time_str(deadline));
+  } else if (last->queue_depth > depth) {
+    fail("class_queue_at_most_by: class \"" + label + "\" still queued " +
+         std::to_string(last->queue_depth) + " at " + time_str(last_t) +
+         ", wanted <= " + std::to_string(depth));
+  }
+  return *this;
+}
+
+double TimelineExpect::grant_rate(const std::string& label,
+                                  SimTime window_start,
+                                  SimTime window_end) const {
+  const TimelinePoint* first = nullptr;
+  const TimelinePoint* last = nullptr;
+  for (const TimelinePoint& point : points()) {
+    if (point.t <= window_start || point.t > window_end) continue;
+    if (class_in(point, label) == nullptr) continue;
+    if (first == nullptr) first = &point;
+    last = &point;
+  }
+  if (first == nullptr || last == nullptr || first == last) return -1.0;
+  const auto granted =
+      class_in(*last, label)->granted - class_in(*first, label)->granted;
+  const double seconds = sim_to_seconds(last->t - first->t);
+  return static_cast<double>(granted) / seconds;
+}
+
+TimelineExpect& TimelineExpect::grant_rate_recovers(const std::string& label,
+                                                    SimTime baseline_end,
+                                                    SimTime recovery_start,
+                                                    double factor) {
+  const SimTime end = points().empty() ? recovery_start : points().back().t;
+  const double before = grant_rate(label, 0, baseline_end);
+  const double after = grant_rate(label, recovery_start, end);
+  char buffer[200];
+  if (before < 0.0 || after < 0.0) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "grant_rate_recovers: class \"%s\" lacks two samples in the "
+                  "%s window",
+                  label.c_str(), before < 0.0 ? "baseline" : "recovery");
+    fail(buffer);
+  } else if (after < factor * before) {
+    std::snprintf(buffer, sizeof(buffer),
+                  "grant_rate_recovers: class \"%s\" recovered to %.2f "
+                  "grants/s after %s, wanted >= %.2f (%.0f%% of the %.2f "
+                  "baseline)",
+                  label.c_str(), after, time_str(recovery_start).c_str(),
+                  factor * before, factor * 100.0, before);
+    fail(buffer);
+  }
+  return *this;
+}
+
+TimelineExpect& TimelineExpect::noted(const std::string& substring) {
+  for (const TimelineNote& note : runner_.recorder().notes())
+    if (note.text.find(substring) != std::string::npos) return *this;
+  fail("noted: no timeline note contains \"" + substring + "\"");
+  return *this;
+}
+
+std::string TimelineExpect::report() const {
+  if (failures_.empty()) return "timeline ok";
+  std::string out = "timeline expectations violated:";
+  for (const std::string& failure : failures_) out += "\n  - " + failure;
+  return out;
+}
+
+}  // namespace qkd::sim

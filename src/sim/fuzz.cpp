@@ -1,0 +1,410 @@
+#include "src/sim/fuzz.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <tuple>
+
+namespace qkd::sim {
+
+namespace {
+
+// ---- The legality state machine -------------------------------------------
+// Shared by the validator and the generator: one source of truth for what
+// "a legal next action" means given everything that happened so far.
+
+struct LinkFlags {
+  bool cut = false;
+  bool tapped = false;
+};
+
+using CohortKey = std::tuple<network::NodeId, network::NodeId, unsigned>;
+
+struct SequenceState {
+  std::vector<LinkFlags> links;
+  std::vector<char> compromised;           // by NodeId
+  std::map<CohortKey, std::size_t> cohorts;  // live clients per shape
+
+  explicit SequenceState(const network::Topology& topology)
+      : links(topology.link_count()), compromised(topology.node_count(), 0) {}
+};
+
+/// Why `action` is illegal in `state`, or nullopt when legal. Applies the
+/// action's state transition when legal.
+std::optional<std::string> check_and_apply(const network::Topology& topology,
+                                           SequenceState& state,
+                                           const ScenarioAction& action) {
+  const auto bad_link = [&](network::LinkId link) {
+    return link >= state.links.size();
+  };
+  const auto bad_node = [&](network::NodeId node) {
+    return node >= state.compromised.size();
+  };
+  const auto endpoint = [&](network::NodeId node) {
+    return !bad_node(node) &&
+           topology.node(node).kind == network::NodeKind::kEndpoint;
+  };
+
+  struct Checker {
+    const network::Topology& topology;
+    SequenceState& state;
+    decltype(bad_link)& is_bad_link;
+    decltype(bad_node)& is_bad_node;
+    decltype(endpoint)& is_endpoint;
+
+    std::optional<std::string> operator()(const CutLink& a) {
+      if (is_bad_link(a.link)) return "CutLink: unknown link";
+      if (state.links[a.link].cut) return "CutLink: link already cut";
+      state.links[a.link].cut = true;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const RestoreLink& a) {
+      if (is_bad_link(a.link)) return "RestoreLink: unknown link";
+      if (!state.links[a.link].cut) return "RestoreLink: link is not cut";
+      // restore_link() also clears any standing tap.
+      state.links[a.link] = LinkFlags{};
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const StartEavesdrop& a) {
+      if (is_bad_link(a.link)) return "StartEavesdrop: unknown link";
+      if (a.intercept_fraction <= 0.0 || a.intercept_fraction > 1.0)
+        return "StartEavesdrop: fraction outside (0, 1]";
+      if (state.links[a.link].cut) return "StartEavesdrop: link is cut";
+      if (state.links[a.link].tapped)
+        return "StartEavesdrop: Eve is already on this link";
+      state.links[a.link].tapped = true;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const StopEavesdrop& a) {
+      if (is_bad_link(a.link)) return "StopEavesdrop: unknown link";
+      if (!state.links[a.link].tapped)
+        return "StopEavesdrop: no eavesdropper on this link";
+      state.links[a.link].tapped = false;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const TrafficBurst& a) {
+      if (a.packets_per_s <= 0.0 || a.duration_s <= 0.0)
+        return "TrafficBurst: degenerate rate or duration";
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const KeyRequest& a) {
+      if (!is_endpoint(a.src) || !is_endpoint(a.dst))
+        return "KeyRequest: src/dst must be endpoint nodes";
+      if (a.src == a.dst) return "KeyRequest: src == dst";
+      if (a.bits == 0) return "KeyRequest: bits == 0";
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const CompromiseNode& a) {
+      if (is_bad_node(a.node)) return "CompromiseNode: unknown node";
+      if (topology.node(a.node).kind != network::NodeKind::kTrustedRelay)
+        return "CompromiseNode: node is not a trusted relay";
+      if (state.compromised[a.node]) return "CompromiseNode: already owned";
+      state.compromised[a.node] = 1;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const RestoreNode& a) {
+      if (is_bad_node(a.node)) return "RestoreNode: unknown node";
+      if (!state.compromised[a.node])
+        return "RestoreNode: node is not compromised";
+      state.compromised[a.node] = 0;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const ClientArrival& a) {
+      if (!is_endpoint(a.src) || !is_endpoint(a.dst))
+        return "ClientArrival: src/dst must be endpoint nodes";
+      if (a.src == a.dst) return "ClientArrival: src == dst";
+      if (a.qos >= 3) return "ClientArrival: unknown QoS class";
+      if (a.count == 0 || a.request_rate_hz <= 0.0 || a.bits == 0)
+        return "ClientArrival: degenerate cohort";
+      state.cohorts[CohortKey{a.src, a.dst, a.qos}] += a.count;
+      return std::nullopt;
+    }
+    std::optional<std::string> operator()(const ClientDeparture& a) {
+      const auto it = state.cohorts.find(CohortKey{a.src, a.dst, a.qos});
+      const std::size_t live = it == state.cohorts.end() ? 0 : it->second;
+      if (a.count == 0) return "ClientDeparture: count == 0";
+      if (a.count > live)
+        return "ClientDeparture: departs " + std::to_string(a.count) +
+               " but only " + std::to_string(live) + " arrived";
+      it->second -= a.count;
+      return std::nullopt;
+    }
+  };
+  Checker checker{topology, state, bad_link, bad_node, endpoint};
+  return std::visit(checker, action);
+}
+
+Scenario rebuild(const std::vector<ScenarioEvent>& events) {
+  Scenario scenario;
+  for (const ScenarioEvent& event : events)
+    scenario.at(event.at, event.action);
+  return scenario;
+}
+
+std::string script_header(const FuzzCase& fuzz_case) {
+  char line[200];
+  std::snprintf(line, sizeof(line),
+                "seed=%llu topology=%s mesh_seed=%llu horizon=%.1fs\n",
+                static_cast<unsigned long long>(fuzz_case.seed),
+                fuzz_case.topology_summary.c_str(),
+                static_cast<unsigned long long>(fuzz_case.mesh_seed),
+                sim_to_seconds(fuzz_case.horizon));
+  return line;
+}
+
+std::string script_body(const Scenario& scenario) {
+  std::string out;
+  char prefix[48];
+  for (const ScenarioEvent& event : scenario.events()) {
+    std::snprintf(prefix, sizeof(prefix), "t=%8.3fs  ",
+                  sim_to_seconds(event.at));
+    out += prefix;
+    out += describe(event.action);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string FuzzCase::script() const { return script_for(scenario); }
+
+std::string FuzzCase::script_for(const Scenario& minimized) const {
+  return script_header(*this) + script_body(minimized);
+}
+
+std::vector<std::string> validate_actions(const network::Topology& topology,
+                                          const Scenario& scenario) {
+  // Events apply in time order; the runner's FIFO tie-break keeps append
+  // order for same-instant actions, which stable_sort preserves.
+  std::vector<ScenarioEvent> ordered = scenario.events();
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const ScenarioEvent& a, const ScenarioEvent& b) {
+                     return a.at < b.at;
+                   });
+  SequenceState state(topology);
+  std::vector<std::string> violations;
+  for (const ScenarioEvent& event : ordered) {
+    if (auto error = check_and_apply(topology, state, event.action))
+      violations.push_back("t=" + std::to_string(sim_to_seconds(event.at)) +
+                           "s: " + describe(event.action) + " — " + *error);
+  }
+  return violations;
+}
+
+// ---- Generation ------------------------------------------------------------
+
+ScenarioFuzzer::ScenarioFuzzer(std::uint64_t seed, Config config)
+    : seed_(seed), config_(config), rng_(seed) {
+  if (config_.min_relays < 3 || config_.max_relays < config_.min_relays)
+    throw std::invalid_argument("ScenarioFuzzer: bad relay count range");
+  if (config_.max_actions < config_.min_actions)
+    throw std::invalid_argument("ScenarioFuzzer: bad action count range");
+  if (config_.horizon < 10 * kSecond)
+    throw std::invalid_argument("ScenarioFuzzer: horizon under 10 s");
+}
+
+FuzzCase ScenarioFuzzer::generate() {
+  FuzzCase out;
+  out.seed = seed_;
+  out.horizon = config_.horizon;
+  out.mesh_seed = rng_.next_u64();
+
+  // ---- Random topology ----------------------------------------------------
+  const double link_km = 5.0 * static_cast<double>(1 + rng_.next_below(3));
+  const double pulse_hz = rng_.next_bool(0.5) ? 1e7 : 1e8;
+  char summary[96];
+  if (config_.allow_star && rng_.next_bool(0.2)) {
+    const std::size_t spokes = 3 + rng_.next_below(4);
+    out.topology = network::Topology::star(spokes, link_km);
+    out.relays = {0};
+    for (std::size_t i = 1; i <= spokes; ++i)
+      out.endpoints.push_back(static_cast<network::NodeId>(i));
+    std::snprintf(summary, sizeof(summary), "star(n=%zu, %.0f km, %.0e Hz)",
+                  spokes, link_km, pulse_hz);
+  } else {
+    const std::size_t relays =
+        config_.min_relays +
+        rng_.next_below(config_.max_relays - config_.min_relays + 1);
+    out.topology = network::Topology::relay_ring(relays, link_km);
+    for (std::size_t i = 0; i < relays; ++i)
+      out.relays.push_back(static_cast<network::NodeId>(i));
+    out.endpoints = {static_cast<network::NodeId>(relays),
+                     static_cast<network::NodeId>(relays + 1)};
+    std::snprintf(summary, sizeof(summary),
+                  "relay_ring(n=%zu, %.0f km, %.0e Hz)", relays, link_km,
+                  pulse_hz);
+  }
+  out.topology_summary = summary;
+  for (const network::Link& link : out.topology.links())
+    out.topology.link(link.id).optics.pulse_rate_hz = pulse_hz;
+
+  SequenceState state(out.topology);
+  const auto pick_endpoint_pair = [&] {
+    const std::size_t a = rng_.next_below(out.endpoints.size());
+    std::size_t b = rng_.next_below(out.endpoints.size() - 1);
+    if (b >= a) ++b;
+    return std::make_pair(out.endpoints[a], out.endpoints[b]);
+  };
+  const auto add = [&](SimTime at, ScenarioAction action) {
+    const auto error = check_and_apply(out.topology, state, action);
+    if (error.has_value())
+      throw std::logic_error("ScenarioFuzzer generated an illegal action: " +
+                             describe(action) + " — " + *error);
+    out.scenario.at(at, std::move(action));
+  };
+
+  // ---- Guaranteed workload: a cohort is online before the chaos ----------
+  if (config_.client_actions) {
+    const auto [src, dst] = pick_endpoint_pair();
+    ClientArrival arrival;
+    arrival.src = src;
+    arrival.dst = dst;
+    arrival.qos = static_cast<unsigned>(rng_.next_below(3));
+    arrival.count = 1 + rng_.next_below(4);
+    arrival.request_rate_hz = 0.5 * static_cast<double>(1 + rng_.next_below(5));
+    arrival.bits = 64u << rng_.next_below(3);
+    add(kSecond / 2, arrival);
+  }
+
+  // ---- Random legal action sequence --------------------------------------
+  const std::size_t actions =
+      config_.min_actions +
+      rng_.next_below(config_.max_actions - config_.min_actions + 1);
+  std::vector<SimTime> times;
+  times.reserve(actions);
+  const SimTime window = config_.horizon - 6 * kSecond;
+  for (std::size_t i = 0; i < actions; ++i)
+    times.push_back(kSecond +
+                    static_cast<SimTime>(rng_.next_below(
+                        static_cast<std::uint64_t>(window / kMillisecond))) *
+                        kMillisecond);
+  std::sort(times.begin(), times.end());
+
+  enum class Kind {
+    kCut,
+    kRestoreLink,
+    kTap,
+    kUntap,
+    kCompromise,
+    kRestoreNode,
+    kKeyRequest,
+    kArrival,
+    kDeparture,
+  };
+  for (const SimTime at : times) {
+    // Operand pools that are legal right now.
+    std::vector<network::LinkId> cuttable, restorable, tappable, tapped;
+    for (network::LinkId id = 0; id < state.links.size(); ++id) {
+      if (!state.links[id].cut) cuttable.push_back(id);
+      if (state.links[id].cut) restorable.push_back(id);
+      if (!state.links[id].cut && !state.links[id].tapped)
+        tappable.push_back(id);
+      if (state.links[id].tapped) tapped.push_back(id);
+    }
+    std::vector<network::NodeId> ownable, sweepable;
+    for (network::NodeId relay : out.relays) {
+      if (state.compromised[relay])
+        sweepable.push_back(relay);
+      else
+        ownable.push_back(relay);
+    }
+    std::vector<CohortKey> departable;
+    for (const auto& [key, live] : state.cohorts)
+      if (live > 0) departable.push_back(key);
+
+    // Weighted legal-kind lottery: traffic-shaped actions dominate, damage
+    // and recovery stay frequent, compromise campaigns are the rare spice.
+    std::vector<Kind> lottery;
+    const auto enter = [&lottery](Kind kind, std::size_t weight) {
+      lottery.insert(lottery.end(), weight, kind);
+    };
+    enter(Kind::kKeyRequest, 3);
+    if (config_.client_actions) enter(Kind::kArrival, 2);
+    if (config_.client_actions && !departable.empty())
+      enter(Kind::kDeparture, 2);
+    if (!cuttable.empty()) enter(Kind::kCut, 2);
+    if (!restorable.empty()) enter(Kind::kRestoreLink, 2);
+    if (!tappable.empty()) enter(Kind::kTap, 2);
+    if (!tapped.empty()) enter(Kind::kUntap, 2);
+    if (!ownable.empty()) enter(Kind::kCompromise, 1);
+    if (!sweepable.empty()) enter(Kind::kRestoreNode, 1);
+
+    switch (lottery[rng_.next_below(lottery.size())]) {
+      case Kind::kCut:
+        add(at, CutLink{cuttable[rng_.next_below(cuttable.size())]});
+        break;
+      case Kind::kRestoreLink:
+        add(at, RestoreLink{restorable[rng_.next_below(restorable.size())]});
+        break;
+      case Kind::kTap:
+        add(at, StartEavesdrop{tappable[rng_.next_below(tappable.size())],
+                               rng_.next_bool(0.7) ? 1.0 : 0.05});
+        break;
+      case Kind::kUntap:
+        add(at, StopEavesdrop{tapped[rng_.next_below(tapped.size())]});
+        break;
+      case Kind::kCompromise:
+        add(at, CompromiseNode{ownable[rng_.next_below(ownable.size())]});
+        break;
+      case Kind::kRestoreNode:
+        add(at, RestoreNode{sweepable[rng_.next_below(sweepable.size())]});
+        break;
+      case Kind::kKeyRequest: {
+        const auto [src, dst] = pick_endpoint_pair();
+        add(at, KeyRequest{src, dst, 64u << rng_.next_below(4)});
+        break;
+      }
+      case Kind::kArrival: {
+        const auto [src, dst] = pick_endpoint_pair();
+        ClientArrival arrival;
+        arrival.src = src;
+        arrival.dst = dst;
+        arrival.qos = static_cast<unsigned>(rng_.next_below(3));
+        arrival.count = 1 + rng_.next_below(4);
+        arrival.request_rate_hz =
+            0.5 * static_cast<double>(1 + rng_.next_below(5));
+        arrival.bits = 64u << rng_.next_below(3);
+        add(at, arrival);
+        break;
+      }
+      case Kind::kDeparture: {
+        const CohortKey key = departable[rng_.next_below(departable.size())];
+        const std::size_t live = state.cohorts[key];
+        ClientDeparture departure;
+        departure.src = std::get<0>(key);
+        departure.dst = std::get<1>(key);
+        departure.qos = std::get<2>(key);
+        departure.count = 1 + rng_.next_below(live);
+        add(at, departure);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+// ---- Minimization ----------------------------------------------------------
+
+Scenario minimize(const Scenario& scenario,
+                  const std::function<bool(const Scenario&)>& still_fails) {
+  if (!still_fails(scenario)) return scenario;
+  std::vector<ScenarioEvent> events = scenario.events();
+  bool progress = true;
+  while (progress && events.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      std::vector<ScenarioEvent> candidate = events;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (still_fails(rebuild(candidate))) {
+        events = std::move(candidate);
+        progress = true;
+        break;  // restart: indices shifted
+      }
+    }
+  }
+  return rebuild(events);
+}
+
+}  // namespace qkd::sim

@@ -1,0 +1,93 @@
+// Property-based scenario generation: "as many scenarios as you can
+// imagine", made mechanical.
+//
+// A ScenarioFuzzer derives, from one 64-bit seed, a random topology (relay
+// ring or hub-and-spoke star with randomized size and optics) plus a random
+// LEGAL action sequence over it — cuts only on up links, restores only on
+// cut links, eavesdroppers arriving only where none is camped, departures
+// only of cohorts that arrived, and so on. The legality rules are the
+// published contract: validate_actions() checks any scenario against them,
+// the generator provably emits only sequences that pass, and the fuzz
+// harness replays a failing case from its seed alone.
+//
+// When a run violates a global invariant, minimize() shrinks the action
+// script greedily (drop any event whose removal keeps the failure) so the
+// reproduction the harness prints is the shortest story that still breaks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/sim/scenario.hpp"
+
+namespace qkd::sim {
+
+/// One generated case: everything needed to run it — and to reproduce it,
+/// since the whole struct is a pure function of `seed`.
+struct FuzzCase {
+  std::uint64_t seed = 0;
+  network::Topology topology;
+  std::string topology_summary;            // "relay_ring(n=6, 10 km, 1e8 Hz)"
+  std::vector<network::NodeId> endpoints;  // KeyRequest / client endpoints
+  std::vector<network::NodeId> relays;     // CompromiseNode candidates
+  std::uint64_t mesh_seed = 0;             // MeshSimulation's RNG seed
+  Scenario scenario;
+  SimTime horizon = 0;
+
+  /// The case as a replayable story: a header naming seed + topology, then
+  /// one timestamped action per line (what a failure report prints).
+  std::string script() const;
+  /// script() for an explicitly minimized action list.
+  std::string script_for(const Scenario& minimized) const;
+};
+
+class ScenarioFuzzer {
+ public:
+  struct Config {
+    std::size_t min_relays = 3;
+    std::size_t max_relays = 8;
+    std::size_t min_actions = 4;
+    std::size_t max_actions = 24;
+    SimTime horizon = 60 * kSecond;
+    /// Emit ClientArrival/ClientDeparture actions (the harness must attach
+    /// a KMS-backed ClientWorkloadDriver).
+    bool client_actions = true;
+    /// Occasionally generate a single-relay star instead of a ring.
+    bool allow_star = true;
+  };
+
+  explicit ScenarioFuzzer(std::uint64_t seed) : ScenarioFuzzer(seed, {}) {}
+  ScenarioFuzzer(std::uint64_t seed, Config config);
+
+  /// Generates the next case of this seed's stream. The first generate()
+  /// of ScenarioFuzzer(s) is always the same case, so a campaign that
+  /// uses one fresh fuzzer per seed reproduces any case from its seed.
+  FuzzCase generate();
+
+  const Config& config() const { return config_; }
+
+ private:
+  std::uint64_t seed_;
+  Config config_;
+  qkd::Rng rng_;
+};
+
+/// Checks an action sequence against the legality rules the fuzzer
+/// generates under (events considered in time order, append order breaking
+/// ties — the runner's dispatch order). Returns one human-readable line
+/// per violation; empty means legal. A legal sequence never throws in
+/// ScenarioRunner and never asks the stack for a nonsensical transition.
+std::vector<std::string> validate_actions(const network::Topology& topology,
+                                          const Scenario& scenario);
+
+/// Greedy scenario shrinking: repeatedly drops any single event whose
+/// removal keeps `still_fails` true, until no single removal does. The
+/// oracle typically re-runs the scenario end to end; it is called
+/// O(events^2) times. Returns `scenario` unchanged if it does not fail.
+Scenario minimize(const Scenario& scenario,
+                  const std::function<bool(const Scenario&)>& still_fails);
+
+}  // namespace qkd::sim

@@ -24,6 +24,7 @@ const char* action_name(const ScenarioAction& action) {
     const char* operator()(const CompromiseNode&) const {
       return "CompromiseNode";
     }
+    const char* operator()(const RestoreNode&) const { return "RestoreNode"; }
     const char* operator()(const ClientArrival&) const {
       return "ClientArrival";
     }
@@ -59,6 +60,9 @@ std::string describe(const ScenarioAction& action) {
     }
     std::string operator()(const CompromiseNode& a) const {
       return "CompromiseNode node=" + std::to_string(a.node);
+    }
+    std::string operator()(const RestoreNode& a) const {
+      return "RestoreNode node=" + std::to_string(a.node);
     }
     std::string operator()(const ClientArrival& a) const {
       return "ClientArrival " + std::to_string(a.count) + " x qos" +
@@ -129,6 +133,11 @@ void ScenarioRunner::set_traffic_source(
 
 void ScenarioRunner::attach_client_driver(ClientWorkloadDriver& driver) {
   client_driver_ = &driver;
+}
+
+void ScenarioRunner::set_action_observer(
+    std::function<void(SimTime, const ScenarioAction&)> observer) {
+  action_observer_ = std::move(observer);
 }
 
 void ScenarioRunner::pump_vpn(SimTime now) {
@@ -268,6 +277,11 @@ void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
             "ScenarioRunner: CompromiseNode without a mesh");
       r.mesh_->compromise_node(a.node);
     }
+    void operator()(const RestoreNode& a) const {
+      if (r.mesh_ == nullptr)
+        throw std::logic_error("ScenarioRunner: RestoreNode without a mesh");
+      r.mesh_->restore_node(a.node);
+    }
     void operator()(const ClientArrival& a) const {
       if (r.client_driver_ == nullptr)
         throw std::logic_error(
@@ -282,6 +296,7 @@ void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
     }
   };
   std::visit(Applier{*this, now}, action);
+  if (action_observer_) action_observer_(now, action);
 }
 
 std::size_t ScenarioRunner::run(SimTime horizon) {

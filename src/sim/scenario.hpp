@@ -84,6 +84,12 @@ struct CompromiseNode {
   network::NodeId node = 0;
 };
 
+/// The relay is swept and re-trusted: frames relayed through it are clean
+/// again (the recovery half of a relay-compromise campaign).
+struct RestoreNode {
+  network::NodeId node = 0;
+};
+
 /// `count` key-consuming client applications come online on the (src, dst)
 /// endpoint pair: each registers with the attached client driver (the KMS
 /// fleet) in QoS class `qos` and issues `bits`-bit key requests at
@@ -110,8 +116,8 @@ struct ClientDeparture {
 
 using ScenarioAction =
     std::variant<CutLink, RestoreLink, StartEavesdrop, StopEavesdrop,
-                 TrafficBurst, KeyRequest, CompromiseNode, ClientArrival,
-                 ClientDeparture>;
+                 TrafficBurst, KeyRequest, CompromiseNode, RestoreNode,
+                 ClientArrival, ClientDeparture>;
 
 /// Human-readable action tag for timeline annotations.
 const char* action_name(const ScenarioAction& action);
@@ -188,6 +194,13 @@ class ScenarioRunner {
   /// scenario contains them); must outlive run().
   void attach_client_driver(ClientWorkloadDriver& driver);
 
+  /// Invariant-probe seam: invoked right after every scripted action has
+  /// been applied, with the action's effects already visible in the
+  /// attached stack. The scenario fuzzer asserts its global invariants
+  /// here, after every event, instead of only at the horizon.
+  void set_action_observer(
+      std::function<void(SimTime, const ScenarioAction&)> observer);
+
   /// Runs the script: schedules every scenario action plus the stack
   /// drivers (producer batch completions, gateway deadlines, recorder
   /// sampling) and dispatches events until `horizon`, then takes a final
@@ -195,6 +208,7 @@ class ScenarioRunner {
   std::size_t run(SimTime horizon);
 
   TimelineRecorder& recorder() { return recorder_; }
+  const TimelineRecorder& recorder() const { return recorder_; }
   EventScheduler& scheduler() { return *scheduler_; }
   SimClock& clock() { return *clock_; }
   const std::vector<KeyRequestOutcome>& key_requests() const {
@@ -225,6 +239,7 @@ class ScenarioRunner {
   SimTime mesh_accrued_to_ = 0;  // analytic mesh: accrual high-water mark
   ipsec::VpnLinkSimulation* vpn_ = nullptr;
   ClientWorkloadDriver* client_driver_ = nullptr;
+  std::function<void(SimTime, const ScenarioAction&)> action_observer_;
   std::function<ipsec::IpPacket(std::uint64_t)> traffic_source_;
   std::uint64_t traffic_seq_ = 0;
   std::vector<KeyRequestOutcome> key_requests_;

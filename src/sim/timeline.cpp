@@ -156,9 +156,9 @@ std::string TimelineRecorder::to_csv() const {
   for (const ClassSample& cls : *widest_service) {
     std::snprintf(cell, sizeof(cell),
                   ",svc_%s_queue,svc_%s_granted,svc_%s_rejected"
-                  ",svc_%s_p99_s",
+                  ",svc_%s_shed,svc_%s_p99_s",
                   cls.label.c_str(), cls.label.c_str(), cls.label.c_str(),
-                  cls.label.c_str());
+                  cls.label.c_str(), cls.label.c_str());
     out += cell;
   }
   out += '\n';
@@ -208,13 +208,14 @@ std::string TimelineRecorder::to_csv() const {
     for (std::size_t i = 0; i < n_classes; ++i) {
       if (i < point.service.size()) {
         const ClassSample& cls = point.service[i];
-        std::snprintf(cell, sizeof(cell), ",%zu,%llu,%llu,%.6f",
+        std::snprintf(cell, sizeof(cell), ",%zu,%llu,%llu,%llu,%.6f",
                       cls.queue_depth,
                       static_cast<unsigned long long>(cls.granted),
                       static_cast<unsigned long long>(cls.rejected),
+                      static_cast<unsigned long long>(cls.shed),
                       cls.p99_grant_latency_s);
       } else {
-        std::snprintf(cell, sizeof(cell), ",0,0,0,0.000000");
+        std::snprintf(cell, sizeof(cell), ",0,0,0,0,0.000000");
       }
       out += cell;
     }

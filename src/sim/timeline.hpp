@@ -45,6 +45,7 @@ struct ClassSample {
   std::size_t queue_depth = 0;        // requests waiting right now
   std::uint64_t granted = 0;          // cumulative grants
   std::uint64_t rejected = 0;         // cumulative admission rejections + sheds
+  std::uint64_t shed = 0;             // cumulative load-shedding drops alone
   double p99_grant_latency_s = 0.0;   // request -> grant, 99th percentile
 };
 

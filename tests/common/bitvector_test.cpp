@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include <stdexcept>
 
 #include "src/common/rng.hpp"
@@ -51,7 +53,7 @@ TEST(BitVector, FromBytesLsbFirstWithinByte) {
 }
 
 TEST(BitVector, ToBytesRoundTrips) {
-  Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   const BitVector v = rng.next_bits(128);
   EXPECT_EQ(BitVector::from_bytes(v.to_bytes()), v);
 }
@@ -84,7 +86,7 @@ TEST(BitVector, PushBackGrows) {
 }
 
 TEST(BitVector, AppendAlignedAndUnaligned) {
-  Rng rng(11);
+  QKD_SEEDED_RNG(rng, 11);
   for (std::size_t left : {0u, 1u, 63u, 64u, 65u, 128u}) {
     const BitVector a = rng.next_bits(left);
     const BitVector b = rng.next_bits(97);
@@ -98,7 +100,7 @@ TEST(BitVector, AppendAlignedAndUnaligned) {
 }
 
 TEST(BitVector, SliceMatchesBitwiseExtraction) {
-  Rng rng(13);
+  QKD_SEEDED_RNG(rng, 13);
   const BitVector v = rng.next_bits(300);
   for (std::size_t begin : {0u, 1u, 63u, 64u, 65u, 130u}) {
     const BitVector s = v.slice(begin, 100);
@@ -128,7 +130,7 @@ TEST(BitVector, MaskedParityCountsIntersection) {
 }
 
 TEST(BitVector, MaskedRangeParityMatchesBruteForce) {
-  Rng rng(17);
+  QKD_SEEDED_RNG(rng, 17);
   const BitVector v = rng.next_bits(257);
   const BitVector mask = rng.next_bits(257);
   for (std::size_t begin : {0u, 5u, 64u, 100u}) {
@@ -144,7 +146,7 @@ TEST(BitVector, MaskedRangeParityMatchesBruteForce) {
 }
 
 TEST(BitVector, XorAndHammingDistance) {
-  Rng rng(19);
+  QKD_SEEDED_RNG(rng, 19);
   const BitVector a = rng.next_bits(500);
   BitVector b = a;
   b.flip(0);

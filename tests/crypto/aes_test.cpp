@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::crypto {
@@ -45,7 +47,7 @@ TEST(Aes, RejectsBadKeySizes) {
 }
 
 TEST(Aes, EncryptDecryptRoundTripRandomKeys) {
-  qkd::Rng rng(1234);
+  QKD_SEEDED_RNG(rng, 1234);
   for (std::size_t key_len : {16u, 24u, 32u}) {
     Bytes key(key_len);
     for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
@@ -82,7 +84,7 @@ TEST(AesCbc, RejectsPartialBlocks) {
 }
 
 TEST(AesCbc, TamperedCiphertextChangesPlaintext) {
-  qkd::Rng rng(99);
+  QKD_SEEDED_RNG(rng, 99);
   Bytes key(16);
   for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
   const Aes aes(key);

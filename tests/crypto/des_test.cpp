@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::crypto {
@@ -27,7 +29,7 @@ TEST(Des, RejectsBadKeySize) {
 }
 
 TEST(Des, RoundTripRandomBlocks) {
-  qkd::Rng rng(555);
+  QKD_SEEDED_RNG(rng, 555);
   Bytes key(8);
   for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
   const Des des(key);
@@ -48,7 +50,7 @@ TEST(TripleDes, DegeneratesToSingleDesWithEqualKeys) {
 }
 
 TEST(TripleDes, RoundTripDistinctKeys) {
-  qkd::Rng rng(777);
+  QKD_SEEDED_RNG(rng, 777);
   Bytes key(24);
   for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
   const TripleDes tdes(key);
@@ -63,7 +65,7 @@ TEST(TripleDes, RejectsBadKeySize) {
 }
 
 TEST(TripleDesCbc, RoundTrip) {
-  qkd::Rng rng(888);
+  QKD_SEEDED_RNG(rng, 888);
   Bytes key(24);
   for (auto& b : key) b = static_cast<std::uint8_t>(rng.next_u64());
   const TripleDes tdes(key);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::crypto {
@@ -19,7 +21,7 @@ TEST(Clmul, SmallKnownProducts) {
 }
 
 TEST(Clmul, MultiplicationByOneIsIdentity) {
-  qkd::Rng rng(5);
+  QKD_SEEDED_RNG(rng, 5);
   const auto a = rng.next_bits(200);
   const auto one = qkd::BitVector::from_string("1");
   auto p = clmul(a, one);
@@ -28,7 +30,7 @@ TEST(Clmul, MultiplicationByOneIsIdentity) {
 }
 
 TEST(Clmul, Commutes) {
-  qkd::Rng rng(6);
+  QKD_SEEDED_RNG(rng, 6);
   const auto a = rng.next_bits(130);
   const auto b = rng.next_bits(77);
   EXPECT_EQ(clmul(a, b), clmul(b, a));
@@ -74,7 +76,7 @@ TEST(IrreduciblePoly, RejectsTrivialDegrees) {
 
 TEST(Gf2Field, MultiplicativeIdentityAndZero) {
   const Gf2Field f(64);
-  qkd::Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   const auto a = rng.next_bits(64);
   const auto one = qkd::BitVector::from_uint64(1, 64);
   const auto zero = qkd::BitVector(64);
@@ -84,7 +86,7 @@ TEST(Gf2Field, MultiplicativeIdentityAndZero) {
 
 TEST(Gf2Field, MultiplicationAssociativeAndCommutative) {
   const Gf2Field f(96);
-  qkd::Rng rng(8);
+  QKD_SEEDED_RNG(rng, 8);
   for (int i = 0; i < 20; ++i) {
     const auto a = rng.next_bits(96);
     const auto b = rng.next_bits(96);
@@ -96,7 +98,7 @@ TEST(Gf2Field, MultiplicationAssociativeAndCommutative) {
 
 TEST(Gf2Field, DistributesOverAddition) {
   const Gf2Field f(128);
-  qkd::Rng rng(9);
+  QKD_SEEDED_RNG(rng, 9);
   for (int i = 0; i < 20; ++i) {
     const auto a = rng.next_bits(128);
     const auto b = rng.next_bits(128);
@@ -110,7 +112,7 @@ TEST(Gf2Field, DistributesOverAddition) {
 TEST(Gf2Field, FrobeniusFixedField) {
   // In GF(2^n), a^(2^n) == a for every element (Frobenius has order n).
   const Gf2Field f(32);
-  qkd::Rng rng(10);
+  QKD_SEEDED_RNG(rng, 10);
   for (int i = 0; i < 10; ++i) {
     const auto a = rng.next_bits(32);
     EXPECT_EQ(f.pow2k(a, 32), a);
@@ -119,7 +121,7 @@ TEST(Gf2Field, FrobeniusFixedField) {
 
 TEST(Gf2Field, SquareMatchesSelfMultiply) {
   const Gf2Field f(160);
-  qkd::Rng rng(11);
+  QKD_SEEDED_RNG(rng, 11);
   const auto a = rng.next_bits(160);
   EXPECT_EQ(f.pow2k(a, 1), f.multiply(a, a));
 }
@@ -131,7 +133,7 @@ TEST(Gf2Field, RejectsWrongDegreeModulus) {
 
 TEST(Gf2Field, RejectsOversizeOperands) {
   const Gf2Field f(32);
-  qkd::Rng rng(12);
+  QKD_SEEDED_RNG(rng, 12);
   EXPECT_THROW(f.multiply(rng.next_bits(33), rng.next_bits(32)),
                std::invalid_argument);
 }

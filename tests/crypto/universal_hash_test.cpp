@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::crypto {
@@ -10,7 +12,7 @@ namespace {
 TEST(ToeplitzHash, IsLinearInTheMessage) {
   // H(m1 ^ m2) == H(m1) ^ H(m2) — the defining property used by the
   // Toeplitz + one-time-pad construction.
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   const unsigned tag_bits = 64;
   const std::size_t msg_bits = 256;
   const auto key = rng.next_bits(tag_bits + msg_bits - 1);
@@ -23,13 +25,13 @@ TEST(ToeplitzHash, IsLinearInTheMessage) {
 }
 
 TEST(ToeplitzHash, ZeroMessageHashesToZero) {
-  qkd::Rng rng(2);
+  QKD_SEEDED_RNG(rng, 2);
   const auto key = rng.next_bits(64 + 128 - 1);
   EXPECT_EQ(toeplitz_hash(key, qkd::BitVector(128), 64).popcount(), 0u);
 }
 
 TEST(ToeplitzHash, KeyTooShortThrows) {
-  qkd::Rng rng(3);
+  QKD_SEEDED_RNG(rng, 3);
   EXPECT_THROW(toeplitz_hash(rng.next_bits(100), rng.next_bits(100), 64),
                std::invalid_argument);
 }
@@ -37,7 +39,7 @@ TEST(ToeplitzHash, KeyTooShortThrows) {
 TEST(ToeplitzHash, CollisionRateNearTwoToMinusTag) {
   // For random keys, Pr[H(m1) == H(m2)] for fixed m1 != m2 is 2^-t.
   // With t = 8 and 2000 trials we expect ~8 collisions; accept generously.
-  qkd::Rng rng(4);
+  QKD_SEEDED_RNG(rng, 4);
   const unsigned tag_bits = 8;
   const std::size_t msg_bits = 64;
   const auto m1 = rng.next_bits(msg_bits);
@@ -66,7 +68,7 @@ TEST(PolyHash64, LengthIsAuthenticated) {
 }
 
 TEST(WegmanCarter, TagVerifyRoundTrip) {
-  qkd::Rng rng(5);
+  QKD_SEEDED_RNG(rng, 5);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 64,
                                         .max_message_bits = 1024};
   const auto secret = rng.next_bits(64 + 1024 - 1 + 640);
@@ -79,7 +81,7 @@ TEST(WegmanCarter, TagVerifyRoundTrip) {
 }
 
 TEST(WegmanCarter, TamperedMessageRejected) {
-  qkd::Rng rng(6);
+  QKD_SEEDED_RNG(rng, 6);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 64,
                                         .max_message_bits = 1024};
   const auto secret = rng.next_bits(64 + 1024 - 1 + 640);
@@ -93,7 +95,7 @@ TEST(WegmanCarter, TamperedMessageRejected) {
 }
 
 TEST(WegmanCarter, PadExhaustionReturnsNullopt) {
-  qkd::Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 64,
                                         .max_message_bits = 256};
   // Exactly enough for the Toeplitz key + 2 tags of pad.
@@ -107,7 +109,7 @@ TEST(WegmanCarter, PadExhaustionReturnsNullopt) {
 }
 
 TEST(WegmanCarter, ReplenishRestoresTagging) {
-  qkd::Rng rng(8);
+  QKD_SEEDED_RNG(rng, 8);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 64,
                                         .max_message_bits = 256};
   const auto secret = rng.next_bits(64 + 256 - 1);  // zero pad bits
@@ -121,7 +123,7 @@ TEST(WegmanCarter, ReplenishRestoresTagging) {
 TEST(WegmanCarter, TagsOfSameMessageDifferAcrossPads) {
   // Fresh pad per message: identical messages must not produce identical
   // tags, or Eve learns hash collisions.
-  qkd::Rng rng(9);
+  QKD_SEEDED_RNG(rng, 9);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 64,
                                         .max_message_bits = 256};
   const auto secret = rng.next_bits(64 + 256 - 1 + 1280);
@@ -134,7 +136,7 @@ TEST(WegmanCarter, TagsOfSameMessageDifferAcrossPads) {
 }
 
 TEST(WegmanCarter, OversizeMessageThrows) {
-  qkd::Rng rng(10);
+  QKD_SEEDED_RNG(rng, 10);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 32,
                                         .max_message_bits = 64};
   const auto secret = rng.next_bits(32 + 64 - 1 + 320);
@@ -152,7 +154,7 @@ TEST(WegmanCarter, ShortInitialSecretThrows) {
 TEST(WegmanCarter, ForgeryProbabilityIsLow) {
   // An attacker without the pad cannot guess a 16-bit tag much better than
   // 2^-16; try 5000 random forgeries and expect ~0 successes.
-  qkd::Rng rng(11);
+  QKD_SEEDED_RNG(rng, 11);
   WegmanCarterAuthenticator::Config cfg{.tag_bits = 16,
                                         .max_message_bits = 64};
   const Bytes msg = {0x42};

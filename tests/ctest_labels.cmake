@@ -1,0 +1,39 @@
+# Assigns multi-valued LABELS to every discovered test, by test binary.
+#
+# Runs at CTest load time via TEST_INCLUDE_FILES, appended AFTER the
+# gtest_discover_tests includes so every test already exists. This detour
+# exists because a semicolon list does not survive the argument plumbing of
+# gtest_discover_tests(PROPERTIES LABELS ...) — it is re-split at each
+# expansion level and arrives as separate property tokens.
+#
+# The rules here mirror tests/CMakeLists.txt's taxonomy:
+#   *_long_test        -> fuzz;slow       (env-gated long legs, not tier1)
+#   *fuzz*             -> tier1;fuzz      (short randomized campaigns)
+#   scenarios_*        -> tier1;scenarios (declarative corpus)
+#   everything else    -> tier1
+
+file(GLOB _qkd_discovery_files "${CMAKE_CURRENT_LIST_DIR}/*_tests.cmake")
+foreach(_file IN LISTS _qkd_discovery_files)
+  get_filename_component(_base "${_file}" NAME)
+  string(REGEX REPLACE "\\[[0-9]+\\]_tests\\.cmake$" "" _target "${_base}")
+
+  if(_target MATCHES "_long_test$")
+    set(_labels fuzz slow)
+  elseif(_target MATCHES "fuzz")
+    set(_labels tier1 fuzz)
+  elseif(_target MATCHES "^scenarios_")
+    set(_labels tier1 scenarios)
+  else()
+    set(_labels tier1)
+  endif()
+
+  file(STRINGS "${_file}" _add_lines REGEX "^add_test\\(")
+  foreach(_line IN LISTS _add_lines)
+    string(REGEX REPLACE "^add_test\\(\\[=+\\[([^]]+)\\]=+\\].*" "\\1"
+           _test_name "${_line}")
+    if(NOT _test_name STREQUAL _line)
+      set_tests_properties("${_test_name}" PROPERTIES LABELS "${_labels}")
+    endif()
+  endforeach()
+endforeach()
+unset(_qkd_discovery_files)

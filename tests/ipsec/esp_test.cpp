@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::ipsec {
@@ -16,7 +18,7 @@ IpPacket sample_packet(std::size_t payload_len = 100) {
 }
 
 SecurityAssociation make_sa(CipherAlgo cipher, std::uint64_t seed = 7) {
-  qkd::Rng rng(seed);
+  ::qkd::testing::SeededRng rng(seed);  // trace-free: helper scope ends before asserts
   SecurityAssociation sa;
   sa.spi = 0xabcd0001;
   sa.cipher = cipher;

@@ -3,6 +3,8 @@
 // failure modes (mismatched bits, Eve's DoS on the control channel).
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 #include "src/ipsec/vpn_sim.hpp"
 
@@ -40,7 +42,7 @@ VpnLinkSimulation make_vpn(std::uint64_t seed = 1,
                            SpdEntry policy = protect_policy()) {
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, seed);
   vpn.install_mirrored_policy(policy);
-  qkd::Rng rng(seed ^ 0x9e3779b9ULL);
+  ::qkd::testing::SeededRng rng(seed ^ 0x9e3779b9ULL);
   vpn.deposit_key_material(rng.next_bits(64 * 1024));
   vpn.start();
   return vpn;
@@ -158,7 +160,7 @@ TEST(Vpn, MismatchedQblocksBlackoutUntilRollover) {
   policy.lifetime_seconds = 20.0;
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 8);
   vpn.install_mirrored_policy(policy);
-  qkd::Rng rng(99);
+  QKD_SEEDED_RNG(rng, 99);
   // First deposit corrupted: B's pool differs from A's by one bit inside the
   // first Qblock (deposit_key_material flips the middle bit of the deposit).
   vpn.deposit_key_material(rng.next_bits(1024), /*corrupt_b=*/true);
@@ -192,7 +194,7 @@ TEST(Vpn, EveBlockingIkeCausesTimeoutsNotKeys) {
   // association(s)."
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 9);
   vpn.install_mirrored_policy(protect_policy());
-  qkd::Rng rng(9);
+  QKD_SEEDED_RNG(rng, 9);
   vpn.deposit_key_material(rng.next_bits(32 * 1024));
   vpn.start();
   // Eve blocks everything.
@@ -212,7 +214,7 @@ TEST(Vpn, EveBlockingIkeCausesTimeoutsNotKeys) {
 TEST(Vpn, LossyChannelRetransmitsRecover) {
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 10);
   vpn.install_mirrored_policy(protect_policy());
-  qkd::Rng rng(10);
+  QKD_SEEDED_RNG(rng, 10);
   vpn.deposit_key_material(rng.next_bits(32 * 1024));
   vpn.start();
   vpn.channel().set_impairment(qkd::net::make_drop_impairment(0.3, 10));
@@ -298,7 +300,7 @@ TEST(Vpn, ConcurrentOppositeRekeysStayInLockstep) {
   policy.lifetime_seconds = 10.0;
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 18);
   vpn.install_mirrored_policy(policy);
-  qkd::Rng rng(18);
+  QKD_SEEDED_RNG(rng, 18);
   vpn.deposit_key_material(rng.next_bits(128 * 1024));
   vpn.start();
 
@@ -350,7 +352,7 @@ TEST(Vpn, ReplenishedSupplyWakesStalledNegotiationWithoutNewTraffic) {
 
   // The QKD layer catches up; the replenish callback wakes the stalled
   // negotiation on the next tick.
-  qkd::Rng rng(19);
+  QKD_SEEDED_RNG(rng, 19);
   vpn.deposit_key_material(rng.next_bits(64 * 1024));
   vpn.advance(2.0);
   EXPECT_GT(vpn.a().stats().supply_replenished, 0u);
@@ -376,7 +378,7 @@ TEST(Vpn, WakeupStaysArmedWhenReplenishmentIsStillTooSmall) {
 
   // Crosses the mark (fires kReplenished) but holds only 2 blocks in the
   // initiator's lane — the OTP offer needs 3.
-  qkd::Rng rng(20);
+  QKD_SEEDED_RNG(rng, 20);
   vpn.deposit_key_material(rng.next_bits(3 * 1024));
   vpn.advance(1.0);
   EXPECT_GT(vpn.a().stats().supply_replenished, 0u);
@@ -395,7 +397,7 @@ TEST(Vpn, ReplayedEspPacketsAreDropped) {
   // Eve captures every A->B message and replays the lot afterwards.
   VpnLinkSimulation vpn2(VpnLinkSimulation::Params{}, 17);
   vpn2.install_mirrored_policy(protect_policy());
-  qkd::Rng rng(17);
+  QKD_SEEDED_RNG(rng, 17);
   vpn2.deposit_key_material(rng.next_bits(32 * 1024));
   vpn2.start();
   std::vector<Bytes> captured;

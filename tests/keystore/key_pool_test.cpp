@@ -4,6 +4,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include <string>
 
 #include "src/common/rng.hpp"
@@ -21,7 +23,7 @@ TEST(KeyPool, StartsEmpty) {
 }
 
 TEST(KeyPool, DepositRequestFifoOrder) {
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   KeyPool pool;
   const auto bits = rng.next_bits(4096);
   pool.deposit(bits);
@@ -36,7 +38,7 @@ TEST(KeyPool, DepositRequestFifoOrder) {
 }
 
 TEST(KeyPool, QblockAccountingMatchesFig12Units) {
-  qkd::Rng rng(2);
+  QKD_SEEDED_RNG(rng, 2);
   KeyPool pool;
   pool.deposit(rng.next_bits(4 * kQ + 100));
   // Four complete blocks interleave into two lanes of two.
@@ -52,7 +54,7 @@ TEST(KeyPool, QblockAccountingMatchesFig12Units) {
 TEST(KeyPool, LanesAreDisjointAndDeterministic) {
   // Two mirrored pools serving concurrent opposite-direction negotiations:
   // lane withdrawals must commute — any interleaving yields the same blocks.
-  qkd::Rng rng(21);
+  QKD_SEEDED_RNG(rng, 21);
   const auto stream = rng.next_bits(8 * kQ);
   KeyPool alice, bob;
   alice.deposit(stream);
@@ -72,7 +74,7 @@ TEST(KeyPool, LanesAreDisjointAndDeterministic) {
 TEST(KeyPool, MixedFramingThrowsWithPoolModeAndCallSites) {
   // Satellite: the misuse diagnostic must name the pool, the framing mode
   // it is in, and both call sites — in both orderings.
-  qkd::Rng rng(22);
+  QKD_SEEDED_RNG(rng, 22);
   KeyPool linear_first("alice-gw");
   linear_first.deposit(rng.next_bits(4096));
   ASSERT_TRUE(linear_first.request_bits(10, "first-linear-site").has_value());
@@ -119,7 +121,7 @@ TEST(KeyPool, MixedFramingThrowsWithPoolModeAndCallSites) {
 }
 
 TEST(KeyPool, LaneRefusalLeavesStateIntact) {
-  qkd::Rng rng(23);
+  QKD_SEEDED_RNG(rng, 23);
   KeyPool pool;
   pool.deposit(rng.next_bits(3 * kQ));  // lanes: 2 / 1
   EXPECT_FALSE(pool.request_qblocks(2, 1).has_value());
@@ -128,7 +130,7 @@ TEST(KeyPool, LaneRefusalLeavesStateIntact) {
 }
 
 TEST(KeyPool, RefusesPartialWithdrawal) {
-  qkd::Rng rng(3);
+  QKD_SEEDED_RNG(rng, 3);
   KeyPool pool;
   pool.deposit(rng.next_bits(100));
   EXPECT_FALSE(pool.request_bits(101).has_value());
@@ -140,7 +142,7 @@ TEST(KeyPool, MirroredPoolsStayInLockstep) {
   // The property the whole Qblock design rests on: two pools fed the same
   // deposits return the same bits (and key_ids) for the same request
   // sequence.
-  qkd::Rng rng(4);
+  QKD_SEEDED_RNG(rng, 4);
   KeyPool a, b;
   for (int i = 0; i < 10; ++i) {
     const auto bits = rng.next_bits(500 + i * 37);
@@ -157,7 +159,7 @@ TEST(KeyPool, MirroredPoolsStayInLockstep) {
 }
 
 TEST(KeyPool, ReserveAcknowledgeConsumesForGood) {
-  qkd::Rng rng(31);
+  QKD_SEEDED_RNG(rng, 31);
   const auto stream = rng.next_bits(8 * kQ);
   KeyPool pool;
   pool.deposit(stream);
@@ -180,7 +182,7 @@ TEST(KeyPool, ReserveAcknowledgeConsumesForGood) {
 }
 
 TEST(KeyPool, ReleasedBlocksAreReservedAgainInOrder) {
-  qkd::Rng rng(32);
+  QKD_SEEDED_RNG(rng, 32);
   const auto stream = rng.next_bits(12 * kQ);
   KeyPool pool;
   pool.deposit(stream);
@@ -206,7 +208,7 @@ TEST(KeyPool, MirroredPoolsSurvivePartialGrantsAndAbandonedOffers) {
   // consumes only what it grants, the initiator releases and re-requests
   // the granted amount — or abandons the offer entirely. Both pools must
   // keep returning identical blocks afterwards.
-  qkd::Rng rng(33);
+  QKD_SEEDED_RNG(rng, 33);
   const auto stream = rng.next_bits(20 * kQ);
   KeyPool initiator, responder;
   initiator.deposit(stream);
@@ -234,7 +236,7 @@ TEST(KeyPool, MirroredPoolsSurvivePartialGrantsAndAbandonedOffers) {
 }
 
 TEST(KeyPool, StatsTrackVolumes) {
-  qkd::Rng rng(5);
+  QKD_SEEDED_RNG(rng, 5);
   KeyPool pool;
   pool.deposit(rng.next_bits(8192));
   pool.request_qblocks(2, 0);
@@ -245,7 +247,7 @@ TEST(KeyPool, StatsTrackVolumes) {
 }
 
 TEST(KeyPool, TakeAllDrainsEverything) {
-  qkd::Rng rng(6);
+  QKD_SEEDED_RNG(rng, 6);
   KeyPool pool;
   const auto bits = rng.next_bits(3333);
   pool.deposit(bits);
@@ -259,7 +261,7 @@ TEST(KeyPool, CompactionPreservesContentAcrossReservations) {
   // Push enough through the pool to trigger internal compaction — with
   // interleaved reserve/release traffic — and verify the stream stays
   // correct across it.
-  qkd::Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   KeyPool pool;
   qkd::BitVector reference;
   for (int i = 0; i < 30; ++i) {
@@ -289,7 +291,7 @@ TEST(KeyPool, CompactionPreservesContentAcrossReservations) {
 }
 
 TEST(KeySupply, EventsFireOnCrossingsAndExhaustion) {
-  qkd::Rng rng(8);
+  QKD_SEEDED_RNG(rng, 8);
   KeyPool pool;
   pool.set_low_water_bits(2048);
   std::vector<SupplyEvent> events;
@@ -328,7 +330,7 @@ TEST(KeySupply, EventsFireOnCrossingsAndExhaustion) {
 TEST(KeySupply, ReleaseCanReplenishPastTheMark) {
   // A released reservation is a deposit from the consumer's point of view:
   // it can end a low-water episode.
-  qkd::Rng rng(9);
+  QKD_SEEDED_RNG(rng, 9);
   KeyPool pool;
   pool.deposit(rng.next_bits(4 * kQ));
   pool.set_low_water_bits(3 * kQ);
@@ -367,7 +369,7 @@ TEST(KeySupply, FailedReserveEmitsExactlyOneExhaustedEventPerFailure) {
   EXPECT_EQ(exhausted, 2u);
 
   // A partially-stocked lane that still cannot cover the ask: one event.
-  qkd::Rng rng(5);
+  QKD_SEEDED_RNG(rng, 5);
   pool.deposit(rng.next_bits(2 * KeySupply::kQblockBits));  // 1 block/lane
   EXPECT_FALSE(pool.reserve_qblocks(4, 0).has_value());
   EXPECT_EQ(exhausted, 3u);
@@ -400,7 +402,7 @@ TEST(KeySupply, ReplenishHandlerThatImmediatelyWithdrawsKeepsLaneLockstep) {
   // a stalled consumer withdrawing on the spot) must leave lane state
   // coherent: a mirrored pool driven through the *resulting* call sequence
   // derives identical blocks and ids.
-  qkd::Rng rng(6);
+  QKD_SEEDED_RNG(rng, 6);
   const qkd::BitVector seed_bits = rng.next_bits(2 * KeySupply::kQblockBits);
   const qkd::BitVector refill_bits = rng.next_bits(8 * KeySupply::kQblockBits);
 

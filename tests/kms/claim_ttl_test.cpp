@@ -1,0 +1,154 @@
+// Regression: get_key_with_id claim-TTL expiry. An unclaimed peer copy
+// whose TTL has elapsed is not leaked — its bits are redeposited into BOTH
+// mirror stores through identical calls (the pair stays in lockstep and
+// the material is re-servable) — and a claim arriving exactly at the TTL
+// instant is already too late.
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <vector>
+
+#include "src/kms/kms.hpp"
+
+namespace qkd::kms {
+namespace {
+
+using network::MeshSimulation;
+using network::NodeId;
+using network::NodeKind;
+using network::Topology;
+
+Topology hot_star() {
+  Topology topo;
+  const NodeId relay = topo.add_node("relay", NodeKind::kTrustedRelay);
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = 1.0;
+  optics.pulse_rate_hz = 1e9;
+  topo.add_link(relay, a, optics);
+  topo.add_link(relay, b, optics);
+  return topo;
+}
+
+struct Harness {
+  explicit Harness(KeyManagementService::Config config)
+      : mesh(hot_star(), 77), scheduler(clock), kms(mesh, scheduler, config) {
+    mesh.step(20.0);
+  }
+
+  MeshSimulation mesh;
+  qkd::SimClock clock;
+  sim::EventScheduler scheduler;
+  KeyManagementService kms;
+};
+
+KeyManagementService::Config short_ttl() {
+  KeyManagementService::Config config;
+  config.claim_ttl = 5 * kSecond;
+  return config;
+}
+
+/// The granted direction's inspection snapshot (bob's reversed pair is a
+/// separate, untouched entry).
+KeyManagementService::PairInspection forward_pair(
+    const KeyManagementService& kms) {
+  for (const auto& pair : kms.inspect_pairs())
+    if (pair.src == 1 && pair.dst == 2) return pair;
+  ADD_FAILURE() << "pair 1->2 missing";
+  return {};
+}
+
+TEST(KmsClaimTtl, ClaimAtExactlyTheTtlInstantIsExpiredAndReclaimed) {
+  Harness h(short_ttl());
+  const ClientId alice =
+      h.kms.register_client({"alice-app", 1, 2, QosClass::kInteractive});
+  const ClientId bob =
+      h.kms.register_client({"bob-app", 2, 1, QosClass::kInteractive});
+
+  std::vector<Grant> grants;
+  h.kms.get_key(alice, 512, [&](const Grant& g) { grants.push_back(g); });
+  h.scheduler.run_for(kSecond);
+  ASSERT_EQ(grants.size(), 1u);
+  ASSERT_EQ(grants[0].status, GrantStatus::kGranted);
+
+  const auto before = forward_pair(h.kms);
+  EXPECT_EQ(before.claims_outstanding, 1u);
+  ASSERT_EQ(before.src_available_bits, before.dst_available_bits);
+
+  // Claim exactly at expires_at: too late, by the strict boundary.
+  std::optional<keystore::KeyBlock> claimed;
+  h.scheduler.at(grants[0].granted_at + h.kms.config().claim_ttl,
+                 [&](qkd::SimTime) {
+                   claimed = h.kms.get_key_with_id(bob, grants[0].key_id);
+                 });
+  h.scheduler.run_for(10 * kSecond);
+  EXPECT_FALSE(claimed.has_value());
+  EXPECT_EQ(h.kms.stats().claims_expired, 1u);
+  EXPECT_EQ(h.kms.stats().claims_fulfilled, 0u);
+  EXPECT_EQ(h.kms.stats().bits_reclaimed, 512u);
+
+  // The copy was released back into BOTH pools in lockstep, not leaked.
+  const auto after = forward_pair(h.kms);
+  EXPECT_EQ(after.claims_outstanding, 0u);
+  EXPECT_EQ(after.src_available_bits, before.src_available_bits + 512);
+  EXPECT_EQ(after.dst_available_bits, before.dst_available_bits + 512);
+  EXPECT_EQ(after.src_next_key_id, after.dst_next_key_id);
+  EXPECT_EQ(after.src_stats.bits_deposited, after.dst_stats.bits_deposited);
+}
+
+TEST(KmsClaimTtl, ClaimJustBeforeTheTtlStillSucceeds) {
+  Harness h(short_ttl());
+  const ClientId alice =
+      h.kms.register_client({"alice-app", 1, 2, QosClass::kInteractive});
+  const ClientId bob =
+      h.kms.register_client({"bob-app", 2, 1, QosClass::kInteractive});
+
+  std::vector<Grant> grants;
+  h.kms.get_key(alice, 256, [&](const Grant& g) { grants.push_back(g); });
+  h.scheduler.run_for(kSecond);
+  ASSERT_EQ(grants.size(), 1u);
+
+  std::optional<keystore::KeyBlock> claimed;
+  h.scheduler.at(
+      grants[0].granted_at + h.kms.config().claim_ttl - kMillisecond,
+      [&](qkd::SimTime) {
+        claimed = h.kms.get_key_with_id(bob, grants[0].key_id);
+      });
+  h.scheduler.run_for(10 * kSecond);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_TRUE(claimed->bits == grants[0].bits);
+  EXPECT_EQ(h.kms.stats().claims_expired, 0u);
+  EXPECT_EQ(h.kms.stats().bits_reclaimed, 0u);
+}
+
+TEST(KmsClaimTtl, ReclaimedMaterialIsReservableAndStaysInAgreement) {
+  Harness h(short_ttl());
+  const ClientId alice =
+      h.kms.register_client({"alice-app", 1, 2, QosClass::kInteractive});
+  const ClientId bob =
+      h.kms.register_client({"bob-app", 2, 1, QosClass::kInteractive});
+
+  // Grant #1 goes unclaimed past its TTL...
+  std::vector<Grant> grants;
+  h.kms.get_key(alice, 128, [&](const Grant& g) { grants.push_back(g); });
+  h.scheduler.run_for(10 * kSecond);  // well past the 5 s TTL (lazy purge)
+  ASSERT_EQ(grants.size(), 1u);
+
+  // ...then grant #2 is served after the reclaim; the mirrored stores must
+  // still agree end to end (the reclaim deposited into both identically).
+  h.kms.get_key(alice, 128, [&](const Grant& g) { grants.push_back(g); });
+  h.scheduler.run_for(kSecond);
+  ASSERT_EQ(grants.size(), 2u);
+  ASSERT_EQ(grants[1].status, GrantStatus::kGranted);
+  EXPECT_GT(grants[1].key_id, grants[0].key_id);
+
+  const auto peer = h.kms.get_key_with_id(bob, grants[1].key_id);
+  ASSERT_TRUE(peer.has_value());
+  EXPECT_TRUE(peer->bits == grants[1].bits);
+  EXPECT_EQ(h.kms.stats().claims_expired, 1u);
+  EXPECT_EQ(h.kms.stats().bits_reclaimed, 128u);
+}
+
+}  // namespace
+}  // namespace qkd::kms

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::proto {
@@ -14,7 +16,7 @@ struct Pair {
 
 Pair make_pair(std::size_t extra_pad_bits = 8192,
                AuthenticationService::Config config = {}) {
-  qkd::Rng rng(42);
+  ::qkd::testing::SeededRng rng(42);  // trace-free: helper scope ends before asserts
   const auto secret = rng.next_bits(
       AuthenticationService::required_secret_bits(config) + extra_pad_bits);
   return Pair{AuthenticationService(config, secret, true),
@@ -98,7 +100,7 @@ TEST(Authentication, ExhaustionStallsThenReplenishmentRestores) {
 
   // Replenish both sides with the same distilled bits; traffic resumes and
   // the pads pair correctly across the direction split.
-  qkd::Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   const auto fresh = rng.next_bits(512);
   p.alice.replenish(fresh);
   p.bob.replenish(fresh);
@@ -128,7 +130,7 @@ TEST(Authentication, PadAccountingAddsUp) {
 
 TEST(Authentication, RejectsTinySecret) {
   AuthenticationService::Config config;
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   EXPECT_THROW(
       AuthenticationService(config, rng.next_bits(100), true),
       std::invalid_argument);

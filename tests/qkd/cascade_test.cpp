@@ -2,6 +2,8 @@
 // classic Brassard-Salvail Cascade baseline, and the naive parity baseline.
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include <tuple>
 
 #include "src/common/rng.hpp"
@@ -18,8 +20,7 @@ struct Corrupted {
   std::size_t errors;
 };
 
-Corrupted make_corrupted(std::size_t n, double error_rate, std::uint64_t seed) {
-  qkd::Rng rng(seed);
+Corrupted make_corrupted(std::size_t n, double error_rate, qkd::Rng& rng) {
   Corrupted c;
   c.alice = rng.next_bits(n);
   c.bob = c.alice;
@@ -41,7 +42,8 @@ class BbnCascadeSweep : public ::testing::TestWithParam<CascadeSweepParam> {};
 
 TEST_P(BbnCascadeSweep, CorrectsAllErrors) {
   const auto [n, rate] = GetParam();
-  Corrupted c = make_corrupted(n, rate, 1000 + n);
+  QKD_SEEDED_RNG(rng, 1000 + n);
+  Corrupted c = make_corrupted(n, rate, rng);
   LocalParityOracle oracle(c.alice);
   const EcStats stats = bbn_cascade_correct(c.bob, oracle);
   EXPECT_TRUE(stats.converged);
@@ -62,7 +64,8 @@ TEST(BbnCascade, NoErrorsDisclosesOnlySubsetParities) {
   // Adaptivity claim (Sec. 5): "it will not disclose too many bits if the
   // number of errors is low". With zero errors the cost is exactly one
   // clean round of subset parities.
-  Corrupted c = make_corrupted(2000, 0.0, 7);
+  QKD_SEEDED_RNG(rng, 7);
+  Corrupted c = make_corrupted(2000, 0.0, rng);
   LocalParityOracle oracle(c.alice);
   const BbnCascadeConfig config;
   const EcStats stats = bbn_cascade_correct(c.bob, oracle, config);
@@ -72,9 +75,10 @@ TEST(BbnCascade, NoErrorsDisclosesOnlySubsetParities) {
 }
 
 TEST(BbnCascade, DisclosureGrowsWithErrorRate) {
+  QKD_SEEDED_RNG(rng, 11);
   std::size_t prev = 0;
   for (double rate : {0.01, 0.05, 0.10}) {
-    Corrupted c = make_corrupted(4000, rate, 11);
+    Corrupted c = make_corrupted(4000, rate, rng);
     LocalParityOracle oracle(c.alice);
     const EcStats stats = bbn_cascade_correct(c.bob, oracle);
     EXPECT_TRUE(stats.converged);
@@ -86,7 +90,7 @@ TEST(BbnCascade, DisclosureGrowsWithErrorRate) {
 TEST(BbnCascade, HandlesBurstWellAboveHistoricalAverage) {
   // "it will accurately detect and correct a large number of errors (up to
   // some limit) even if that number is well above the historical average."
-  qkd::Rng rng(13);
+  QKD_SEEDED_RNG(rng, 13);
   Corrupted c;
   c.alice = rng.next_bits(1000);
   c.bob = c.alice;
@@ -121,7 +125,8 @@ class ClassicCascadeSweep : public ::testing::TestWithParam<CascadeSweepParam> {
 
 TEST_P(ClassicCascadeSweep, CorrectsAllErrors) {
   const auto [n, rate] = GetParam();
-  Corrupted c = make_corrupted(n, rate, 2000 + n);
+  QKD_SEEDED_RNG(rng, 2000 + n);
+  Corrupted c = make_corrupted(n, rate, rng);
   LocalParityOracle oracle(c.alice);
   const EcStats stats =
       classic_cascade_correct(c.bob, oracle, std::max(rate, 0.01));
@@ -143,7 +148,8 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(ClassicCascade, BlockSizeAdaptsToQberEstimate) {
   // A lower estimated QBER means larger first-pass blocks and fewer parity
   // disclosures when the string is in fact clean.
-  Corrupted clean = make_corrupted(4000, 0.0, 17);
+  QKD_SEEDED_RNG(rng, 17);
+  Corrupted clean = make_corrupted(4000, 0.0, rng);
   LocalParityOracle low_oracle(clean.alice);
   qkd::BitVector bob_low = clean.bob;
   const EcStats low = classic_cascade_correct(bob_low, low_oracle, 0.01);
@@ -164,7 +170,7 @@ TEST(ClassicCascade, EmptyInputConverges) {
 // -------------------------------------------------------------- naive -----
 
 TEST(NaiveParity, FixesIsolatedSingleErrors) {
-  qkd::Rng rng(19);
+  QKD_SEEDED_RNG(rng, 19);
   qkd::BitVector alice = rng.next_bits(1024);
   qkd::BitVector bob = alice;
   bob.flip(100);
@@ -178,7 +184,8 @@ TEST(NaiveParity, LeavesResidualErrorsAtHighRates) {
   // One pass of block parities misses even-error blocks; at 7 % QBER over
   // 4k bits some residuals are essentially certain. This is the failure
   // mode that motivates Cascade (bench E5 quantifies it).
-  Corrupted c = make_corrupted(4096, 0.07, 23);
+  QKD_SEEDED_RNG(rng, 23);
+  Corrupted c = make_corrupted(4096, 0.07, rng);
   LocalParityOracle oracle(c.alice);
   const EcStats stats = naive_parity_correct(c.bob, oracle);
   EXPECT_FALSE(stats.converged);  // protocol cannot certify equality
@@ -187,7 +194,8 @@ TEST(NaiveParity, LeavesResidualErrorsAtHighRates) {
 }
 
 TEST(NaiveParity, DisclosesRoughlyOneBitPerBlock) {
-  Corrupted c = make_corrupted(4096, 0.0, 29);
+  QKD_SEEDED_RNG(rng, 29);
+  Corrupted c = make_corrupted(4096, 0.0, rng);
   LocalParityOracle oracle(c.alice);
   NaiveParityConfig config;
   config.block_size = 64;
@@ -199,7 +207,8 @@ TEST(NaiveParity, DisclosesRoughlyOneBitPerBlock) {
 
 TEST(ErrorCorrectionComparison, BbnAndClassicBothConvergeNaiveDoesNot) {
   const double rate = 0.06;
-  Corrupted base = make_corrupted(4096, rate, 31);
+  QKD_SEEDED_RNG(rng, 31);
+  Corrupted base = make_corrupted(4096, rate, rng);
 
   qkd::BitVector bbn_bob = base.bob;
   LocalParityOracle bbn_oracle(base.alice);

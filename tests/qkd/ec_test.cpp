@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include <algorithm>
 
 #include "src/common/rng.hpp"
@@ -73,7 +75,7 @@ TEST(SeededPermutation, DeterministicAndSeedSensitive) {
 }
 
 TEST(ParityOfMembers, MatchesBruteForce) {
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   const auto bits = rng.next_bits(300);
   const auto members = lfsr_members(7, 300);
   for (std::size_t begin : {0u, 1u, 10u}) {
@@ -90,7 +92,7 @@ TEST(ParityOfMembers, MatchesBruteForce) {
 }
 
 TEST(LocalParityOracle, CountsEveryDisclosure) {
-  qkd::Rng rng(2);
+  QKD_SEEDED_RNG(rng, 2);
   const auto bits = rng.next_bits(400);
   LocalParityOracle oracle(bits);
   ParityQuery q;
@@ -103,7 +105,7 @@ TEST(LocalParityOracle, CountsEveryDisclosure) {
 }
 
 TEST(LocalParityOracle, AnswersMatchDirectComputation) {
-  qkd::Rng rng(3);
+  QKD_SEEDED_RNG(rng, 3);
   const auto bits = rng.next_bits(600);
   LocalParityOracle oracle(bits);
 
@@ -126,7 +128,7 @@ TEST(LocalParityOracle, AnswersMatchDirectComputation) {
 }
 
 TEST(LocalParityOracle, CacheSurvivesManySeeds) {
-  qkd::Rng rng(4);
+  QKD_SEEDED_RNG(rng, 4);
   const auto bits = rng.next_bits(100);
   LocalParityOracle oracle(bits);
   // Touch more than the cache capacity worth of distinct seeds, then verify

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::proto {
@@ -50,7 +52,7 @@ TEST(PaParams, RejectsExpansion) {
 }
 
 TEST(PrivacyAmplify, IdenticalInputsYieldIdenticalOutputs) {
-  qkd::Rng rng(5);
+  QKD_SEEDED_RNG(rng, 5);
   qkd::crypto::Drbg drbg(5u);
   for (std::size_t n : {33u, 500u, 1000u, 4000u}) {
     const auto input = rng.next_bits(n);
@@ -60,7 +62,7 @@ TEST(PrivacyAmplify, IdenticalInputsYieldIdenticalOutputs) {
 }
 
 TEST(PrivacyAmplify, OutputHasRequestedLength) {
-  qkd::Rng rng(6);
+  QKD_SEEDED_RNG(rng, 6);
   qkd::crypto::Drbg drbg(6u);
   const auto input = rng.next_bits(777);
   const PaParams p = make_pa_params(777, 123, drbg);
@@ -70,7 +72,7 @@ TEST(PrivacyAmplify, OutputHasRequestedLength) {
 TEST(PrivacyAmplify, SingleBitInputDifferenceAvalanche) {
   // A one-bit input difference must produce an unpredictable output
   // difference — roughly half the output bits flip on average.
-  qkd::Rng rng(7);
+  QKD_SEEDED_RNG(rng, 7);
   qkd::crypto::Drbg drbg(7u);
   const std::size_t n = 2048, m = 1024;
   double total_flips = 0;
@@ -89,7 +91,7 @@ TEST(PrivacyAmplify, SingleBitInputDifferenceAvalanche) {
 }
 
 TEST(PrivacyAmplify, DifferentMultipliersDecorrelateOutputs) {
-  qkd::Rng rng(8);
+  QKD_SEEDED_RNG(rng, 8);
   qkd::crypto::Drbg drbg(8u);
   const auto input = rng.next_bits(512);
   const PaParams p1 = make_pa_params(512, 256, drbg);
@@ -102,7 +104,7 @@ TEST(PrivacyAmplify, DifferentMultipliersDecorrelateOutputs) {
 
 TEST(PrivacyAmplify, IsLinearOverGf2) {
   // h(x ^ y) ^ h(0) == h(x) ^ h(y): the hash is affine (multiply + add).
-  qkd::Rng rng(9);
+  QKD_SEEDED_RNG(rng, 9);
   qkd::crypto::Drbg drbg(9u);
   const std::size_t n = 256, m = 100;
   const PaParams p = make_pa_params(n, m, drbg);
@@ -127,7 +129,7 @@ TEST(PrivacyAmplify, ShortInputIsZeroPaddedToFieldWidth) {
 TEST(PrivacyAmplify, CollisionRateIsUniversal) {
   // For random multipliers, two fixed distinct inputs collide with
   // probability ~ 2^-m. With m = 8 expect ~ trials/256 collisions.
-  qkd::Rng rng(11);
+  QKD_SEEDED_RNG(rng, 11);
   qkd::crypto::Drbg drbg(11u);
   const std::size_t n = 64;
   const auto x = rng.next_bits(n);

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 #include "src/crypto/lfsr.hpp"
 
@@ -9,7 +11,7 @@ namespace qkd::proto {
 namespace {
 
 TEST(Randomness, FairBitsPass) {
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   for (std::size_t n : {64u, 1000u, 10000u, 100000u}) {
     const RandomnessReport report = test_randomness(rng.next_bits(n));
     EXPECT_TRUE(report.passed) << n;
@@ -28,7 +30,7 @@ TEST(Randomness, DetectorBiasIsCaught) {
   // The paper's example: "non-randomness in the raw QKD bits (detector
   // bias, for example)". 70/30 bias over 10k bits is a ~40-sigma monobit
   // failure; the shortening approximates the min-entropy shortfall.
-  qkd::Rng rng(2);
+  QKD_SEEDED_RNG(rng, 2);
   qkd::BitVector biased(10000);
   for (std::size_t i = 0; i < biased.size(); ++i)
     biased.set(i, rng.next_bool(0.7));
@@ -65,7 +67,7 @@ TEST(Randomness, PeriodicPatternFailsPoker) {
 
 TEST(Randomness, MildBiasPassesWithoutCharge) {
   // 50.5% ones over 10k bits is within 4.5 sigma: no false alarm.
-  qkd::Rng rng(3);
+  QKD_SEEDED_RNG(rng, 3);
   qkd::BitVector mild(10000);
   for (std::size_t i = 0; i < mild.size(); ++i)
     mild.set(i, rng.next_bool(0.505));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 
 namespace qkd::proto {
@@ -22,7 +24,7 @@ TEST(Rle, RoundTripsPatterns) {
 }
 
 TEST(Rle, RoundTripsRandomDense) {
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   for (std::size_t n : {1u, 63u, 64u, 65u, 1000u}) {
     const auto bits = rng.next_bits(n);
     EXPECT_EQ(rle_decode(rle_encode(bits)), bits) << n;
@@ -31,7 +33,7 @@ TEST(Rle, RoundTripsRandomDense) {
 
 TEST(Rle, RoundTripsSparseDetectionBitmap) {
   // The actual use case: ~0.3 % detection probability over a 1 M slot frame.
-  qkd::Rng rng(2);
+  QKD_SEEDED_RNG(rng, 2);
   qkd::BitVector bits(100000);
   for (std::size_t i = 0; i < bits.size(); ++i)
     if (rng.next_bool(0.003)) bits.set(i, true);
@@ -40,7 +42,7 @@ TEST(Rle, RoundTripsSparseDetectionBitmap) {
 
 TEST(Rle, CompressesSparseBitmapsHard) {
   // Appendix: runs of "no detection" must take very little space.
-  qkd::Rng rng(3);
+  QKD_SEEDED_RNG(rng, 3);
   qkd::BitVector bits(1 << 20);
   std::size_t detections = 0;
   for (std::size_t i = 0; i < bits.size(); ++i) {

@@ -1,0 +1,59 @@
+// Randomized scenario fuzzing, long budget. Skipped unless
+// QKD_FUZZ_LONG_CASES is set (the nightly / workflow_dispatch CI leg sets
+// it); cases are bigger than the tier-1 sweep — more actions, longer
+// horizons — and drawn from a disjoint seed base. Every failure's seed and
+// minimized script is also appended to the artifact file named by
+// QKD_FUZZ_ARTIFACT so CI can upload it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "fuzz_harness.hpp"
+
+namespace qkd::testing {
+namespace {
+
+constexpr std::uint64_t kLongCampaignBase = 0x10A6F0220000ULL;
+
+TEST(ScenarioFuzzLong, ExtendedCampaignHoldsEveryInvariant) {
+  const char* budget = std::getenv("QKD_FUZZ_LONG_CASES");
+  if (budget == nullptr || *budget == '\0')
+    GTEST_SKIP() << "set QKD_FUZZ_LONG_CASES=<n> to run the long fuzz leg";
+  const auto cases =
+      static_cast<std::size_t>(std::strtoull(budget, nullptr, 10));
+
+  sim::ScenarioFuzzer::Config config;
+  config.max_relays = 10;
+  config.max_actions = 48;
+  config.horizon = 120 * kSecond;
+
+  std::string artifact_lines;
+  std::uint64_t grants = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = kLongCampaignBase + i;
+    sim::ScenarioFuzzer fuzzer(seed, config);
+    const sim::FuzzCase fuzz_case = fuzzer.generate();
+    const FuzzRunResult result = run_fuzz_case(fuzz_case);
+    grants += result.grants;
+    if (!result.violation.empty()) {
+      const std::string report =
+          fuzz_failure_report(fuzz_case, result.violation);
+      ADD_FAILURE() << report;
+      artifact_lines += report + "\n";
+    }
+  }
+  EXPECT_GT(grants, 0u) << "the campaign never exercised the KMS";
+
+  if (!artifact_lines.empty()) {
+    const char* artifact = std::getenv("QKD_FUZZ_ARTIFACT");
+    std::ofstream out(artifact != nullptr && *artifact != '\0'
+                          ? artifact
+                          : "fuzz_failing_seeds.txt");
+    out << artifact_lines;
+  }
+}
+
+}  // namespace
+}  // namespace qkd::testing

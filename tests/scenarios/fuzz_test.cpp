@@ -1,0 +1,135 @@
+// Randomized scenario fuzzing, short (tier-1) budget: a 500-case campaign
+// of seeded random topologies + legal action sequences, every global
+// invariant checked after every event. Failures print the seed and the
+// minimized action script; QKD_FUZZ_CASES overrides the budget.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <variant>
+
+#include "fuzz_harness.hpp"
+
+namespace qkd::testing {
+namespace {
+
+std::size_t env_cases(const char* name, std::size_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return static_cast<std::size_t>(std::strtoull(value, nullptr, 10));
+}
+
+/// Seed base of the short campaign; the long leg uses a disjoint base so
+/// the two sweeps never duplicate work.
+constexpr std::uint64_t kCampaignBase = 0x51900E111077ULL;
+
+TEST(ScenarioFuzz, CampaignHoldsEveryInvariant) {
+  const std::size_t cases = env_cases("QKD_FUZZ_CASES", 500);
+  std::uint64_t grants = 0;
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = kCampaignBase + i;
+    sim::ScenarioFuzzer fuzzer(seed);
+    const sim::FuzzCase fuzz_case = fuzzer.generate();
+    const FuzzRunResult result = run_fuzz_case(fuzz_case);
+    grants += result.grants;
+    ASSERT_TRUE(result.violation.empty())
+        << fuzz_failure_report(fuzz_case, result.violation);
+  }
+  EXPECT_GT(grants, 0u) << "the campaign never exercised the KMS";
+}
+
+TEST(ScenarioFuzz, SeedReplayReproducesTheCaseExactly) {
+  sim::ScenarioFuzzer first(777);
+  sim::ScenarioFuzzer second(777);
+  const sim::FuzzCase a = first.generate();
+  const sim::FuzzCase b = second.generate();
+  EXPECT_EQ(a.script(), b.script());
+  EXPECT_NE(a.script().find("seed=777"), std::string::npos)
+      << "the script header must name the seed a developer replays";
+
+  const FuzzRunResult run_a = run_fuzz_case(a);
+  const FuzzRunResult run_b = run_fuzz_case(b);
+  EXPECT_EQ(run_a.dispatched, run_b.dispatched);
+  EXPECT_EQ(run_a.grants, run_b.grants);
+  EXPECT_EQ(run_a.violation, run_b.violation);
+}
+
+TEST(ScenarioFuzz, GeneratorOnlyEmitsLegalSequences) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    sim::ScenarioFuzzer fuzzer(seed);
+    const sim::FuzzCase fuzz_case = fuzzer.generate();
+    const auto violations =
+        sim::validate_actions(fuzz_case.topology, fuzz_case.scenario);
+    EXPECT_TRUE(violations.empty())
+        << "seed " << seed << ": " << violations.front();
+  }
+}
+
+TEST(ScenarioFuzz, ValidatorRejectsIllegalSequences) {
+  const network::Topology topo = network::Topology::relay_ring(4);
+  sim::Scenario bad;
+  bad.at(kSecond, sim::RestoreLink{0});  // restore of an un-cut link
+  bad.at(2 * kSecond,
+         sim::ClientDeparture{4, 5, 1, 1});  // nobody ever arrived
+  bad.at(3 * kSecond, sim::CutLink{1});
+  bad.at(4 * kSecond, sim::StartEavesdrop{1, 1.0});  // tap on a cut link
+
+  const auto violations = sim::validate_actions(topo, bad);
+  ASSERT_EQ(violations.size(), 3u);
+  EXPECT_NE(violations[0].find("RestoreLink"), std::string::npos);
+  EXPECT_NE(violations[1].find("ClientDeparture"), std::string::npos);
+  EXPECT_NE(violations[2].find("StartEavesdrop"), std::string::npos);
+}
+
+TEST(ScenarioFuzz, MinimizerShrinksABrokenInvariantToItsCause) {
+  // Deliberately-broken invariant fixture: pretend "no CompromiseNode may
+  // ever appear" is the violated invariant — the minimizer must strip the
+  // noise and keep exactly the one offending event.
+  sim::Scenario noisy;
+  noisy.at(kSecond, sim::CutLink{0});
+  noisy.at(2 * kSecond, sim::StartEavesdrop{1, 1.0});
+  noisy.at(3 * kSecond, sim::CompromiseNode{2});
+  noisy.at(4 * kSecond, sim::RestoreLink{0});
+  noisy.at(5 * kSecond, sim::KeyRequest{4, 5, 64});
+
+  const auto has_compromise = [](const sim::Scenario& scenario) {
+    for (const auto& event : scenario.events())
+      if (std::holds_alternative<sim::CompromiseNode>(event.action))
+        return true;
+    return false;
+  };
+  const sim::Scenario minimized = sim::minimize(noisy, has_compromise);
+  ASSERT_EQ(minimized.events().size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<sim::CompromiseNode>(minimized.events()[0].action));
+
+  // The rendered reproduction carries the seed header plus that one line.
+  sim::ScenarioFuzzer fuzzer(9);
+  const sim::FuzzCase fuzz_case = fuzzer.generate();
+  const std::string script = fuzz_case.script_for(minimized);
+  EXPECT_NE(script.find("seed=9"), std::string::npos);
+  EXPECT_NE(script.find("CompromiseNode"), std::string::npos);
+
+  // A scenario that does not fail comes back untouched.
+  const sim::Scenario untouched =
+      sim::minimize(noisy, [](const sim::Scenario&) { return false; });
+  EXPECT_EQ(untouched.events().size(), noisy.events().size());
+}
+
+TEST(ScenarioFuzz, FailureReportNamesSeedViolationAndScript) {
+  // The exact text a red campaign prints: drive the reporting path with a
+  // synthetic violation on a healthy case (whose oracle then holds, so the
+  // script survives minimization unchanged).
+  sim::ScenarioFuzzer fuzzer(4242);
+  const sim::FuzzCase fuzz_case = fuzzer.generate();
+  const std::string report =
+      fuzz_failure_report(fuzz_case, "synthetic violation for the report");
+  EXPECT_NE(report.find("synthetic violation for the report"),
+            std::string::npos);
+  EXPECT_NE(report.find("ScenarioFuzzer(4242)"), std::string::npos);
+  EXPECT_NE(report.find("seed=4242"), std::string::npos);
+  EXPECT_NE(report.find("minimized script"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace qkd::testing

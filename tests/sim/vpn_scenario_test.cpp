@@ -3,6 +3,8 @@
 // tests never call VpnLinkSimulation::advance() or tick anything by hand.
 #include <gtest/gtest.h>
 
+#include "tests/testing/seeded_rng.hpp"
+
 #include "src/common/rng.hpp"
 #include "src/sim/scenario.hpp"
 
@@ -148,7 +150,7 @@ TEST(VpnScenario, EveOnTheFeedStarvesIkeUntilSheLeaves) {
 TEST(VpnScenario, TrafficBurstWithoutSourceThrows) {
   VpnLinkSimulation vpn(VpnLinkSimulation::Params{}, 1);
   vpn.install_mirrored_policy(protect_policy());
-  qkd::Rng rng(1);
+  QKD_SEEDED_RNG(rng, 1);
   vpn.deposit_key_material(rng.next_bits(16 * 1024));
   vpn.start();
   Scenario script;

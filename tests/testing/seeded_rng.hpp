@@ -1,0 +1,58 @@
+// Shared seeded-RNG helper for tests that draw randomness.
+//
+// Every randomized test constructs its generator through QKD_SEEDED_RNG so
+// that (a) any assertion failure in scope prints the seed that produced it,
+// and (b) a developer can replay or explore with QKD_TEST_SEED=<n> without
+// editing the test. The generator itself is the simulator's own qkd::Rng, so
+// test draws and simulation draws share one reproducible engine.
+//
+//   TEST(Cascade, CorrectsBursts) {
+//     QKD_SEEDED_RNG(rng, 13);      // qkd::testing::SeededRng named `rng`
+//     ...rng.next_bits(4096)...
+//   }
+//
+// On failure gtest prints:  SeededRng seed=13 (replay: QKD_TEST_SEED=13)
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/rng.hpp"
+
+namespace qkd::testing {
+
+/// The test's default seed unless QKD_TEST_SEED overrides it from the
+/// environment (applies to every QKD_SEEDED_RNG in the run).
+inline std::uint64_t resolve_test_seed(std::uint64_t default_seed) {
+  const char* override_seed = std::getenv("QKD_TEST_SEED");
+  if (override_seed == nullptr || *override_seed == '\0') return default_seed;
+  return std::strtoull(override_seed, nullptr, 10);
+}
+
+class SeededRng : public qkd::Rng {
+ public:
+  explicit SeededRng(std::uint64_t default_seed)
+      : qkd::Rng(resolve_test_seed(default_seed)),
+        seed_(resolve_test_seed(default_seed)) {}
+
+  std::uint64_t seed() const { return seed_; }
+
+  std::string trace() const {
+    return "SeededRng seed=" + std::to_string(seed_) +
+           " (replay: QKD_TEST_SEED=" + std::to_string(seed_) + ")";
+  }
+
+ private:
+  std::uint64_t seed_;
+};
+
+}  // namespace qkd::testing
+
+/// Declares `name` as a SeededRng and arranges for any gtest failure in the
+/// enclosing scope to print the seed.
+#define QKD_SEEDED_RNG(name, default_seed)              \
+  ::qkd::testing::SeededRng name(default_seed);         \
+  SCOPED_TRACE(name.trace())

@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Compare Google Benchmark JSON snapshots and flag perf regressions.
+
+Typical uses:
+
+    # CI trajectory check: fresh run vs the in-repo snapshots
+    tools/compare_bench.py bench/snapshots bench-results
+
+    # Gate mode: non-zero exit when any benchmark regressed >10%
+    tools/compare_bench.py bench/snapshots bench-results --strict
+
+    # Single pair of files
+    tools/compare_bench.py old/BENCH_bench_kms.json new/BENCH_bench_kms.json
+
+Inputs are files or directories of ``BENCH_*.json`` as written by
+``--benchmark_out_format=json`` (the CI bench-examples job and the
+"refreshing the snapshots" recipe in DESIGN.md use identical flags).
+Benchmarks are matched by (file stem, benchmark name); comparison is on
+``real_time`` normalised to nanoseconds via each entry's ``time_unit``.
+
+Only matched names are compared: added or removed benchmarks are listed
+informationally and never fail the run (the corpus is expected to grow).
+Pure table-printing entries (aggregates with no timing) are skipped.
+
+stdlib-only on purpose — runs anywhere python3 exists, no installs.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def load_snapshots(path: Path):
+    """(file stem, benchmark name) -> real_time in ns."""
+    files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
+    if not files:
+        raise SystemExit(f"error: no BENCH_*.json under {path}")
+    results = {}
+    for file in files:
+        try:
+            doc = json.loads(file.read_text())
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"error: {file}: not valid JSON ({err})")
+        stem = file.stem
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue  # compare raw repetitions only, not mean/stddev rows
+            name = bench.get("name")
+            real_time = bench.get("real_time")
+            if name is None or real_time is None:
+                continue
+            unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+            results[(stem, name)] = real_time * unit
+    return results
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Flag >N%% benchmark real_time regressions "
+        "between two snapshot sets."
+    )
+    parser.add_argument("baseline", type=Path,
+                        help="snapshot dir or file (the committed reference)")
+    parser.add_argument("candidate", type=Path,
+                        help="snapshot dir or file (the fresh run)")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="regression threshold in percent (default 10)")
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 if any benchmark regresses past the "
+                        "threshold (default: report only)")
+    args = parser.parse_args()
+
+    base = load_snapshots(args.baseline)
+    cand = load_snapshots(args.candidate)
+
+    matched = sorted(set(base) & set(cand))
+    added = sorted(set(cand) - set(base))
+    removed = sorted(set(base) - set(cand))
+
+    regressions = []
+    improvements = []
+    for key in matched:
+        delta_pct = (cand[key] - base[key]) / base[key] * 100.0
+        if delta_pct > args.threshold:
+            regressions.append((key, delta_pct))
+        elif delta_pct < -args.threshold:
+            improvements.append((key, delta_pct))
+
+    def describe(key):
+        stem, name = key
+        return f"{stem}:{name}"
+
+    print(f"compared {len(matched)} benchmarks "
+          f"(threshold {args.threshold:.0f}%)")
+    for key, delta in sorted(regressions, key=lambda r: -r[1]):
+        print(f"  REGRESSED  {describe(key)}  +{delta:.1f}%  "
+              f"({base[key]:.0f}ns -> {cand[key]:.0f}ns)")
+    for key, delta in sorted(improvements, key=lambda r: r[1]):
+        print(f"  improved   {describe(key)}  {delta:.1f}%")
+    if added:
+        print(f"  new (not compared): {len(added)}")
+        for key in added:
+            print(f"    + {describe(key)}")
+    if removed:
+        print(f"  missing from candidate: {len(removed)}")
+        for key in removed:
+            print(f"    - {describe(key)}")
+    if not regressions:
+        print("  no regressions past threshold")
+
+    if regressions and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
