@@ -1,0 +1,445 @@
+#include "src/kms/shard.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <string>
+
+namespace qkd::kms {
+
+// ---- LatencyHistogram ------------------------------------------------------
+
+void LatencyHistogram::record(qkd::SimTime latency) {
+  if (latency < 0) latency = 0;
+  std::size_t index = std::bit_width(static_cast<std::uint64_t>(latency));
+  if (index >= kBuckets) index = kBuckets - 1;
+  ++buckets_[index];
+  ++count_;
+  total_ += latency;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  total_ += other.total_;
+}
+
+double LatencyHistogram::quantile_s(double q) const {
+  if (count_ == 0) return 0.0;
+  const std::uint64_t rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(q * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) {
+      // Bucket i holds latencies in [2^(i-1), 2^i) ns; report the upper
+      // bound — a conservative percentile.
+      return static_cast<double>(1ULL << i) / 1e9;
+    }
+  }
+  return 0.0;
+}
+
+double LatencyHistogram::mean_s() const {
+  if (count_ == 0) return 0.0;
+  return sim_to_seconds(total_) / static_cast<double>(count_);
+}
+
+// ---- Construction ----------------------------------------------------------
+
+KmsShard::KmsShard(KeyManagementService& service, std::size_t index,
+                   sim::EventScheduler& stream, bool epoch_mode)
+    : service_(service),
+      index_(index),
+      stream_(stream),
+      epoch_mode_(epoch_mode) {}
+
+KmsShard::~KmsShard() {
+  for (auto& pair : pairs_)
+    if (pair->service_event.valid()) stream_.cancel(pair->service_event);
+}
+
+// ---- Pair registry ---------------------------------------------------------
+
+namespace {
+bool pair_precedes(const std::unique_ptr<PairState>& pair,
+                   const std::pair<network::NodeId, network::NodeId>& key) {
+  return std::make_pair(pair->src, pair->dst) < key;
+}
+}  // namespace
+
+PairState* KmsShard::find_pair(network::NodeId src, network::NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  const auto it =
+      std::lower_bound(pairs_.begin(), pairs_.end(), key, pair_precedes);
+  if (it == pairs_.end() || (*it)->src != src || (*it)->dst != dst)
+    return nullptr;
+  return it->get();
+}
+
+PairState& KmsShard::pair_for(network::NodeId src, network::NodeId dst) {
+  const auto key = std::make_pair(src, dst);
+  const auto it =
+      std::lower_bound(pairs_.begin(), pairs_.end(), key, pair_precedes);
+  if (it != pairs_.end() && (*it)->src == src && (*it)->dst == dst)
+    return **it;
+  auto pair = std::make_unique<PairState>();
+  pair->src = src;
+  pair->dst = dst;
+  const std::string tag = std::to_string(src) + "->" + std::to_string(dst);
+  pair->src_store.set_label("kms:" + tag + ":src");
+  pair->dst_store.set_label("kms:" + tag + ":dst");
+  // The pair's key-material stream (epoch mode): derived from the service
+  // seed and the ordered pair alone, so it is the same no matter which
+  // shard — of however many — the pair lands on.
+  std::uint64_t state = service_.config_.seed;
+  qkd::splitmix64(state);
+  state ^= (static_cast<std::uint64_t>(src) << 32) ^ dst;
+  pair->frame_rng = qkd::Rng(qkd::splitmix64(state));
+  return **pairs_.insert(it, std::move(pair));
+}
+
+// ---- Delivery --------------------------------------------------------------
+
+void KmsShard::finish(Request& request, GrantStatus status, qkd::SimTime now,
+                      ClassStats& stats) {
+  switch (status) {
+    case GrantStatus::kRejectedQueueFull: ++stats.rejected_queue_full; break;
+    case GrantStatus::kShed: ++stats.shed; break;
+    case GrantStatus::kDeparted: ++stats.departed; break;
+    case GrantStatus::kGranted: break;  // grant_round accounts these
+  }
+  Grant grant;
+  grant.client = request.client;
+  grant.status = status;
+  grant.requested_at = request.requested_at;
+  grant.granted_at = now;
+  if (service_.grant_observer_) service_.grant_observer_(grant);
+  request.callback(grant);
+}
+
+void KmsShard::submit(PairState& pair, unsigned qos, Request request,
+                      qkd::SimTime now) {
+  ClassStats& stats = class_stats_[qos];
+  ++stats.requests;
+  // Admission control: a full (pair, class) queue pushes back at request
+  // time instead of letting grant latency grow without bound.
+  if (pair.queues[qos].size() >= service_.config_.max_queue_per_class) {
+    finish(request, GrantStatus::kRejectedQueueFull, now, stats);
+    return;
+  }
+  pair.queues[qos].push_back(std::move(request));
+  arm_service(pair, now + service_.config_.batch_window);
+}
+
+std::optional<keystore::KeyBlock> KmsShard::claim(PairState& own,
+                                                  PairState* reversed,
+                                                  std::uint64_t key_id,
+                                                  ClientId claimant,
+                                                  qkd::SimTime now) {
+  PairState* candidates[2] = {&own, reversed};
+  for (std::size_t side = 0; side < 2; ++side) {
+    PairState* pair = candidates[side];
+    if (pair == nullptr) continue;
+    purge_expired_claims(*pair, now);
+    const auto it = std::lower_bound(
+        pair->claims.begin(), pair->claims.end(), key_id,
+        [](const PendingClaim& c, std::uint64_t k) { return c.key_id < k; });
+    if (it == pair->claims.end() || it->key_id != key_id || it->claimed)
+      continue;
+    const bool own_pair = side == 0;
+    if (own_pair && it->initiator != claimant) return std::nullopt;
+    keystore::KeyBlock block = std::move(it->block);
+    it->claimed = true;  // tombstone; popped when it reaches the front
+    --pair->live_claims;
+    ++stats_.claims_fulfilled;
+    return block;
+  }
+  return std::nullopt;
+}
+
+void KmsShard::purge_expired_claims(PairState& pair, qkd::SimTime now) {
+  // The deque is in key_id == expiry order, so everything purgeable sits at
+  // the front: claimed tombstones are simply dropped, expired unclaimed
+  // copies are reclaimed. (A claim at exactly expires_at already reads
+  // expired — strictly before, or it's gone.)
+  while (!pair.claims.empty()) {
+    PendingClaim& front = pair.claims.front();
+    if (front.claimed) {
+      pair.claims.pop_front();
+      continue;
+    }
+    if (front.expires_at > now) break;
+    // Reclaim, don't leak: the unclaimed peer copy's bits go back into BOTH
+    // mirror stores through identical deposits, so the pair stays in
+    // lockstep and the material is re-servable.
+    const qkd::BitVector& bits = front.block.bits;
+    pair.src_store.deposit(bits);
+    pair.dst_store.deposit(bits);
+    stats_.bits_reclaimed += bits.size();
+    ++stats_.claims_expired;
+    --pair.live_claims;
+    pair.claims.pop_front();
+  }
+}
+
+void KmsShard::drain_departed(PairState& pair, ClientId id, qkd::SimTime now) {
+  for (std::size_t qos = 0; qos < kQosClassCount; ++qos) {
+    auto& queue = pair.queues[qos];
+    for (auto it = queue.begin(); it != queue.end();) {
+      if (it->client == id) {
+        finish(*it, GrantStatus::kDeparted, now, class_stats_[qos]);
+        it = queue.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+// ---- Scheduling ------------------------------------------------------------
+
+void KmsShard::arm_service(PairState& pair, qkd::SimTime when) {
+  if (when < stream_.now()) when = stream_.now();
+  if (pair.service_event.valid() && pair.armed_for <= when) return;
+  if (pair.service_event.valid()) stream_.cancel(pair.service_event);
+  pair.armed_for = when;
+  PairState* target = &pair;
+  pair.service_event = stream_.at(when, [this, target](qkd::SimTime now) {
+    target->service_event = sim::EventScheduler::Handle();
+    target->armed_for = -1;
+    service_round(*target, now);
+  });
+}
+
+bool KmsShard::backlogged(const PairState& pair) {
+  for (const auto& queue : pair.queues)
+    if (!queue.empty()) return true;
+  return false;
+}
+
+bool KmsShard::wake_backlogged(qkd::SimTime now) {
+  bool woke = false;
+  for (auto& pair : pairs_) {
+    if (!backlogged(*pair)) continue;
+    arm_service(*pair, now);
+    woke = true;
+  }
+  return woke;
+}
+
+std::vector<std::pair<unsigned, Request>> KmsShard::select_round(
+    PairState& pair) {
+  // Deficit round robin, work-conserving: crediting passes repeat until
+  // the frame payload cap is reached or every queue drains, so an idle
+  // class's capacity flows to the backlogged ones — still at the weighted
+  // ratio, still highest-priority-first within each pass, and a request
+  // bigger than one pass's credit accrues deficit across passes instead of
+  // blocking anyone else (no priority inversion).
+  const KeyManagementService::Config& config = service_.config_;
+  std::vector<std::pair<unsigned, Request>> round;
+  std::size_t total_bits = 0;
+  bool backlog = true;
+  while (backlog && total_bits < config.max_frame_bits) {
+    backlog = false;
+    for (unsigned qos = 0; qos < kQosClassCount; ++qos) {
+      auto& queue = pair.queues[qos];
+      if (queue.empty()) {
+        pair.deficit_bits[qos] = 0;  // DRR: idle classes do not hoard credit
+        continue;
+      }
+      pair.deficit_bits[qos] += config.class_weights[qos] * config.quantum_bits;
+      while (!queue.empty() && queue.front().bits <= pair.deficit_bits[qos] &&
+             total_bits < config.max_frame_bits) {
+        pair.deficit_bits[qos] -= queue.front().bits;
+        total_bits += queue.front().bits;
+        round.emplace_back(qos, std::move(queue.front()));
+        queue.pop_front();
+      }
+      if (queue.empty())
+        pair.deficit_bits[qos] = 0;
+      else
+        backlog = true;
+    }
+  }
+  return round;
+}
+
+void KmsShard::requeue_round(PairState& pair,
+                             std::vector<std::pair<unsigned, Request>>& round) {
+  // Reverse order keeps each class queue's FIFO order; the spent deficit is
+  // handed back so the retry round can select the same set immediately.
+  for (auto it = round.rbegin(); it != round.rend(); ++it) {
+    pair.deficit_bits[it->first] += it->second.bits;
+    pair.queues[it->first].push_front(std::move(it->second));
+  }
+  round.clear();
+}
+
+void KmsShard::shed_lowest_class(PairState& pair, qkd::SimTime now) {
+  // Lowest-priority backlog goes first; realtime (class 0) is never shed.
+  for (unsigned qos = kQosClassCount; qos-- > 1;) {
+    auto& queue = pair.queues[qos];
+    if (queue.empty()) continue;
+    for (Request& request : queue)
+      finish(request, GrantStatus::kShed, now, class_stats_[qos]);
+    queue.clear();
+    pair.deficit_bits[qos] = 0;
+    ++stats_.shed_events;
+    shedding_ = true;
+    return;
+  }
+}
+
+void KmsShard::grant_round(
+    PairState& pair, std::vector<std::pair<unsigned, Request>>& round,
+    const network::MeshSimulation::TransportResult& frame, qkd::SimTime now) {
+  // Both endpoints received the frame payload: deposit it into the two
+  // mirror-image pools, then withdraw per request through identical calls —
+  // the key_ids the two stores assign are equal by the keystore's mirrored
+  // lockstep, which is exactly the cross-end key-ID agreement get_key /
+  // get_key_with_id needs.
+  pair.src_store.deposit(frame.key);
+  pair.dst_store.deposit(frame.key);
+  for (auto& [qos, request] : round) {
+    const auto src_block =
+        pair.src_store.request_bits(request.bits, "kms::grant_round(src)");
+    const auto dst_block =
+        pair.dst_store.request_bits(request.bits, "kms::grant_round(dst)");
+    if (!src_block.has_value() || !dst_block.has_value() ||
+        src_block->key_id != dst_block->key_id)
+      throw std::logic_error(
+          "KeyManagementService: mirrored pair stores diverged");
+    pair.claims.push_back(PendingClaim{dst_block->key_id, *dst_block,
+                                       request.client,
+                                       now + service_.config_.claim_ttl,
+                                       false});
+    ++pair.live_claims;
+
+    ClassStats& stats = class_stats_[qos];
+    ++stats.granted;
+    stats.bits_granted += request.bits;
+    latency_[qos].record(now - request.requested_at);
+
+    Grant grant;
+    grant.client = request.client;
+    grant.status = GrantStatus::kGranted;
+    grant.key_id = src_block->key_id;
+    grant.bits = src_block->bits;
+    grant.exposed_to = frame.exposed_to;
+    grant.compromised = frame.compromised;
+    grant.requested_at = request.requested_at;
+    grant.granted_at = now;
+    if (service_.grant_observer_) service_.grant_observer_(grant);
+    request.callback(grant);
+  }
+}
+
+void KmsShard::service_round(PairState& pair, qkd::SimTime now) {
+  ++stats_.service_rounds;
+  purge_expired_claims(pair, now);
+
+  auto round = select_round(pair);
+  if (round.empty()) {
+    // A backlogged class whose head request outruns this round's credit
+    // keeps accruing deficit on the next round.
+    if (backlogged(pair)) arm_service(pair, now + service_.config_.batch_window);
+    return;
+  }
+
+  if (epoch_mode_) {
+    // Park the selection; the window barrier plans the transport and
+    // finalize_outbox() settles the outcome (including the re-arm, which
+    // depends on it).
+    FrameJob job;
+    job.pair = &pair;
+    for (const auto& [qos, request] : round) job.payload_bits += request.bits;
+    job.round = std::move(round);
+    outbox_.push_back(std::move(job));
+    return;
+  }
+
+  // Batch: every request this round selected rides one relay frame.
+  std::vector<std::size_t> sizes;
+  sizes.reserve(round.size());
+  for (const auto& [qos, request] : round) sizes.push_back(request.bits);
+  const auto frame =
+      service_.mesh_.transport_key_batch(pair.src, pair.dst, sizes);
+  if (!frame.success) {
+    ++stats_.starved_rounds;
+    ++pair.consecutive_starved;
+    requeue_round(pair, round);
+    if (pair.consecutive_starved >= service_.config_.shed_after_starved_rounds)
+      shed_lowest_class(pair, now);
+    if (backlogged(pair)) arm_service(pair, now + service_.config_.retry_backoff);
+    return;
+  }
+  ++stats_.transports;
+  pair.consecutive_starved = 0;
+  shedding_ = false;
+  grant_round(pair, round, frame, now);
+  if (backlogged(pair)) arm_service(pair, now + service_.config_.batch_window);
+}
+
+// ---- Epoch barrier ---------------------------------------------------------
+
+void KmsShard::collect_jobs(std::vector<FrameJob*>& out) {
+  for (FrameJob& job : outbox_) out.push_back(&job);
+}
+
+void KmsShard::finalize_outbox(qkd::SimTime now) {
+  for (FrameJob& job : outbox_) {
+    PairState& pair = *job.pair;
+    if (!job.plan.success) {
+      ++stats_.starved_rounds;
+      ++pair.consecutive_starved;
+      requeue_round(pair, job.round);
+      if (pair.consecutive_starved >=
+          service_.config_.shed_after_starved_rounds)
+        shed_lowest_class(pair, now);
+      if (backlogged(pair))
+        arm_service(pair, now + service_.config_.retry_backoff);
+      continue;
+    }
+    ++stats_.transports;
+    pair.consecutive_starved = 0;
+    shedding_ = false;
+    // Materialize the frame from the pair's own deterministic stream — no
+    // shared rng, no mesh state, so every shard finalizes concurrently.
+    const auto frame =
+        network::MeshSimulation::finalize_frame(job.plan, pair.frame_rng);
+    grant_round(pair, job.round, frame, now);
+    if (backlogged(pair))
+      arm_service(pair, now + service_.config_.batch_window);
+  }
+  outbox_.clear();
+}
+
+// ---- Aggregation -----------------------------------------------------------
+
+std::size_t KmsShard::queue_depth(std::size_t qos) const {
+  std::size_t depth = 0;
+  for (const auto& pair : pairs_) depth += pair->queues[qos].size();
+  return depth;
+}
+
+void KmsShard::inspect_into(
+    std::vector<KeyManagementService::PairInspection>& out) const {
+  for (const auto& pair : pairs_) {
+    KeyManagementService::PairInspection inspection;
+    inspection.src = pair->src;
+    inspection.dst = pair->dst;
+    inspection.src_available_bits = pair->src_store.available_bits();
+    inspection.dst_available_bits = pair->dst_store.available_bits();
+    inspection.src_next_key_id = pair->src_store.next_key_id();
+    inspection.dst_next_key_id = pair->dst_store.next_key_id();
+    inspection.src_stats = pair->src_store.stats();
+    inspection.dst_stats = pair->dst_store.stats();
+    inspection.claims_outstanding = pair->live_claims;
+    for (std::size_t qos = 0; qos < kQosClassCount; ++qos)
+      inspection.queue_depths[qos] = pair->queues[qos].size();
+    out.push_back(std::move(inspection));
+  }
+}
+
+}  // namespace qkd::kms

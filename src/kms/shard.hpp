@@ -1,0 +1,210 @@
+// One KMS shard: the complete service state of a disjoint subset of
+// endpoint pairs.
+//
+// KeyManagementService is a thin router over N of these (pairs hash to
+// shards by their unordered endpoint ids, so a pair and its reverse always
+// co-locate and get_key_with_id claims stay shard-local). EVERYTHING on the
+// grant path lives here — the mirrored per-pair KeyPools, the bounded
+// per-(pair, class) queues, the DRR deficit state, the TTL claim ledger,
+// the per-class stats and latency histograms — so shards share no mutable
+// state and need no locks: each one services its pairs on its own event
+// stream (a ShardedScheduler shard stream in epoch mode, the single global
+// scheduler otherwise), and the router only crosses the boundary at
+// registration and stats aggregation, with every shard lane parked.
+//
+// Two execution modes, selected by the service's constructor:
+//
+//  * legacy (single-stream): service_round() transports synchronously via
+//    mesh.transport_key_batch — bit-for-bit the pre-sharding behavior the
+//    tier-1 suite pins down.
+//  * epoch (ShardedScheduler): service_round() only SELECTS (DRR) and
+//    parks the round in the shard's outbox as a FrameJob. At the window
+//    barrier the router plans every job's transport against the shared
+//    mesh sequentially in global (src, dst) order, then fans
+//    finalize_outbox() back out across shards: key material is generated
+//    from the pair's own deterministic rng and granted entirely
+//    shard-locally. Grant content therefore depends only on pair-local
+//    history plus the globally-ordered plan sequence — identical for any
+//    shard count and any worker-lane count.
+//
+// This header is internal to src/kms (kms.hpp only forward-declares the
+// types here); clients program against kms.hpp.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "src/kms/kms.hpp"
+
+namespace qkd::kms {
+
+/// O(1)-memory latency histogram (power-of-two nanosecond buckets) for the
+/// per-class p99 over million-grant runs. Shards record locally; the
+/// router merges per-shard histograms on read.
+class LatencyHistogram {
+ public:
+  void record(qkd::SimTime latency);
+  void merge(const LatencyHistogram& other);
+  double quantile_s(double q) const;
+  double mean_s() const;
+  std::uint64_t count() const { return count_; }
+
+ private:
+  static constexpr std::size_t kBuckets = 64;
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+  qkd::SimTime total_ = 0;
+};
+
+struct Request {
+  ClientId client = 0;
+  std::size_t bits = 0;
+  GrantCallback callback;
+  qkd::SimTime requested_at = 0;
+};
+
+/// An unclaimed peer copy. key_ids are monotonic per pair and claim_ttl is
+/// constant, so a pair's claims deque is sorted by key_id AND by expiry:
+/// lookup is a binary search, purge pops from the front, and a fulfilled
+/// claim is tombstoned in place (`claimed`) until it reaches the front —
+/// no node-based map on the grant path.
+struct PendingClaim {
+  std::uint64_t key_id = 0;
+  keystore::KeyBlock block;
+  ClientId initiator = 0;  // the granted client: may claim its own copy
+  qkd::SimTime expires_at = 0;
+  bool claimed = false;
+};
+
+/// One ordered (src, dst) endpoint pair's service state.
+struct PairState {
+  network::NodeId src = 0;
+  network::NodeId dst = 0;
+  /// Mirror-image delivered-key pools, one per endpoint: every frame's
+  /// payload is deposited into both, every grant withdraws from both
+  /// through identical calls, so key_ids agree end to end.
+  keystore::KeyPool src_store;
+  keystore::KeyPool dst_store;
+  std::array<std::deque<Request>, kQosClassCount> queues;
+  std::array<std::size_t, kQosClassCount> deficit_bits{};
+  std::deque<PendingClaim> claims;
+  /// Entries neither claimed nor purged — what claims.size() was before
+  /// tombstoning (PairInspection::claims_outstanding).
+  std::size_t live_claims = 0;
+  /// Route memo for the planning phase (owned here so the mesh carries no
+  /// per-pair state).
+  network::MeshSimulation::RouteCache route_cache;
+  /// Epoch mode: the pair's own key-material stream, seeded from
+  /// (Config::seed, src, dst) — advanced only by this pair's frames, so
+  /// grant bits are independent of shard count and finalize order.
+  qkd::Rng frame_rng{0};
+  sim::EventScheduler::Handle service_event;
+  qkd::SimTime armed_for = -1;  // due time of service_event, -1 when idle
+  std::size_t consecutive_starved = 0;
+};
+
+/// A selected-but-not-yet-transported service round, parked between the
+/// shard's service event and the window barrier (epoch mode only).
+struct FrameJob {
+  PairState* pair = nullptr;
+  std::vector<std::pair<unsigned, Request>> round;
+  std::size_t payload_bits = 0;
+  network::MeshSimulation::FramePlan plan;
+};
+
+class KmsShard {
+ public:
+  using ClassStats = KeyManagementService::ClassStats;
+  using Stats = KeyManagementService::Stats;
+
+  /// `stream` is where this shard's service events run: a ShardedScheduler
+  /// shard stream in epoch mode, the service's global scheduler otherwise.
+  KmsShard(KeyManagementService& service, std::size_t index,
+           sim::EventScheduler& stream, bool epoch_mode);
+  ~KmsShard();
+  KmsShard(const KmsShard&) = delete;
+  KmsShard& operator=(const KmsShard&) = delete;
+
+  sim::EventScheduler& stream() { return stream_; }
+
+  /// Finds or creates the ordered pair's state (registration path; the
+  /// pair vector stays sorted by (src, dst) and addresses stay stable).
+  PairState& pair_for(network::NodeId src, network::NodeId dst);
+  PairState* find_pair(network::NodeId src, network::NodeId dst);
+
+  /// Admission + enqueue + arm (the get_key fast path). `now` is the
+  /// shard stream's current time.
+  void submit(PairState& pair, unsigned qos, Request request, qkd::SimTime now);
+
+  /// The get_key_with_id walk: the claimant's own ordered pair first (only
+  /// its own grant's peer copy — and a foreign key_id found there is
+  /// DENIED, not retried on the reversed side), then the reversed pair
+  /// (claimable by any peer-endpoint application).
+  std::optional<keystore::KeyBlock> claim(PairState& own, PairState* reversed,
+                                          std::uint64_t key_id,
+                                          ClientId claimant, qkd::SimTime now);
+
+  /// Drains a departing client's queued requests with kDeparted.
+  void drain_departed(PairState& pair, ClientId id, qkd::SimTime now);
+
+  /// Arms every backlogged pair for immediate service (replenish wakeup).
+  /// Returns true if anything was armed.
+  bool wake_backlogged(qkd::SimTime now);
+
+  /// Epoch mode: appends the shard's parked jobs to `out` (barrier phase;
+  /// the router plans them in global pair order; job addresses are stable
+  /// until finalize_outbox).
+  void collect_jobs(std::vector<FrameJob*>& out);
+  /// Epoch mode: grants / requeues every planned job shard-locally and
+  /// clears the outbox. Runs on a worker lane; touches only shard state.
+  void finalize_outbox(qkd::SimTime now);
+
+  // ---- Aggregation surface (router reads, shard lanes parked) -------------
+  const std::array<ClassStats, kQosClassCount>& class_stats() const {
+    return class_stats_;
+  }
+  const std::array<LatencyHistogram, kQosClassCount>& latency() const {
+    return latency_;
+  }
+  const Stats& stats() const { return stats_; }
+  bool shedding() const { return shedding_; }
+  std::size_t queue_depth(std::size_t qos) const;
+  void inspect_into(
+      std::vector<KeyManagementService::PairInspection>& out) const;
+
+ private:
+  void arm_service(PairState& pair, qkd::SimTime when);
+  void service_round(PairState& pair, qkd::SimTime now);
+  std::vector<std::pair<unsigned, Request>> select_round(PairState& pair);
+  void grant_round(PairState& pair,
+                   std::vector<std::pair<unsigned, Request>>& round,
+                   const network::MeshSimulation::TransportResult& frame,
+                   qkd::SimTime now);
+  void requeue_round(PairState& pair,
+                     std::vector<std::pair<unsigned, Request>>& round);
+  void shed_lowest_class(PairState& pair, qkd::SimTime now);
+  void purge_expired_claims(PairState& pair, qkd::SimTime now);
+  void finish(Request& request, GrantStatus status, qkd::SimTime now,
+              ClassStats& stats);
+  static bool backlogged(const PairState& pair);
+
+  KeyManagementService& service_;
+  std::size_t index_ = 0;
+  sim::EventScheduler& stream_;
+  bool epoch_mode_ = false;
+
+  /// Sorted by (src, dst); unique_ptr keeps PairState addresses stable
+  /// across insertions (registration only — never on the grant path).
+  std::vector<std::unique_ptr<PairState>> pairs_;
+  std::vector<FrameJob> outbox_;
+
+  std::array<ClassStats, kQosClassCount> class_stats_{};
+  std::array<LatencyHistogram, kQosClassCount> latency_{};
+  Stats stats_;
+  bool shedding_ = false;
+};
+
+}  // namespace qkd::kms

@@ -1,9 +1,7 @@
 #include "src/network/key_service.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "src/common/rng.hpp"
@@ -21,12 +19,7 @@ std::uint64_t link_seed(std::uint64_t master, LinkId id) {
 
 }  // namespace
 
-LinkKeyService::LinkKeyService(const Topology& topology, Config config)
-    : threads_(config.threads != 0
-                   ? config.threads
-                   : std::max<std::size_t>(
-                         1, std::min<std::size_t>(
-                                std::thread::hardware_concurrency(), 8))) {
+LinkKeyService::LinkKeyService(const Topology& topology, Config config) {
   links_.reserve(topology.link_count());
   for (const Link& link : topology.links()) {
     qkd::proto::QkdLinkConfig proto = config.proto;
@@ -37,6 +30,18 @@ LinkKeyService::LinkKeyService(const Topology& topology, Config config)
     state.session->supply_pool().set_label("link-" + std::to_string(link.id));
     state.enabled = link.usable();
     links_.push_back(std::move(state));
+  }
+  if (config.pool) {
+    pool_ = config.pool;  // shared with the rest of the stack; not resized
+  } else {
+    // Clamp ONCE here — more lanes than links never helped, and the old
+    // per-batch std::min recomputation is gone with the per-batch spawning.
+    const std::size_t requested = config.threads != 0
+                                      ? config.threads
+                                      : qkd::common::WorkerPool::default_lanes();
+    const std::size_t lanes = std::max<std::size_t>(
+        1, std::min(requested, std::max<std::size_t>(1, links_.size())));
+    pool_ = std::make_shared<qkd::common::WorkerPool>(lanes);
   }
 }
 
@@ -78,26 +83,13 @@ void LinkKeyService::attach_sink(std::size_t id,
 
 template <typename Fn>
 void LinkKeyService::for_each_enabled_link(const Fn& work) {
-  // Fan links out across workers: each worker claims whole links, so one
-  // link's batches always run sequentially against its own session state
-  // (and its sinks are only ever touched from that worker).
-  std::atomic<std::size_t> next{0};
-  const auto worker = [this, &work, &next] {
-    for (std::size_t i = next.fetch_add(1); i < links_.size();
-         i = next.fetch_add(1)) {
-      if (links_[i].enabled) work(links_[i]);
-    }
-  };
-  const std::size_t n_workers =
-      std::min(threads_, std::max<std::size_t>(1, links_.size()));
-  if (n_workers <= 1) {
-    worker();
-    return;
-  }
-  std::vector<std::thread> pool;
-  pool.reserve(n_workers);
-  for (std::size_t t = 0; t < n_workers; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // Each parallel_for index is one whole link, so a link's batches always
+  // run sequentially against its own session state (and its sinks are only
+  // ever touched from the lane that claimed it). A single-lane pool visits
+  // the links inline in ascending id order.
+  pool_->parallel_for(links_.size(), [this, &work](std::size_t i) {
+    if (links_[i].enabled) work(links_[i]);
+  });
 }
 
 void LinkKeyService::run_batches(std::size_t batches_per_link) {

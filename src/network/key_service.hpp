@@ -13,16 +13,22 @@
 // their pools to the same stream and hold mirror-image reservoirs).
 //
 // Independent links are independent machines, so their batches execute in
-// parallel on a small thread pool. Each link's session, sinks and attack
-// state are touched by exactly one worker at a time and seeds are derived
-// per link, so every link's key stream is bit-identical regardless of
-// thread count.
+// parallel on a common::WorkerPool — either the service's own (sized once
+// at construction: min(threads, link count) lanes, never recomputed per
+// batch) or a pool SHARED with the rest of the stack via Config::pool
+// (the ShardedScheduler's lanes, so distillation and KMS shard service
+// ride the same threads). Each link's session, sinks and attack state are
+// touched by exactly one lane at a time and seeds are derived per link, so
+// every link's key stream is bit-identical regardless of lane count; with
+// threads = 1 the links run inline in ascending id order — the exact
+// sequential order.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "src/common/worker_pool.hpp"
 #include "src/keystore/key_producer.hpp"
 #include "src/network/topology.hpp"
 #include "src/qkd/engine.hpp"
@@ -40,16 +46,26 @@ class LinkKeyService : public qkd::keystore::KeyProducer {
     /// Master seed; each link derives an independent stream from it.
     std::uint64_t seed = 1;
 
-    /// Worker threads for parallel link distillation. 0 picks
-    /// min(hardware_concurrency, 8); batches for one link always run
-    /// sequentially on one worker.
+    /// Worker lanes for parallel link distillation. 0 picks
+    /// min(hardware_concurrency, 8); the count is clamped ONCE at
+    /// construction to min(threads, link count) and 1 forces the exact
+    /// sequential order (links in ascending id). Ignored when `pool` is
+    /// set. Batches for one link always run sequentially on one lane.
     std::size_t threads = 0;
+
+    /// Optional shared worker pool (not owned; must outlive the service).
+    /// The stack's parallel layers are meant to share ONE pool — pass the
+    /// ShardedScheduler's — instead of spawning per-layer threads.
+    std::shared_ptr<qkd::common::WorkerPool> pool;
   };
 
   LinkKeyService(const Topology& topology, Config config);
   ~LinkKeyService() override;
 
   std::size_t link_count() const { return links_.size(); }
+
+  /// Concurrent lanes the per-link fan-out actually uses (post-clamp).
+  std::size_t worker_lanes() const { return pool_->lanes(); }
 
   /// The engine behind one link (totals, auth state, config inspection).
   qkd::proto::QkdLinkSession& session(LinkId id);
@@ -101,12 +117,12 @@ class LinkKeyService : public qkd::keystore::KeyProducer {
   };
 
   /// Runs `work(link)` for every enabled link, fanning links out across
-  /// workers.
+  /// the pool's lanes.
   template <typename Fn>
   void for_each_enabled_link(const Fn& work);
 
   std::vector<LinkState> links_;
-  std::size_t threads_;
+  std::shared_ptr<qkd::common::WorkerPool> pool_;
 };
 
 }  // namespace qkd::network

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/optics/attacks.hpp"
+#include "src/sim/sharded_scheduler.hpp"
 
 namespace qkd::sim {
 
@@ -300,6 +301,23 @@ void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
 }
 
 std::size_t ScenarioRunner::run(SimTime horizon) {
+  return run_with(horizon, [this](SimTime until) {
+    return scheduler_->run_until(until);
+  });
+}
+
+std::size_t ScenarioRunner::run(ShardedScheduler& sharded, SimTime horizon) {
+  if (&sharded.global() != scheduler_.get())
+    throw std::logic_error(
+        "ScenarioRunner::run: the ShardedScheduler must wrap this runner's "
+        "scheduler()");
+  return run_with(horizon, [&sharded](SimTime until) {
+    return sharded.run_until(until);
+  });
+}
+
+std::size_t ScenarioRunner::run_with(
+    SimTime horizon, const std::function<std::size_t(SimTime)>& drive) {
   if (running_)
     throw std::logic_error("ScenarioRunner::run: already ran");
   running_ = true;
@@ -359,7 +377,7 @@ std::size_t ScenarioRunner::run(SimTime horizon) {
     });
   }
 
-  const std::size_t dispatched = scheduler_->run_until(horizon);
+  const std::size_t dispatched = drive(horizon);
   // Close the series at the horizon (unless periodic sampling just did).
   catch_up_mesh(horizon);
   if (recorder_.points().empty() || recorder_.points().back().t != horizon)

@@ -1,0 +1,66 @@
+#include "src/sim/sharded_scheduler.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace qkd::sim {
+
+ShardedScheduler::ShardedScheduler(EventScheduler& global, std::size_t shards,
+                                   std::shared_ptr<common::WorkerPool> pool,
+                                   Config config)
+    : global_(global), pool_(std::move(pool)), config_(config) {
+  if (shards == 0)
+    throw std::invalid_argument("ShardedScheduler: shards == 0");
+  if (config_.sync_quantum <= 0)
+    throw std::invalid_argument("ShardedScheduler: sync_quantum <= 0");
+  if (!pool_) pool_ = std::make_shared<common::WorkerPool>(1);
+  streams_.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    auto stream = std::make_unique<Stream>();
+    // Shard streams are born at the global clock's current instant so a
+    // scheduler constructed mid-run never schedules into the past.
+    stream->clock.advance_to(global_.now());
+    stream->scheduler = std::make_unique<EventScheduler>(stream->clock);
+    streams_.push_back(std::move(stream));
+  }
+}
+
+ShardedScheduler::ShardedScheduler(EventScheduler& global, std::size_t shards,
+                                   std::shared_ptr<common::WorkerPool> pool)
+    : ShardedScheduler(global, shards, std::move(pool), Config()) {}
+
+EventScheduler& ShardedScheduler::shard_stream(std::size_t shard) {
+  return *streams_.at(shard)->scheduler;
+}
+
+void ShardedScheduler::add_barrier_task(std::function<void(SimTime)> task) {
+  barrier_tasks_.push_back(std::move(task));
+}
+
+std::size_t ShardedScheduler::run_until(SimTime horizon) {
+  if (horizon < global_.now())
+    throw std::invalid_argument(
+        "ShardedScheduler::run_until: horizon precedes now");
+  std::size_t dispatched = 0;
+  for (;;) {
+    const SimTime t = global_.now();
+    SimTime window_end = std::min(horizon, t + config_.sync_quantum);
+    if (const auto next_global = global_.next_time())
+      window_end = std::min(window_end, *next_global);
+
+    pool_->parallel_for(streams_.size(), [&](std::size_t s) {
+      streams_[s]->dispatched +=
+          streams_[s]->scheduler->run_until(window_end);
+    });
+    for (const auto& task : barrier_tasks_) task(window_end);
+    dispatched += global_.run_until(window_end);
+    if (window_end >= horizon) break;
+  }
+  for (const auto& stream : streams_) {
+    dispatched += stream->dispatched;
+    stream->dispatched = 0;
+  }
+  return dispatched;
+}
+
+}  // namespace qkd::sim

@@ -1,0 +1,91 @@
+// The sharded-execution seam of the discrete-event core.
+//
+// A ShardedScheduler lets N independent event streams (one per shard of a
+// partitioned service, e.g. the KMS's per-endpoint-pair shards) advance the
+// SAME virtual timeline in parallel, while one global stream keeps
+// everything that must stay totally ordered (scenario actions, mesh
+// distillation ticks, recorder sampling).
+//
+// Execution is windowed:
+//
+//   window_end = min(horizon, global.now() + sync_quantum,
+//                    global stream's next due event)
+//
+//   1. every shard stream run_until(window_end)   — in parallel, on the
+//      shared WorkerPool (a single-lane pool runs them inline, in shard
+//      order — the deterministic path)
+//   2. barrier tasks fire (all shard lanes parked) — this is where the KMS
+//      plans its sequential mesh transports and fans the finalize work back
+//      out across shards
+//   3. global.run_until(window_end)               — scenario actions etc.
+//
+// The window boundaries depend only on the global stream and the quantum —
+// never on shard contents — so the sequence of barriers, and therefore
+// every cross-stream interleaving, is IDENTICAL for any shard count and
+// any lane count. That is what makes "same seed => same per-client grant
+// sequence for 1 and 4 shards" a theorem rather than a hope.
+//
+// Events a barrier task or a global event arms on a shard stream at the
+// current instant run in the NEXT window (EventScheduler::at allows
+// when == now()); events a shard arms on its own stream inside a window
+// participate in that same window, exactly as in the single-stream core.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/common/worker_pool.hpp"
+#include "src/sim/event_scheduler.hpp"
+
+namespace qkd::sim {
+
+class ShardedScheduler {
+ public:
+  struct Config {
+    /// Upper bound on a window when the global stream is idle; defaults to
+    /// the KMS batch window so shard service rounds never lag a barrier by
+    /// more than one batching decision.
+    SimTime sync_quantum = 10 * kMillisecond;
+  };
+
+  /// `global` is the scenario's ordinary scheduler (its clock is the
+  /// authoritative timeline); `pool` may be null for a fresh single-lane
+  /// pool. Both `global` and the pool must outlive this object.
+  ShardedScheduler(EventScheduler& global, std::size_t shards,
+                   std::shared_ptr<common::WorkerPool> pool, Config config);
+  ShardedScheduler(EventScheduler& global, std::size_t shards,
+                   std::shared_ptr<common::WorkerPool> pool);
+
+  std::size_t shard_count() const { return streams_.size(); }
+  EventScheduler& global() { return global_; }
+  /// The event stream shard `shard` schedules its own service work on.
+  EventScheduler& shard_stream(std::size_t shard);
+  common::WorkerPool& pool() { return *pool_; }
+  SimTime now() const { return global_.now(); }
+
+  /// Registered tasks run between the shard phase and the global phase of
+  /// every window, on the coordinating thread, with all shard lanes parked
+  /// — the only place cross-shard state may be touched. Invoked with the
+  /// window end time (== every stream's now()).
+  void add_barrier_task(std::function<void(SimTime)> task);
+
+  /// Advances every stream to `horizon` window by window; returns the
+  /// total number of events dispatched (all streams + global).
+  std::size_t run_until(SimTime horizon);
+
+ private:
+  struct Stream {
+    SimClock clock;
+    std::unique_ptr<EventScheduler> scheduler;
+    std::size_t dispatched = 0;
+  };
+
+  EventScheduler& global_;
+  std::shared_ptr<common::WorkerPool> pool_;
+  Config config_;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<std::function<void(SimTime)>> barrier_tasks_;
+};
+
+}  // namespace qkd::sim

@@ -59,6 +59,46 @@ TEST(LinkKeyService, ThreadCountDoesNotChangeAnyLinkKeyStream) {
         << "link " << id;
 }
 
+TEST(LinkKeyService, WorkerLanesClampOnceAtConstruction) {
+  // relay_ring(4) has 6 links: the lane count is min(threads, links),
+  // decided ONCE when the pool is built — not per batch.
+  const Topology topo = Topology::relay_ring(4);
+  EXPECT_EQ(LinkKeyService(topo, test_config(7, 16)).worker_lanes(), 6u);
+  EXPECT_EQ(LinkKeyService(topo, test_config(7, 3)).worker_lanes(), 3u);
+  EXPECT_EQ(LinkKeyService(topo, test_config(7, 1)).worker_lanes(), 1u);
+  EXPECT_EQ(LinkKeyService(single_link_topology(1.0), test_config(7, 8))
+                .worker_lanes(),
+            1u);
+
+  // Disabling links mid-run must NOT re-clamp: the lane count is a
+  // construction-time property (the old per-batch min() recomputed it).
+  LinkKeyService service(topo, test_config(7, 16));
+  for (LinkId id = 0; id + 1 < topo.link_count(); ++id)
+    service.set_link_enabled(id, false);
+  service.run_batches(1);
+  EXPECT_EQ(service.worker_lanes(), 6u);
+}
+
+TEST(LinkKeyService, SharedWorkerPoolIsAdoptedAndStaysDeterministic) {
+  // A caller-supplied pool is used as-is (its lane count wins over
+  // Config::threads) and the distilled streams still match the serial
+  // run bit for bit.
+  const Topology topo = Topology::relay_ring(4);
+  auto pool = std::make_shared<qkd::common::WorkerPool>(2);
+  LinkKeyService::Config shared_config = test_config(7, /*threads=*/1);
+  shared_config.pool = pool;
+  LinkKeyService shared(topo, shared_config);
+  EXPECT_EQ(shared.worker_lanes(), 2u);
+
+  LinkKeyService serial(topo, test_config(7, /*threads=*/1));
+  shared.run_batches(2);
+  serial.run_batches(2);
+  for (LinkId id = 0; id < topo.link_count(); ++id)
+    EXPECT_TRUE(shared.supply(id).take_all().bits ==
+                serial.supply(id).take_all().bits)
+        << "link " << id;
+}
+
 TEST(LinkKeyService, LinksDeriveIndependentKeyStreams) {
   // Same optics, same master seed — but different links must not replay
   // each other's keys.

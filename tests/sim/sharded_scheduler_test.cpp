@@ -1,0 +1,155 @@
+// ShardedScheduler: windowed parallel execution of N shard streams against
+// one global stream — window boundaries, barrier ordering, clock lockstep,
+// and the determinism contract (same behavior for any lane count).
+#include "src/sim/sharded_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace qkd::sim {
+namespace {
+
+struct Harness {
+  explicit Harness(std::size_t shards, std::size_t lanes = 1,
+                   SimTime quantum = 10 * kMillisecond)
+      : scheduler(clock),
+        pool(std::make_shared<common::WorkerPool>(lanes)),
+        sharded(scheduler, shards, pool,
+                ShardedScheduler::Config{quantum}) {}
+
+  qkd::SimClock clock;
+  EventScheduler scheduler;
+  std::shared_ptr<common::WorkerPool> pool;
+  ShardedScheduler sharded;
+};
+
+TEST(ShardedScheduler, RejectsDegenerateConfigs) {
+  qkd::SimClock clock;
+  EventScheduler scheduler(clock);
+  EXPECT_THROW(ShardedScheduler(scheduler, 0, nullptr),
+               std::invalid_argument);
+  EXPECT_THROW(
+      ShardedScheduler(scheduler, 2, nullptr, ShardedScheduler::Config{0}),
+      std::invalid_argument);
+}
+
+TEST(ShardedScheduler, NullPoolGetsAPrivateSingleLane) {
+  qkd::SimClock clock;
+  EventScheduler scheduler(clock);
+  ShardedScheduler sharded(scheduler, 2, nullptr);
+  EXPECT_EQ(sharded.pool().lanes(), 1u);
+  EXPECT_EQ(sharded.shard_count(), 2u);
+}
+
+TEST(ShardedScheduler, AllStreamsReachTheHorizonTogether) {
+  Harness h(3);
+  std::size_t fired = 0;
+  h.sharded.shard_stream(0).after(3 * kMillisecond,
+                                  [&](SimTime) { ++fired; });
+  h.sharded.shard_stream(2).after(25 * kMillisecond,
+                                  [&](SimTime) { ++fired; });
+  h.scheduler.after(17 * kMillisecond, [&](SimTime) { ++fired; });
+  const std::size_t dispatched = h.sharded.run_until(kSecond);
+  EXPECT_EQ(dispatched, 3u);
+  EXPECT_EQ(fired, 3u);
+  EXPECT_EQ(h.sharded.now(), kSecond);
+  EXPECT_EQ(h.sharded.shard_stream(0).now(), kSecond);
+  EXPECT_EQ(h.sharded.shard_stream(1).now(), kSecond);
+  EXPECT_EQ(h.sharded.shard_stream(2).now(), kSecond);
+}
+
+TEST(ShardedScheduler, WindowsBreakAtGlobalEventsAndQuantum) {
+  Harness h(1, 1, /*quantum=*/10 * kMillisecond);
+  std::vector<SimTime> barrier_times;
+  h.sharded.add_barrier_task(
+      [&](SimTime now) { barrier_times.push_back(now); });
+  // A global event off the quantum grid forces a window boundary there.
+  h.scheduler.at(13 * kMillisecond, [](SimTime) {});
+  h.sharded.run_until(30 * kMillisecond);
+  // Windows: 10 (quantum), 13 (global event), 23 (quantum), 30 (horizon).
+  const std::vector<SimTime> expected{10 * kMillisecond, 13 * kMillisecond,
+                                      23 * kMillisecond, 30 * kMillisecond};
+  EXPECT_EQ(barrier_times, expected);
+}
+
+TEST(ShardedScheduler, ShardPhaseThenBarrierThenGlobalWithinAWindow) {
+  Harness h(2);
+  std::vector<std::string> log;
+  h.sharded.shard_stream(0).at(5 * kMillisecond,
+                               [&](SimTime) { log.push_back("shard"); });
+  h.sharded.add_barrier_task([&](SimTime) { log.push_back("barrier"); });
+  h.scheduler.at(5 * kMillisecond, [&](SimTime) { log.push_back("global"); });
+  h.sharded.run_until(5 * kMillisecond);
+  const std::vector<std::string> expected{"shard", "barrier", "global"};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(ShardedScheduler, BarrierArmedShardEventRunsInTheNextWindow) {
+  Harness h(1, 1, /*quantum=*/10 * kMillisecond);
+  std::vector<SimTime> ran_at;
+  bool armed = false;
+  h.sharded.add_barrier_task([&](SimTime now) {
+    if (armed) return;
+    armed = true;
+    // Armed AT the current instant from the barrier: must not run until
+    // the next window's shard phase.
+    h.sharded.shard_stream(0).at(
+        now, [&](SimTime t) { ran_at.push_back(t); });
+  });
+  h.sharded.run_until(30 * kMillisecond);
+  ASSERT_EQ(ran_at.size(), 1u);
+  // Armed at the 10ms barrier, dispatched in the window ending at 20ms.
+  EXPECT_EQ(ran_at[0], 10 * kMillisecond);
+}
+
+TEST(ShardedScheduler, PeriodicShardWorkCountsAllDispatches) {
+  Harness h(4, 2);
+  std::vector<std::size_t> counts(4, 0);
+  for (std::size_t s = 0; s < 4; ++s)
+    h.sharded.shard_stream(s).every(kMillisecond, kMillisecond,
+                                    [&counts, s](SimTime) { ++counts[s]; });
+  const std::size_t dispatched = h.sharded.run_until(100 * kMillisecond);
+  EXPECT_EQ(dispatched, 400u);
+  for (std::size_t s = 0; s < 4; ++s) EXPECT_EQ(counts[s], 100u);
+}
+
+/// The determinism contract: per-stream event sequences and barrier times
+/// are identical no matter how many worker lanes execute the shard phase.
+TEST(ShardedScheduler, LaneCountDoesNotChangePerStreamSequences) {
+  const auto run = [](std::size_t lanes) {
+    Harness h(3, lanes, 7 * kMillisecond);
+    std::vector<std::vector<SimTime>> per_shard(3);
+    std::vector<SimTime> barriers;
+    std::mutex mu;  // shard callbacks run concurrently across lanes
+    for (std::size_t s = 0; s < 3; ++s) {
+      const SimTime period = (s + 1) * kMillisecond;
+      h.sharded.shard_stream(s).every(period, period,
+                                      [&per_shard, &mu, s](SimTime t) {
+                                        std::scoped_lock lock(mu);
+                                        per_shard[s].push_back(t);
+                                      });
+    }
+    h.sharded.add_barrier_task(
+        [&](SimTime now) { barriers.push_back(now); });
+    h.scheduler.every(5 * kMillisecond, 5 * kMillisecond, [](SimTime) {});
+    h.sharded.run_until(50 * kMillisecond);
+    return std::make_pair(per_shard, barriers);
+  };
+  const auto [shards1, barriers1] = run(1);
+  const auto [shards3, barriers3] = run(3);
+  EXPECT_EQ(shards1, shards3);
+  EXPECT_EQ(barriers1, barriers3);
+}
+
+TEST(ShardedScheduler, RejectsHorizonInThePast) {
+  Harness h(1);
+  h.sharded.run_until(kSecond);
+  EXPECT_THROW(h.sharded.run_until(kMillisecond), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace qkd::sim

@@ -12,6 +12,9 @@ Typical uses:
     # Single pair of files
     tools/compare_bench.py old/BENCH_bench_kms.json new/BENCH_bench_kms.json
 
+    # Scaling curve: rows of one Arg-swept benchmark from one snapshot set
+    tools/compare_bench.py bench-results --series bm_kms_sharded_sweep
+
 Inputs are files or directories of ``BENCH_*.json`` as written by
 ``--benchmark_out_format=json`` (the CI bench-examples job and the
 "refreshing the snapshots" recipe in DESIGN.md use identical flags).
@@ -57,6 +60,55 @@ def load_snapshots(path: Path):
     return results
 
 
+def load_series(path: Path, prefix: str):
+    """Rows of ``prefix/<arg>`` entries: (arg, real_time ns, items/s)."""
+    files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
+    if not files:
+        raise SystemExit(f"error: no BENCH_*.json under {path}")
+    rows = []
+    for file in files:
+        try:
+            doc = json.loads(file.read_text())
+        except json.JSONDecodeError as err:
+            raise SystemExit(f"error: {file}: not valid JSON ({err})")
+        for bench in doc.get("benchmarks", []):
+            if bench.get("run_type") == "aggregate":
+                continue
+            name = bench.get("name", "")
+            if not name.startswith(prefix + "/"):
+                continue
+            try:
+                arg = int(name[len(prefix) + 1:].split("/")[0])
+            except ValueError:
+                continue
+            unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+            rows.append((arg, bench.get("real_time", 0.0) * unit,
+                         bench.get("items_per_second")))
+    return sorted(rows)
+
+
+def print_series(path: Path, prefix: str) -> int:
+    """The scaling curve: one row per Arg, speedup relative to the first."""
+    rows = load_series(path, prefix)
+    if not rows:
+        print(f"error: no '{prefix}/<arg>' benchmarks under {path}",
+              file=sys.stderr)
+        return 1
+    print(f"series {prefix} ({len(rows)} points)")
+    print(f"  {'arg':>6} {'time':>12} {'items/s':>12} {'speedup':>8}")
+    base_items = rows[0][2]
+    base_time = rows[0][1]
+    for arg, time_ns, items in rows:
+        if items is not None and base_items:
+            speedup = items / base_items
+        else:
+            speedup = base_time / time_ns if time_ns else float("nan")
+        items_text = f"{items:,.0f}" if items is not None else "-"
+        print(f"  {arg:>6} {time_ns / 1e6:>10.2f}ms {items_text:>12} "
+              f"{speedup:>7.2f}x")
+    return 0
+
+
 def main():
     parser = argparse.ArgumentParser(
         description="Flag >N%% benchmark real_time regressions "
@@ -64,14 +116,24 @@ def main():
     )
     parser.add_argument("baseline", type=Path,
                         help="snapshot dir or file (the committed reference)")
-    parser.add_argument("candidate", type=Path,
-                        help="snapshot dir or file (the fresh run)")
+    parser.add_argument("candidate", type=Path, nargs="?",
+                        help="snapshot dir or file (the fresh run); "
+                        "omitted in --series mode")
     parser.add_argument("--threshold", type=float, default=10.0,
                         help="regression threshold in percent (default 10)")
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 if any benchmark regresses past the "
                         "threshold (default: report only)")
+    parser.add_argument("--series", metavar="PREFIX",
+                        help="print the scaling curve of one Arg-swept "
+                        "benchmark (rows PREFIX/<arg>) from a single "
+                        "snapshot set instead of comparing two")
     args = parser.parse_args()
+
+    if args.series:
+        return print_series(args.candidate or args.baseline, args.series)
+    if args.candidate is None:
+        parser.error("candidate is required unless --series is given")
 
     base = load_snapshots(args.baseline)
     cand = load_snapshots(args.candidate)
