@@ -91,4 +91,39 @@ bool WegmanCarterAuthenticator::verify(const Bytes& message,
   return expected.has_value() && *expected == tag;
 }
 
+std::optional<qkd::BitVector> WegmanCarterAuthenticator::tag_at(
+    const Bytes& message, std::size_t slot) {
+  const std::size_t offset = slot * config_.tag_bits;
+  if (offset + config_.tag_bits > pad_pool_.size()) return std::nullopt;
+  if (message.size() * 8 > config_.max_message_bits)
+    throw std::invalid_argument("WegmanCarterAuthenticator: message too long");
+  const qkd::BitVector msg_bits = qkd::BitVector::from_bytes(message);
+  qkd::BitVector t = toeplitz_hash(toeplitz_key_, msg_bits, config_.tag_bits);
+  t ^= pad_pool_.slice(offset, config_.tag_bits);
+  if (offset + config_.tag_bits > pad_cursor_) {
+    consumed_ += offset + config_.tag_bits - pad_cursor_;
+    pad_cursor_ = offset + config_.tag_bits;
+  }
+  return t;
+}
+
+bool WegmanCarterAuthenticator::verify_at(const Bytes& message,
+                                          const qkd::BitVector& tag,
+                                          std::size_t slot) {
+  const std::size_t offset = slot * config_.tag_bits;
+  if (offset + config_.tag_bits > pad_pool_.size()) return false;
+  if (message.size() * 8 > config_.max_message_bits) return false;
+  const qkd::BitVector msg_bits = qkd::BitVector::from_bytes(message);
+  qkd::BitVector expected =
+      toeplitz_hash(toeplitz_key_, msg_bits, config_.tag_bits);
+  expected ^= pad_pool_.slice(offset, config_.tag_bits);
+  if (!(expected == tag)) return false;
+  // Only a SUCCESSFUL verification consumes the slot's pad.
+  if (offset + config_.tag_bits > pad_cursor_) {
+    consumed_ += offset + config_.tag_bits - pad_cursor_;
+    pad_cursor_ = offset + config_.tag_bits;
+  }
+  return true;
+}
+
 }  // namespace qkd::crypto

@@ -70,6 +70,16 @@ class WegmanCarterAuthenticator {
   /// Returns false on mismatch OR exhaustion.
   bool verify(const Bytes& message, const qkd::BitVector& tag);
 
+  /// Slot-addressed variants: pad bits for slot `s` live at a fixed pool
+  /// offset (s * tag_bits), so tag and verification stay paired by the
+  /// message's sequence number rather than by call count. This is what
+  /// lets a lossy wire retransmit an identical envelope: the receiver
+  /// verifies the retransmission against the same pad, and a FAILED verify
+  /// consumes nothing (a forger cannot burn the pool by spraying frames).
+  std::optional<qkd::BitVector> tag_at(const Bytes& message, std::size_t slot);
+  bool verify_at(const Bytes& message, const qkd::BitVector& tag,
+                 std::size_t slot);
+
   /// Total pad bits consumed so far (for the key-consumption accounting
   /// benches).
   std::size_t pad_bits_consumed() const { return consumed_; }

@@ -1,0 +1,247 @@
+#include "src/kms/wire_service.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace qkd::kms {
+namespace {
+
+/// request_id echoed by a response message, 0 for the types that carry
+/// none (registration and status replies — at most one is in flight).
+std::uint64_t response_request_id(const wire::EtsiMessage& message) {
+  if (const auto* grant = std::get_if<wire::KmsGrant>(&message))
+    return grant->request_id;
+  if (const auto* reject = std::get_if<wire::KmsReject>(&message))
+    return reject->request_id;
+  if (const auto* claim = std::get_if<wire::KmsKeyWithIdReply>(&message))
+    return claim->request_id;
+  return 0;
+}
+
+}  // namespace
+
+// ---- Server ----------------------------------------------------------------
+
+void KmsWireServer::serve(wire::Transport& io) {
+  while (serve_one(io)) {
+  }
+}
+
+bool KmsWireServer::serve_one(wire::Transport& io) {
+  const auto raw = io.recv_frame();
+  if (!raw.has_value()) return false;  // transport closed or timed out
+
+  // A byte-identical retransmit is answered from cache, not re-executed:
+  // the lost-response case must not double-grant or "already-claim".
+  if (last_request_.has_value() && *last_request_ == *raw) {
+    ++served_;
+    return reply(io, last_reply_);
+  }
+
+  const auto frame = wire::decode_frame(*raw);
+  if (!frame.ok()) return true;  // malformed: drop, the client retransmits
+  const auto message = wire::decode_etsi(frame.value);
+  if (!message.ok()) return true;
+
+  last_request_ = *raw;
+  last_reply_.clear();
+  ++served_;
+  return handle(io, message.value);
+}
+
+bool KmsWireServer::reply(wire::Transport& io, const Bytes& framed) {
+  last_reply_ = framed;
+  io.send_frame(framed);
+  return true;
+}
+
+bool KmsWireServer::handle(wire::Transport& io,
+                           const wire::EtsiMessage& message) {
+  if (std::holds_alternative<wire::KmsBye>(message)) return false;
+
+  if (const auto* reg = std::get_if<wire::KmsRegister>(&message)) {
+    ClientConfig config;
+    config.name = reg->name;
+    config.src = reg->src;
+    config.dst = reg->dst;
+    config.qos = reg->qos < kQosClassCount ? static_cast<QosClass>(reg->qos)
+                                           : QosClass::kBulk;
+    wire::KmsRegisterReply ack;
+    ack.client_id = kms_.register_client(config);
+    return reply(io, wire::encode_frame(ack.kType, ack.encode()));
+  }
+
+  if (const auto* get = std::get_if<wire::KmsGetKey>(&message)) {
+    // The grant lands asynchronously from a service round; the delivery
+    // slot is shared so a patience timeout cannot leave the callback
+    // writing through a dangling pointer.
+    auto slot = std::make_shared<std::optional<Grant>>();
+    try {
+      kms_.get_key(get->client_id, static_cast<std::size_t>(get->bits),
+                   [slot](const Grant& grant) { *slot = grant; });
+    } catch (const std::invalid_argument&) {
+      wire::KmsReject reject;
+      reject.request_id = get->request_id;
+      reject.status = static_cast<std::uint8_t>(GrantStatus::kDeparted);
+      return reply(io, wire::encode_frame(reject.kType, reject.encode()));
+    }
+    const qkd::SimTime step =
+        std::max<qkd::SimTime>(kms_.config().batch_window, qkd::kMillisecond);
+    for (qkd::SimTime waited = 0; !slot->has_value() && waited < kGrantPatience;
+         waited += step)
+      scheduler_.run_for(step);
+    if (slot->has_value() && (*slot)->status == GrantStatus::kGranted) {
+      wire::KmsGrant grant;
+      grant.request_id = get->request_id;
+      grant.status = static_cast<std::uint8_t>(GrantStatus::kGranted);
+      grant.key_id = (*slot)->key_id;
+      grant.bits = (*slot)->bits;
+      grant.compromised = (*slot)->compromised;
+      return reply(io, wire::encode_frame(grant.kType, grant.encode()));
+    }
+    wire::KmsReject reject;
+    reject.request_id = get->request_id;
+    reject.status = static_cast<std::uint8_t>(
+        slot->has_value() ? (*slot)->status : GrantStatus::kShed);
+    return reply(io, wire::encode_frame(reject.kType, reject.encode()));
+  }
+
+  if (const auto* claim = std::get_if<wire::KmsGetKeyWithId>(&message)) {
+    wire::KmsKeyWithIdReply ack;
+    ack.request_id = claim->request_id;
+    try {
+      const auto block = kms_.get_key_with_id(claim->client_id, claim->key_id);
+      if (block.has_value()) {
+        ack.ok = true;
+        ack.key_id = block->key_id;
+        ack.bits = block->bits;
+      }
+    } catch (const std::invalid_argument&) {
+      ack.ok = false;
+    }
+    return reply(io, wire::encode_frame(ack.kType, ack.encode()));
+  }
+
+  if (std::holds_alternative<wire::KmsStatus>(message)) {
+    wire::KmsStatusReply ack;
+    for (std::size_t q = 0; q < kQosClassCount; ++q) {
+      const auto& cls = kms_.class_stats(static_cast<QosClass>(q));
+      ack.requests += cls.requests;
+      ack.granted += cls.granted;
+      ack.queue_depth += kms_.queue_depth(static_cast<QosClass>(q));
+    }
+    ack.claims_fulfilled = kms_.stats().claims_fulfilled;
+    return reply(io, wire::encode_frame(ack.kType, ack.encode()));
+  }
+
+  // A response-typed frame arriving at the server: drop it.
+  return true;
+}
+
+// ---- Client ----------------------------------------------------------------
+
+std::optional<wire::EtsiMessage> KmsWireClient::call(const Bytes& framed,
+                                                     wire::PacketType want,
+                                                     wire::PacketType alt) {
+  const std::uint64_t want_request_id = next_request_id_ - 1;
+  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+    io_.send_frame(framed);
+    ++messages_sent_;
+    const auto raw = io_.recv_frame();
+    if (!raw.has_value()) continue;  // lost in either direction: retransmit
+    const auto frame = wire::decode_frame(*raw);
+    if (!frame.ok() ||
+        (frame.value.type != want && frame.value.type != alt))
+      continue;
+    const auto message = wire::decode_etsi(frame.value);
+    if (!message.ok()) continue;
+    // A stale reply to an earlier (retransmitted) call: discard and ask
+    // again — the server's duplicate cache makes the re-ask idempotent.
+    const std::uint64_t rid = response_request_id(message.value);
+    if (rid != 0 && rid != want_request_id) continue;
+    return message.value;
+  }
+  return std::nullopt;
+}
+
+std::optional<ClientId> KmsWireClient::register_app(const std::string& name,
+                                                    std::uint32_t src,
+                                                    std::uint32_t dst,
+                                                    QosClass qos) {
+  wire::KmsRegister request;
+  request.name = name;
+  request.src = src;
+  request.dst = dst;
+  request.qos = static_cast<std::uint8_t>(qos);
+  ++next_request_id_;  // keeps the id stream aligned across call types
+  const auto response =
+      call(wire::encode_frame(request.kType, request.encode()),
+           wire::PacketType::kKmsRegisterReply,
+           wire::PacketType::kKmsRegisterReply);
+  if (!response.has_value()) return std::nullopt;
+  return std::get<wire::KmsRegisterReply>(*response).client_id;
+}
+
+std::optional<KmsWireClient::KeyReply> KmsWireClient::get_key(
+    ClientId id, std::uint64_t bits) {
+  wire::KmsGetKey request;
+  request.client_id = id;
+  request.request_id = next_request_id_++;
+  request.bits = bits;
+  const auto response =
+      call(wire::encode_frame(request.kType, request.encode()),
+           wire::PacketType::kKmsGrant, wire::PacketType::kKmsReject);
+  if (!response.has_value()) return std::nullopt;
+  KeyReply out;
+  if (const auto* grant = std::get_if<wire::KmsGrant>(&*response)) {
+    out.status = static_cast<GrantStatus>(grant->status);
+    out.key_id = grant->key_id;
+    out.bits = grant->bits;
+    out.compromised = grant->compromised;
+  } else {
+    out.status =
+        static_cast<GrantStatus>(std::get<wire::KmsReject>(*response).status);
+  }
+  return out;
+}
+
+std::optional<keystore::KeyBlock> KmsWireClient::get_key_with_id(
+    ClientId id, std::uint64_t key_id) {
+  wire::KmsGetKeyWithId request;
+  request.client_id = id;
+  request.request_id = next_request_id_++;
+  request.key_id = key_id;
+  const auto response =
+      call(wire::encode_frame(request.kType, request.encode()),
+           wire::PacketType::kKmsKeyWithIdReply,
+           wire::PacketType::kKmsKeyWithIdReply);
+  if (!response.has_value()) return std::nullopt;
+  const auto& ack = std::get<wire::KmsKeyWithIdReply>(*response);
+  if (!ack.ok) return std::nullopt;
+  keystore::KeyBlock block;
+  block.key_id = ack.key_id;
+  block.bits = ack.bits;
+  return block;
+}
+
+std::optional<wire::KmsStatusReply> KmsWireClient::status(ClientId id) {
+  wire::KmsStatus request;
+  request.client_id = id;
+  ++next_request_id_;
+  const auto response =
+      call(wire::encode_frame(request.kType, request.encode()),
+           wire::PacketType::kKmsStatusReply,
+           wire::PacketType::kKmsStatusReply);
+  if (!response.has_value()) return std::nullopt;
+  return std::get<wire::KmsStatusReply>(*response);
+}
+
+void KmsWireClient::bye() {
+  const wire::KmsBye request{};
+  io_.send_frame(wire::encode_frame(request.kType, request.encode()));
+  ++messages_sent_;
+}
+
+}  // namespace qkd::kms

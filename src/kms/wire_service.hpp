@@ -1,0 +1,120 @@
+// The KMS API bound to the wire: an ETSI-014-style request/response server
+// over any wire::Transport, fronting a live KeyManagementService, plus the
+// matching blocking client. One typed request frame in, one typed response
+// frame out (src/wire/etsi.hpp is the codec); the same adapter serves the
+// in-memory channel in tier-1 tests and a TCP socket in the two-process
+// integration runs.
+//
+// Grants are asynchronous inside the KMS (service rounds run on
+// EventScheduler deadlines), so the server pumps the scheduler between
+// receiving a KmsGetKey and answering it — the wire surface stays strictly
+// request/response while the service underneath batches and fair-queues.
+//
+// Loss handling mirrors the distillation dialogue: the client retransmits
+// an unanswered request verbatim (request_ids make logical calls
+// distinguishable), and the server answers a byte-identical duplicate from
+// its last-reply cache instead of re-executing it — a retransmitted
+// get_key is one grant, not two, and a retransmitted claim does not see
+// "already claimed".
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/kms/kms.hpp"
+#include "src/wire/etsi.hpp"
+#include "src/wire/transport.hpp"
+
+namespace qkd::kms {
+
+/// Server half: decodes KMS request frames from a transport, executes them
+/// against the service, and replies. Single conversation at a time (one
+/// transport per server instance; run several instances for several
+/// clients).
+class KmsWireServer {
+ public:
+  /// Sim time the server is willing to pump the scheduler while waiting
+  /// for one grant to be delivered (covers batch windows, retry backoffs
+  /// and shedding decisions; a request not answered by then is rejected
+  /// as shed).
+  static constexpr qkd::SimTime kGrantPatience = 2 * qkd::kMinute;
+
+  KmsWireServer(KeyManagementService& kms, sim::EventScheduler& scheduler)
+      : kms_(kms), scheduler_(scheduler) {}
+
+  /// Serves one request frame on `io`: receive, execute, reply. Returns
+  /// false when the conversation is over (KmsBye) or the transport failed;
+  /// malformed frames are dropped (the client retransmits).
+  bool serve_one(wire::Transport& io);
+
+  /// Serves until KmsBye or transport failure.
+  void serve(wire::Transport& io);
+
+  /// Requests served (duplicates answered from cache included).
+  std::size_t served() const { return served_; }
+
+ private:
+  bool handle(wire::Transport& io, const wire::EtsiMessage& message);
+  bool reply(wire::Transport& io, const Bytes& framed);
+
+  KeyManagementService& kms_;
+  sim::EventScheduler& scheduler_;
+  std::optional<Bytes> last_request_;  // raw frame bytes of the last request
+  Bytes last_reply_;                   // raw frame bytes of its response
+  std::size_t served_ = 0;
+};
+
+/// Client half: the blocking ETSI-014-flavored calls, each one request
+/// frame and one awaited response frame, retransmitting through loss.
+class KmsWireClient {
+ public:
+  static constexpr int kMaxAttempts = 12;
+
+  /// A get_key outcome as delivered over the wire (Grant minus the
+  /// server-local fields that never travel).
+  struct KeyReply {
+    GrantStatus status = GrantStatus::kGranted;
+    std::uint64_t key_id = 0;
+    qkd::BitVector bits;
+    bool compromised = false;
+  };
+
+  explicit KmsWireClient(wire::Transport& io) : io_(io) {}
+
+  /// Registers an application; nullopt when the channel is lost.
+  std::optional<ClientId> register_app(const std::string& name,
+                                       std::uint32_t src, std::uint32_t dst,
+                                       QosClass qos = QosClass::kInteractive);
+
+  /// Master side: requests `bits` of end-to-end key.
+  std::optional<KeyReply> get_key(ClientId id, std::uint64_t bits);
+
+  /// Slave side: claims the peer copy named by `key_id`. nullopt when the
+  /// channel is lost OR the server reports the claim unfulfillable
+  /// (unknown, expired, not claimable by `id`) — distinguish via ok().
+  std::optional<keystore::KeyBlock> get_key_with_id(ClientId id,
+                                                    std::uint64_t key_id);
+
+  std::optional<wire::KmsStatusReply> status(ClientId id);
+
+  /// Ends the conversation (the server's serve loop returns).
+  void bye();
+
+  /// Wire traffic this client put on the transport (retransmits included).
+  std::size_t messages_sent() const { return messages_sent_; }
+
+ private:
+  /// Sends `request` and blocks for a response frame of type `want`
+  /// (retransmitting the identical bytes through loss); returns the
+  /// decoded response message, or nullopt after kMaxAttempts.
+  std::optional<wire::EtsiMessage> call(const Bytes& framed,
+                                        wire::PacketType want,
+                                        wire::PacketType alt);
+
+  wire::Transport& io_;
+  std::uint64_t next_request_id_ = 1;
+  std::size_t messages_sent_ = 0;
+};
+
+}  // namespace qkd::kms

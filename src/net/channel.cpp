@@ -2,6 +2,16 @@
 
 namespace qkd::net {
 
+void PublicChannel::set_conditions(const ClassicalConditions& conditions,
+                                   std::uint64_t seed) {
+  conditions_ = conditions;
+  if (conditions.loss_prob > 0.0 || conditions.reorder_prob > 0.0) {
+    conditions_rng_ = std::make_shared<qkd::Rng>(seed);
+  } else {
+    conditions_rng_.reset();
+  }
+}
+
 void PublicChannel::send(const Bytes& message, bool to_b) {
   Bytes to_deliver = message;
   if (impairment_) {
@@ -13,14 +23,28 @@ void PublicChannel::send(const Bytes& message, bool to_b) {
     if (*impaired != message) ++stats_.modified;
     to_deliver = *impaired;
   }
+  if (conditions_rng_ && conditions_.loss_prob > 0.0 &&
+      conditions_rng_->next_bool(conditions_.loss_prob)) {
+    ++stats_.lost;
+    return;
+  }
+  Endpoint& dest = to_b ? b_ : a_;
   if (to_b) {
     ++stats_.messages_ab;
     stats_.bytes_ab += to_deliver.size();
-    b_.inbox.push_back(std::move(to_deliver));
   } else {
     ++stats_.messages_ba;
     stats_.bytes_ba += to_deliver.size();
-    a_.inbox.push_back(std::move(to_deliver));
+  }
+  dest.inbox.push_back(std::move(to_deliver));
+  // Reordering swaps the arrival with its queued predecessor — adjacent
+  // swaps only, so a lockstep dialogue is perturbed but never starved.
+  if (conditions_rng_ && conditions_.reorder_prob > 0.0 &&
+      dest.inbox.size() >= 2 &&
+      conditions_rng_->next_bool(conditions_.reorder_prob)) {
+    std::swap(dest.inbox[dest.inbox.size() - 1],
+              dest.inbox[dest.inbox.size() - 2]);
+    ++stats_.reordered;
   }
 }
 

@@ -34,14 +34,32 @@ struct Endpoint {
 using Impairment =
     std::function<std::optional<Bytes>(const Bytes& message, bool to_b)>;
 
-/// Counters for channel-level experiments.
+/// Counters for channel-level experiments. Byte counters record what was
+/// DELIVERED (post-impairment sizes): a dropped message adds nothing, a
+/// modified one adds its modified size — so the counters equal the bytes a
+/// wiretap on the receiving side would see.
 struct ChannelStats {
   std::uint64_t messages_ab = 0;
   std::uint64_t messages_ba = 0;
   std::uint64_t bytes_ab = 0;
   std::uint64_t bytes_ba = 0;
-  std::uint64_t dropped = 0;
+  std::uint64_t dropped = 0;   // blocked by the impairment hook
   std::uint64_t modified = 0;
+  std::uint64_t lost = 0;      // dropped by ClassicalConditions loss
+  std::uint64_t reordered = 0; // adjacent swaps applied on arrival
+};
+
+/// Classical-channel conditions the scenario engine can impose on the
+/// framed byte stream: per-message one-way latency, independent message
+/// loss, and adjacent reordering at the receive queue. Loss and reorder
+/// act here; latency is advisory for the synchronous dialogue (the QKD
+/// session converts `latency * messages` into wall-clock stall so a
+/// latency spike slows distillation without deadlocking the lockstep
+/// exchange).
+struct ClassicalConditions {
+  SimTime latency = 0;
+  double loss_prob = 0.0;
+  double reorder_prob = 0.0;
 };
 
 class PublicChannel {
@@ -52,6 +70,12 @@ class PublicChannel {
   void set_impairment(Impairment impairment) {
     impairment_ = std::move(impairment);
   }
+
+  /// Imposes (or, with a default-constructed value, lifts) classical
+  /// network conditions. `seed` makes loss/reorder draws deterministic.
+  void set_conditions(const ClassicalConditions& conditions,
+                      std::uint64_t seed = 0x57A11ED);
+  const ClassicalConditions& conditions() const { return conditions_; }
 
   /// Sends from the A side (delivered to B's inbox unless impaired).
   void send_from_a(const Bytes& message) { send(message, /*to_b=*/true); }
@@ -72,6 +96,8 @@ class PublicChannel {
   Endpoint a_;
   Endpoint b_;
   Impairment impairment_;
+  ClassicalConditions conditions_;
+  std::shared_ptr<qkd::Rng> conditions_rng_;
   ChannelStats stats_;
 };
 

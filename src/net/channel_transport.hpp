@@ -1,0 +1,44 @@
+// The in-memory half of the Transport seam: one side of a PublicChannel
+// presented as a wire::Transport. The tier-1 distillation and KMS paths
+// run over two of these (side A and side B of the same channel), moving
+// the SAME encoded frames the TCP transport would — so impairments
+// installed on the channel (Eve's hooks, ClassicalConditions) attack real
+// framed bytes, and wire accounting measures real frame sizes.
+#pragma once
+
+#include "src/net/channel.hpp"
+#include "src/wire/transport.hpp"
+
+namespace qkd::net {
+
+class ChannelTransport final : public wire::Transport {
+ public:
+  enum class Side { kA, kB };
+
+  ChannelTransport(PublicChannel& channel, Side side)
+      : channel_(channel), side_(side) {}
+
+  bool send_frame(const Bytes& frame) override {
+    if (side_ == Side::kA) {
+      channel_.send_from_a(frame);
+    } else {
+      channel_.send_from_b(frame);
+    }
+    return true;
+  }
+
+  /// Next queued frame at this side; nullopt when the queue is drained
+  /// (last_error stays kNone — a drained in-memory channel is not an
+  /// error, it is the lockstep dialogue's cue to retransmit).
+  std::optional<Bytes> recv_frame() override {
+    return side_ == Side::kA ? channel_.recv_at_a() : channel_.recv_at_b();
+  }
+
+  PublicChannel& channel() { return channel_; }
+
+ private:
+  PublicChannel& channel_;
+  Side side_;
+};
+
+}  // namespace qkd::net

@@ -262,6 +262,15 @@ void MeshSimulation::cut_link(LinkId link) {
   ++topology_version_;
 }
 
+bool MeshSimulation::set_classical_conditions(
+    LinkId link, const qkd::net::ClassicalConditions& conditions) {
+  if (!service_) return false;  // analytic mode has no classical channel
+  // Seed per link so two impaired links drop/reorder independently.
+  service_->session(link).channel().set_conditions(conditions,
+                                                   0x57A11EDULL ^ link);
+  return true;
+}
+
 double MeshSimulation::eavesdrop_link(LinkId link, double intercept_fraction) {
   eavesdrop_fraction_[link] = intercept_fraction;
   if (service_) {

@@ -20,6 +20,7 @@
 #include "src/network/key_service.hpp"
 #include "src/network/routing.hpp"
 #include "src/network/topology.hpp"
+#include "src/wire/frame.hpp"
 
 namespace qkd::network {
 
@@ -53,7 +54,8 @@ class MeshSimulation {
   /// same-destination requests into one frame amortizes this cost — the
   /// lever the KMS layer pulls (Gilbert & Hamrick's computational-load
   /// bound made visible in pool bits).
-  static constexpr std::size_t kFrameOverheadBits = 96;
+  static constexpr std::size_t kFrameOverheadBits =
+      qkd::wire::relay_frame_overhead_bits();
 
   struct TransportResult {
     bool success = false;
@@ -189,6 +191,14 @@ class MeshSimulation {
   /// expected QBER.
   double eavesdrop_link(LinkId link, double intercept_fraction);
   void restore_link(LinkId link);
+
+  /// Installs classical-channel conditions (one-way latency, loss,
+  /// reordering) on one link's PUBLIC channel — the framed byte stream the
+  /// distillation dialogue crosses, not the quantum channel. Engine mode
+  /// only; returns false on an analytic mesh (no classical channel is
+  /// simulated there).
+  bool set_classical_conditions(LinkId link,
+                                const qkd::net::ClassicalConditions& conditions);
 
   /// Eve owns this relay: its QKD links keep working (she plays both
   /// protocols honestly), but every end-to-end key it relays is hers.

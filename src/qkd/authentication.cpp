@@ -41,7 +41,11 @@ std::optional<Bytes> AuthenticationService::protect(const Bytes& message) {
   Bytes framed;
   put_u64(framed, send_seq_);
   put_bytes(framed, message);
-  const auto tag = send_auth_.tag(framed);
+  // The pad slot is the sequence number itself, keeping both ends paired
+  // by what the message SAYS it is rather than by how many calls each side
+  // has made — the property that lets a lost envelope be retransmitted
+  // verbatim over a lossy wire.
+  const auto tag = send_auth_.tag_at(framed, send_seq_);
   if (!tag.has_value()) {
     ++stats_.stalls;
     return std::nullopt;
@@ -67,15 +71,20 @@ std::optional<Bytes> AuthenticationService::verify(const Bytes& framed) {
 
   ByteReader reader(body);
   const std::uint64_t seq = reader.u64();
-  if (seq != recv_seq_expected_) {
+  // Strictly increasing, gaps allowed: a replay (seq below the watermark)
+  // is rejected outright; a gap means the peer gave up on an envelope the
+  // impaired wire never delivered, and the pads it consumed are skipped in
+  // lockstep by the slot addressing. A forged high seq fails its tag check
+  // without consuming anything.
+  if (seq < recv_seq_expected_) {
     ++stats_.rejected;
     return std::nullopt;
   }
-  if (!recv_auth_.verify(body, tag)) {
+  if (!recv_auth_.verify_at(body, tag, seq)) {
     ++stats_.rejected;
     return std::nullopt;
   }
-  ++recv_seq_expected_;
+  recv_seq_expected_ = seq + 1;
   ++stats_.verified;
   return reader.bytes(reader.remaining());
 }

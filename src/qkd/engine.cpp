@@ -36,6 +36,8 @@ const char* abort_reason_name(AbortReason reason) {
       return "entropy-exhausted";
     case AbortReason::kAuthExhausted:
       return "auth-exhausted";
+    case AbortReason::kChannelLost:
+      return "channel-lost";
   }
   return "?";
 }
@@ -56,6 +58,8 @@ QkdLinkSession::QkdLinkSession(QkdLinkConfig config, std::uint64_t seed)
                               config.auth) +
                               config.preposition_extra_bits),
                 /*is_initiator=*/false),
+      alice_wire_(channel_, qkd::net::ChannelTransport::Side::kA),
+      bob_wire_(channel_, qkd::net::ChannelTransport::Side::kB),
       pipeline_(default_pipeline()),
       supply_("qkd-link") {
   if (config_.sample_fraction < 0.0 || config_.sample_fraction >= 1.0)
@@ -79,13 +83,14 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
   result.detections = frame.bob.detected.popcount();
   result.duration_s = link_.frame_duration_s(config_.frame_slots);
   totals_.pulses += result.pulses;
-  totals_.duration_s += result.duration_s;
 
   // ---- Protocol stack: the stage pipeline over one shared context. --------
   BatchContext ctx{.config = config_,
                    .drbg = drbg_,
                    .alice_auth = alice_auth_,
                    .bob_auth = bob_auth_,
+                   .alice_wire = alice_wire_,
+                   .bob_wire = bob_wire_,
                    .frame = frame,
                    .frame_id = next_frame_id_++,
                    .alice_bits = {},
@@ -109,6 +114,27 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
     stats.control_bytes = result.control_bytes - bytes_before;
     if (reason != AbortReason::kNone) break;
   }
+
+  // A rejected batch is announced to the peer as a bare abort frame so
+  // both sides discard their halves in step (and the wire accounting
+  // reflects the notice).
+  if (reason != AbortReason::kNone) {
+    wire::AbortPacket abort_packet;
+    abort_packet.reason = static_cast<std::uint8_t>(reason);
+    const Bytes framed = wire::to_frame(abort_packet);
+    alice_wire_.send_frame(framed);
+    ++result.control_messages;
+    result.control_bytes += framed.size();
+    bob_wire_.recv_frame();  // peer consumes the notice
+  }
+
+  // Lockstep dialogues pay the channel's one-way latency once per control
+  // message; a latency spike therefore stalls distillation (lower key rate)
+  // without deadlocking it.
+  result.wire_stall_s = qkd::sim_to_seconds(channel_.conditions().latency) *
+                        static_cast<double>(result.control_messages);
+  result.duration_s += result.wire_stall_s;
+  totals_.duration_s += result.duration_s;
 
   // ---- Outcome accounting. ------------------------------------------------
   result.reason = reason;

@@ -27,6 +27,7 @@
 #include "src/crypto/drbg.hpp"
 #include "src/keystore/key_pool.hpp"
 #include "src/keystore/key_producer.hpp"
+#include "src/net/channel_transport.hpp"
 #include "src/optics/link.hpp"
 #include "src/qkd/authentication.hpp"
 #include "src/qkd/cascade_bbn.hpp"
@@ -47,12 +48,13 @@ enum class AbortReason {
   kVerifyFailed,     // post-correction hash comparison mismatched
   kEntropyExhausted, // estimate says Eve may know everything
   kAuthExhausted,    // no pad bits left to authenticate control traffic
+  kChannelLost,      // classical channel dropped traffic past retransmission
 };
 
 const char* abort_reason_name(AbortReason reason);
 
 /// Number of distinct AbortReason values (kNone included), for histograms.
-inline constexpr std::size_t kAbortReasonCount = 7;
+inline constexpr std::size_t kAbortReasonCount = 8;
 
 class PipelineStage;  // src/qkd/pipeline.hpp
 
@@ -158,9 +160,14 @@ struct BatchResult {
   // Quality measures.
   double qber_sampled = 0.0;
   double qber_actual = 0.0;          // ground truth over all sifted bits
-  // Protocol overhead.
+  // Protocol overhead. Message/byte counts are MEASURED from the encoded
+  // frames the batch actually put on the public channel (retransmissions
+  // included); wire_stall_s is the wall-clock the lockstep dialogue spent
+  // waiting on the channel's one-way latency, already folded into
+  // duration_s.
   std::size_t control_messages = 0;
   std::size_t control_bytes = 0;
+  double wire_stall_s = 0.0;
   // Ground truth: how much Eve actually knew about the sifted bits.
   std::size_t eve_known_sifted = 0;
   // Outcome.
@@ -258,6 +265,12 @@ class QkdLinkSession : public qkd::keystore::KeyProducer {
   const AuthenticationService& alice_auth() const { return alice_auth_; }
   const AuthenticationService& bob_auth() const { return bob_auth_; }
 
+  /// The public channel every control frame of this session crosses.
+  /// Install impairments or ClassicalConditions here to attack the framed
+  /// byte stream (the scenario engine's classical-channel actions do).
+  qkd::net::PublicChannel& channel() { return channel_; }
+  const qkd::net::PublicChannel& channel() const { return channel_; }
+
   // ---- keystore::KeyProducer ----------------------------------------------
   std::size_t supply_count() const override { return 1; }
   qkd::keystore::KeySupply& supply(std::size_t index = 0) override;
@@ -292,6 +305,9 @@ class QkdLinkSession : public qkd::keystore::KeyProducer {
   qkd::crypto::Drbg drbg_;
   AuthenticationService alice_auth_;
   AuthenticationService bob_auth_;
+  qkd::net::PublicChannel channel_;
+  qkd::net::ChannelTransport alice_wire_;
+  qkd::net::ChannelTransport bob_wire_;
   std::vector<std::unique_ptr<PipelineStage>> pipeline_;
   SessionTotals totals_;
   std::uint64_t next_frame_id_ = 0;

@@ -1,0 +1,83 @@
+// Single-sided distillation peers: Alice's half and Bob's half of the
+// Fig. 9 dialogue, each runnable in its OWN process over any
+// wire::Transport (in practice the TCP transport — the integration suite
+// forks one process per endpoint and connects them over localhost).
+//
+// The dialogue is frame-for-frame the one the in-process pipeline ships
+// over the in-memory channel: SiftAnnounce/SiftDecision, two
+// SampleReveals, the bare parity dialogue, EcSummary, two VerifyHashes,
+// PaParams per chunk, Abort on rejection. Determinism does the rest: both
+// peers seed the same DRBG, so sample positions, EC seeds and PA
+// parameters come out identical on both sides without ever crossing the
+// wire (Bob cross-checks the announced PA parameters against his own
+// derivation and aborts on any divergence).
+//
+// Two frame types exist only here and are excluded from control-traffic
+// accounting: QframeFeed (Alice simulates the optics and feeds Bob his
+// detection record — the QUANTUM channel, bootstrapped) and KeyDigest
+// (each side proves its distilled key byte-identical to the other's).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "src/optics/link.hpp"
+#include "src/qkd/engine.hpp"
+#include "src/wire/transport.hpp"
+
+namespace qkd::proto {
+
+/// One batch's outcome as seen from one side of the wire.
+struct PeerOutcome {
+  bool accepted = false;
+  AbortReason reason = AbortReason::kNone;
+  qkd::BitVector key;             // this side's distilled block
+  bool digest_matched = false;    // peer's KeyDigest agreed with ours
+  std::uint64_t frame_id = 0;
+  std::size_t sifted_bits = 0;
+  std::size_t errors_corrected = 0;
+  double qber_sampled = 0.0;
+  // Control frames THIS side put on the wire (QframeFeed/KeyDigest
+  // excluded, matching the in-process accounting).
+  std::size_t control_messages = 0;
+  std::size_t control_bytes = 0;
+};
+
+/// Alice's endpoint: simulates the quantum channel, feeds Bob his
+/// detections, then runs her half of the distillation dialogue.
+class AlicePeer {
+ public:
+  AlicePeer(QkdLinkConfig config, std::uint64_t seed);
+  ~AlicePeer();
+
+  PeerOutcome run_batch(wire::Transport& io);
+
+  const AuthenticationService& auth() const { return auth_; }
+
+ private:
+  QkdLinkConfig config_;
+  qkd::optics::WeakCoherentLink link_;
+  qkd::crypto::Drbg drbg_;
+  AuthenticationService auth_;
+  std::uint64_t next_frame_id_ = 0;
+};
+
+/// Bob's endpoint: receives the Qframe feed, then drives sifting
+/// announcements and error correction from his side of the wire.
+class BobPeer {
+ public:
+  BobPeer(QkdLinkConfig config, std::uint64_t seed);
+  ~BobPeer();
+
+  PeerOutcome run_batch(wire::Transport& io);
+
+  const AuthenticationService& auth() const { return auth_; }
+
+ private:
+  QkdLinkConfig config_;
+  qkd::crypto::Drbg drbg_;
+  AuthenticationService auth_;
+  std::uint64_t next_frame_id_ = 0;
+};
+
+}  // namespace qkd::proto

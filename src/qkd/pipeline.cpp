@@ -9,28 +9,89 @@
 #include "src/qkd/privacy.hpp"
 #include "src/qkd/randomness.hpp"
 #include "src/qkd/sifting.hpp"
+#include "src/qkd/wire_link.hpp"
 
 namespace qkd::proto {
+namespace {
 
-bool BatchContext::ship(AuthenticationService& sender,
-                        AuthenticationService& receiver, const Bytes& payload) {
-  const auto framed = sender.protect(payload);
-  if (!framed.has_value()) return false;
-  ++result.control_messages;
-  result.control_bytes += framed->size();
-  const auto verified = receiver.verify(*framed);
-  return verified.has_value() && *verified == payload;
+/// Retransmission budget per authenticated control message before the
+/// batch concedes the classical channel is gone.
+constexpr int kMaxShipAttempts = 12;
+
+AbortReason to_abort(ShipStatus status) {
+  switch (status) {
+    case ShipStatus::kOk:
+      return AbortReason::kNone;
+    case ShipStatus::kAuthExhausted:
+      return AbortReason::kAuthExhausted;
+    case ShipStatus::kChannelLost:
+      return AbortReason::kChannelLost;
+  }
+  return AbortReason::kChannelLost;
+}
+
+Bytes digest_bytes(const qkd::BitVector& bits) {
+  const auto digest = qkd::crypto::Sha1::hash(bits.to_bytes());
+  return Bytes(digest.begin(), digest.end());
+}
+
+}  // namespace
+
+ShipStatus BatchContext::ship_frame(bool from_alice, wire::PacketType type,
+                                    const Bytes& packet_payload,
+                                    bool authenticated) {
+  AuthenticationService& sender = from_alice ? alice_auth : bob_auth;
+  AuthenticationService& receiver = from_alice ? bob_auth : alice_auth;
+  wire::Transport& out = from_alice ? alice_wire : bob_wire;
+  wire::Transport& in = from_alice ? bob_wire : alice_wire;
+
+  // Protect ONCE: the pad slot is bound to the sequence number, so every
+  // retransmission is the identical envelope and costs no extra pad.
+  Bytes payload = packet_payload;
+  if (authenticated) {
+    auto protected_payload = sender.protect(packet_payload);
+    if (!protected_payload.has_value()) return ShipStatus::kAuthExhausted;
+    payload = std::move(*protected_payload);
+  }
+  const Bytes framed = wire::encode_frame(type, payload);
+
+  for (int attempt = 0; attempt < kMaxShipAttempts; ++attempt) {
+    out.send_frame(framed);
+    ++result.control_messages;
+    result.control_bytes += framed.size();
+    const auto raw = in.recv_frame();
+    if (!raw.has_value()) continue;  // lost in transit: retransmit
+    const auto frame = wire::decode_frame(*raw);
+    if (!frame.ok() || frame.value.type != type) continue;
+    if (authenticated) {
+      const auto verified = receiver.verify(frame.value.payload);
+      if (!verified.has_value() || *verified != packet_payload) continue;
+    } else if (frame.value.payload != packet_payload) {
+      continue;  // tampered bare frame: retransmit (verify stage audits)
+    }
+    return ShipStatus::kOk;
+  }
+  return ShipStatus::kChannelLost;
 }
 
 AbortReason SiftingStage::run(BatchContext& ctx) {
   // Bob announces detections; Alice replies with the basis matches.
   const SiftMessage sift_msg = make_sift_message(ctx.frame_id, ctx.frame.bob);
-  if (!ctx.ship(ctx.bob_auth, ctx.alice_auth, sift_msg.serialize()))
-    return AbortReason::kAuthExhausted;
+  wire::SiftAnnounce announce;
+  announce.frame_id = sift_msg.frame_id;
+  announce.detected = sift_msg.detected;
+  announce.bob_bases = sift_msg.bob_bases;
+  if (const auto s = ctx.ship(/*from_alice=*/false, announce);
+      s != ShipStatus::kOk)
+    return to_abort(s);
+
   AliceSiftResult alice_sifted = alice_sift(ctx.frame.alice, sift_msg);
-  if (!ctx.ship(ctx.alice_auth, ctx.bob_auth,
-                alice_sifted.response.serialize()))
-    return AbortReason::kAuthExhausted;
+  wire::SiftDecision decision;
+  decision.frame_id = alice_sifted.response.frame_id;
+  decision.keep = alice_sifted.response.keep;
+  if (const auto s = ctx.ship(/*from_alice=*/true, decision);
+      s != ShipStatus::kOk)
+    return to_abort(s);
   SiftOutcome bob_sifted =
       bob_apply_response(ctx.frame.bob, sift_msg, alice_sifted.response);
 
@@ -49,8 +110,9 @@ AbortReason SiftingStage::run(BatchContext& ctx) {
 }
 
 AbortReason SamplingStage::run(BatchContext& ctx) {
-  // The sample positions derive from the shared DRBG (announced on the wire
-  // in the real system); the sampled bits are exchanged in clear and dropped.
+  // The sample positions derive from the shared DRBG (both sides hold the
+  // same stream, so the positions are never transmitted); each side then
+  // reveals its OWN bits at those positions in the clear and drops them.
   const std::size_t n = ctx.alice_bits.size();
   const std::size_t sample_target = static_cast<std::size_t>(
       ctx.config.sample_fraction * static_cast<double>(n));
@@ -70,13 +132,14 @@ AbortReason SamplingStage::run(BatchContext& ctx) {
 
     std::size_t sample_errors = 0;
     qkd::BitVector alice_keep, bob_keep;
-    Bytes sample_exchange;  // the revealed bits, for wire accounting
+    wire::SampleReveal alice_reveal, bob_reveal;
+    alice_reveal.frame_id = ctx.frame_id;
+    bob_reveal.frame_id = ctx.frame_id;
     for (std::size_t i = 0; i < n; ++i) {
       if (sample_mask.get(i)) {
         sample_errors += ctx.alice_bits.get(i) != ctx.bob_bits.get(i);
-        sample_exchange.push_back(static_cast<std::uint8_t>(
-            ctx.alice_bits.get(i) << 1 |
-            static_cast<int>(ctx.bob_bits.get(i))));
+        alice_reveal.bits.push_back(ctx.alice_bits.get(i));
+        bob_reveal.bits.push_back(ctx.bob_bits.get(i));
       } else {
         alice_keep.push_back(ctx.alice_bits.get(i));
         bob_keep.push_back(ctx.bob_bits.get(i));
@@ -85,8 +148,12 @@ AbortReason SamplingStage::run(BatchContext& ctx) {
     ctx.result.sampled_bits = sample_target;
     ctx.result.qber_sampled = static_cast<double>(sample_errors) /
                               static_cast<double>(sample_target);
-    if (!ctx.ship(ctx.bob_auth, ctx.alice_auth, sample_exchange))
-      return AbortReason::kAuthExhausted;
+    if (const auto s = ctx.ship(/*from_alice=*/true, alice_reveal);
+        s != ShipStatus::kOk)
+      return to_abort(s);
+    if (const auto s = ctx.ship(/*from_alice=*/false, bob_reveal);
+        s != ShipStatus::kOk)
+      return to_abort(s);
     ctx.alice_bits = std::move(alice_keep);
     ctx.bob_bits = std::move(bob_keep);
 
@@ -98,51 +165,82 @@ AbortReason SamplingStage::run(BatchContext& ctx) {
 }
 
 AbortReason ErrorCorrectionStage::run(BatchContext& ctx) {
-  // Bob drives; Alice answers parity queries.
-  LocalParityOracle alice_oracle(ctx.alice_bits);
+  // Bob drives; every parity question and answer is a real frame on the
+  // wire (unauthenticated — see src/qkd/wire_link.hpp for why), answered
+  // by Alice's responder on the other end of the channel.
+  WireParityServer alice_server(ctx.alice_bits);
+  WireParityClient bob_client(
+      ctx.bob_wire, [&] { alice_server.serve_one(ctx.alice_wire); });
   EcStats ec;
-  switch (ctx.config.ec_strategy) {
-    case EcStrategy::kBbnCascade: {
-      BbnCascadeConfig cfg = ctx.config.bbn_config;
-      cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
-      ec = bbn_cascade_correct(ctx.bob_bits, alice_oracle, cfg);
-      break;
+  bool channel_lost = false;
+  try {
+    switch (ctx.config.ec_strategy) {
+      case EcStrategy::kBbnCascade: {
+        BbnCascadeConfig cfg = ctx.config.bbn_config;
+        cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+        ec = bbn_cascade_correct(ctx.bob_bits, bob_client, cfg);
+        break;
+      }
+      case EcStrategy::kClassicCascade: {
+        ClassicCascadeConfig cfg = ctx.config.classic_config;
+        cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+        ec = classic_cascade_correct(ctx.bob_bits, bob_client,
+                                     std::max(ctx.result.qber_sampled, 0.01),
+                                     cfg);
+        break;
+      }
+      case EcStrategy::kNaiveParity: {
+        NaiveParityConfig cfg = ctx.config.naive_config;
+        cfg.perm_seed = static_cast<std::uint32_t>(ctx.drbg.next_u32());
+        ec = naive_parity_correct(ctx.bob_bits, bob_client, cfg);
+        break;
+      }
     }
-    case EcStrategy::kClassicCascade: {
-      ClassicCascadeConfig cfg = ctx.config.classic_config;
-      cfg.seed_base = static_cast<std::uint32_t>(ctx.drbg.next_u32());
-      ec = classic_cascade_correct(ctx.bob_bits, alice_oracle,
-                                   std::max(ctx.result.qber_sampled, 0.01),
-                                   cfg);
-      break;
-    }
-    case EcStrategy::kNaiveParity: {
-      NaiveParityConfig cfg = ctx.config.naive_config;
-      cfg.perm_seed = static_cast<std::uint32_t>(ctx.drbg.next_u32());
-      ec = naive_parity_correct(ctx.bob_bits, alice_oracle, cfg);
-      break;
-    }
+  } catch (const ChannelLostError&) {
+    channel_lost = true;
   }
+  // Wire accounting for EC is measured, not estimated: both sides' sent
+  // frames, retransmissions included.
+  ctx.result.control_messages +=
+      bob_client.traffic().messages + alice_server.traffic().messages;
+  ctx.result.control_bytes +=
+      bob_client.traffic().bytes + alice_server.traffic().bytes;
   ctx.result.errors_corrected = ec.corrections;
-  ctx.result.disclosed_bits = alice_oracle.disclosed();
-  // Wire accounting for EC: each query is ~14 bytes out, 1 byte back.
-  ctx.result.control_messages += 2 * ec.parity_queries;
-  ctx.result.control_bytes += 15 * ec.parity_queries;
+  ctx.result.disclosed_bits = alice_server.disclosed();
+  if (channel_lost) return AbortReason::kChannelLost;
+
+  // Bob closes the dialogue with an authenticated summary; Alice needs the
+  // correction count for her entropy estimate.
+  wire::EcSummary summary;
+  summary.corrections = static_cast<std::uint32_t>(ec.corrections);
+  summary.converged = ec.converged;
+  if (const auto s = ctx.ship(/*from_alice=*/false, summary);
+      s != ShipStatus::kOk)
+    return to_abort(s);
+
   if (ctx.config.ec_strategy != EcStrategy::kNaiveParity && !ec.converged)
     return AbortReason::kEcNotConverged;
   return AbortReason::kNone;
 }
 
 AbortReason VerifyStage::run(BatchContext& ctx) {
-  // Equality verification: exchange a hash of the corrected string. (IKE
-  // "has no mechanisms for noticing" key disagreement — the QKD stack must
-  // therefore catch residual errors here, Sec. 7.)
-  const auto alice_hash = qkd::crypto::Sha1::hash(ctx.alice_bits.to_bytes());
-  const auto bob_hash = qkd::crypto::Sha1::hash(ctx.bob_bits.to_bytes());
-  const Bytes hash_msg(alice_hash.begin(), alice_hash.end());
-  if (!ctx.ship(ctx.alice_auth, ctx.bob_auth, hash_msg))
-    return AbortReason::kAuthExhausted;
-  if (alice_hash != bob_hash) return AbortReason::kVerifyFailed;
+  // Equality verification: BOTH directions exchange a hash of the
+  // corrected string. (IKE "has no mechanisms for noticing" key
+  // disagreement — the QKD stack must therefore catch residual errors
+  // here, Sec. 7.)
+  wire::VerifyHash alice_hash;
+  alice_hash.frame_id = ctx.frame_id;
+  alice_hash.digest = digest_bytes(ctx.alice_bits);
+  wire::VerifyHash bob_hash;
+  bob_hash.frame_id = ctx.frame_id;
+  bob_hash.digest = digest_bytes(ctx.bob_bits);
+  if (const auto s = ctx.ship(/*from_alice=*/true, alice_hash);
+      s != ShipStatus::kOk)
+    return to_abort(s);
+  if (const auto s = ctx.ship(/*from_alice=*/false, bob_hash);
+      s != ShipStatus::kOk)
+    return to_abort(s);
+  if (alice_hash.digest != bob_hash.digest) return AbortReason::kVerifyFailed;
 
   // The exact error count is now known; apply the canonical QBER alarm.
   const double qber_exact =
@@ -196,8 +294,16 @@ AbortReason PrivacyAmplificationStage::run(BatchContext& ctx) {
     const std::size_t m_chunk = std::min(m_target - m_emitted, chunk);
     if (m_chunk > 0) {
       const PaParams pa = make_pa_params(chunk, m_chunk, ctx.drbg);
-      if (!ctx.ship(ctx.alice_auth, ctx.bob_auth, pa.serialize()))
-        return AbortReason::kAuthExhausted;
+      wire::PaParamsPacket announce;
+      announce.n = pa.n;
+      announce.m = pa.m;
+      announce.modulus_exponents.assign(pa.modulus.exponents.begin(),
+                                        pa.modulus.exponents.end());
+      announce.multiplier = pa.multiplier;
+      announce.addend = pa.addend;
+      if (const auto s = ctx.ship(/*from_alice=*/true, announce);
+          s != ShipStatus::kOk)
+        return to_abort(s);
       ctx.alice_key.append(
           privacy_amplify(ctx.alice_bits.slice(offset, chunk), pa));
       ctx.bob_key.append(

@@ -23,8 +23,17 @@
 #include <vector>
 
 #include "src/qkd/engine.hpp"
+#include "src/wire/packets.hpp"
+#include "src/wire/transport.hpp"
 
 namespace qkd::proto {
+
+/// Outcome of shipping one control message end to end.
+enum class ShipStatus {
+  kOk,             // delivered and (where applicable) verified
+  kAuthExhausted,  // no pad bits left to protect it
+  kChannelLost,    // retransmission gave up on the classical channel
+};
 
 /// Per-frame working state threaded through the stages. Stages communicate
 /// exclusively through this object: each consumes fields written by its
@@ -35,6 +44,12 @@ struct BatchContext {
   qkd::crypto::Drbg& drbg;
   AuthenticationService& alice_auth;
   AuthenticationService& bob_auth;
+  // Each side's end of the classical channel (Alice = side A). The
+  // in-memory session hands in two ChannelTransports over one
+  // PublicChannel; the same dialogue runs unchanged over TCP sockets in
+  // the two-process peers.
+  wire::Transport& alice_wire;
+  wire::Transport& bob_wire;
   const qkd::optics::FrameResult& frame;
   std::uint64_t frame_id = 0;
 
@@ -54,10 +69,20 @@ struct BatchContext {
   // Accounting sink; also where the final key lands.
   BatchResult& result;
 
-  /// Ships `payload` through the authentication service pair, counting
-  /// wire bytes. Returns false on pad exhaustion or verification failure.
-  bool ship(AuthenticationService& sender, AuthenticationService& receiver,
-            const Bytes& payload);
+  /// Ships one typed packet from one side to the other as a real encoded
+  /// frame over the transports, Wegman-Carter-protected (the packet's
+  /// encoding is what gets authenticated), retransmitting through loss.
+  /// Counts every frame actually put on the wire into `result`.
+  template <typename Packet>
+  ShipStatus ship(bool from_alice, const Packet& packet) {
+    return ship_frame(from_alice, Packet::kType, packet.encode(),
+                      /*authenticated=*/true);
+  }
+
+  /// The transport-level primitive behind ship(); `authenticated=false`
+  /// frames travel bare (the parity dialogue, the abort notice).
+  ShipStatus ship_frame(bool from_alice, wire::PacketType type,
+                        const Bytes& packet_payload, bool authenticated);
 };
 
 /// One stage of the distillation pipeline.

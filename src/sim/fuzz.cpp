@@ -130,6 +130,17 @@ std::optional<std::string> check_and_apply(const network::Topology& topology,
       it->second -= a.count;
       return std::nullopt;
     }
+    std::optional<std::string> operator()(const ClassicalImpairment& a) {
+      // Settable at any time, even on a cut link (the fiber is cut; the
+      // classical channel still exists); all-zero fields clear it.
+      if (is_bad_link(a.link)) return "ClassicalImpairment: unknown link";
+      if (a.latency < 0) return "ClassicalImpairment: negative latency";
+      if (a.loss_prob < 0.0 || a.loss_prob > 1.0)
+        return "ClassicalImpairment: loss outside [0, 1]";
+      if (a.reorder_prob < 0.0 || a.reorder_prob > 1.0)
+        return "ClassicalImpairment: reorder outside [0, 1]";
+      return std::nullopt;
+    }
   };
   Checker checker{topology, state, bad_link, bad_node, endpoint};
   return std::visit(checker, action);
@@ -292,6 +303,7 @@ FuzzCase ScenarioFuzzer::generate() {
     kKeyRequest,
     kArrival,
     kDeparture,
+    kImpair,
   };
   for (const SimTime at : times) {
     // Operand pools that are legal right now.
@@ -330,6 +342,7 @@ FuzzCase ScenarioFuzzer::generate() {
     if (!tapped.empty()) enter(Kind::kUntap, 2);
     if (!ownable.empty()) enter(Kind::kCompromise, 1);
     if (!sweepable.empty()) enter(Kind::kRestoreNode, 1);
+    enter(Kind::kImpair, 1);
 
     switch (lottery[rng_.next_below(lottery.size())]) {
       case Kind::kCut:
@@ -378,6 +391,27 @@ FuzzCase ScenarioFuzzer::generate() {
         departure.qos = std::get<2>(key);
         departure.count = 1 + rng_.next_below(live);
         add(at, departure);
+        break;
+      }
+      case Kind::kImpair: {
+        ClassicalImpairment impair;
+        impair.link = static_cast<network::LinkId>(
+            rng_.next_below(state.links.size()));
+        if (rng_.next_bool(0.25)) {
+          // Clear: all-zero restores a clean channel.
+        } else {
+          impair.latency =
+              static_cast<SimTime>(rng_.next_below(50)) * kMillisecond;
+          impair.loss_prob = rng_.next_bool(0.5)
+                                 ? 0.0
+                                 : 0.02 * static_cast<double>(
+                                              1 + rng_.next_below(5));
+          impair.reorder_prob =
+              rng_.next_bool(0.5)
+                  ? 0.0
+                  : 0.05 * static_cast<double>(1 + rng_.next_below(4));
+        }
+        add(at, impair);
         break;
       }
     }

@@ -32,6 +32,9 @@ const char* action_name(const ScenarioAction& action) {
     const char* operator()(const ClientDeparture&) const {
       return "ClientDeparture";
     }
+    const char* operator()(const ClassicalImpairment&) const {
+      return "ClassicalImpairment";
+    }
   };
   return std::visit(Namer{}, action);
 }
@@ -75,6 +78,12 @@ std::string describe(const ScenarioAction& action) {
       return "ClientDeparture " + std::to_string(a.count) + " x qos" +
              std::to_string(a.qos) + " " + std::to_string(a.src) + "->" +
              std::to_string(a.dst);
+    }
+    std::string operator()(const ClassicalImpairment& a) const {
+      return "ClassicalImpairment link=" + std::to_string(a.link) +
+             " latency=" + std::to_string(sim_to_seconds(a.latency)) +
+             "s loss=" + std::to_string(a.loss_prob) +
+             " reorder=" + std::to_string(a.reorder_prob);
     }
   };
   return std::visit(Describer{}, action);
@@ -295,6 +304,23 @@ void ScenarioRunner::apply(SimTime now, const ScenarioAction& action) {
             "ScenarioRunner: ClientDeparture without attach_client_driver()");
       r.client_driver_->client_departure(now, a);
     }
+    void operator()(const ClassicalImpairment& a) const {
+      qkd::net::ClassicalConditions conditions;
+      conditions.latency = a.latency;
+      conditions.loss_prob = a.loss_prob;
+      conditions.reorder_prob = a.reorder_prob;
+      if (r.mesh_ != nullptr) {
+        if (!r.mesh_->set_classical_conditions(a.link, conditions))
+          r.recorder_.note(
+              now, "  -> no-op: analytic mesh has no classical channel");
+      } else if (auto* feed = vpn_feed()) {
+        feed->session(a.link).channel().set_conditions(
+            conditions, 0x57A11EDULL ^ a.link);
+      } else {
+        throw std::logic_error(
+            "ScenarioRunner: ClassicalImpairment with nothing attached");
+      }
+    }
   };
   std::visit(Applier{*this, now}, action);
   if (action_observer_) action_observer_(now, action);
@@ -338,15 +364,29 @@ std::size_t ScenarioRunner::run_with(
 
   if (mesh_ != nullptr) {
     if (auto* service = mesh_->key_service()) {
-      // Engine-backed links: one periodic batch-completion event per link,
-      // at that link's real Qframe period.
+      // Engine-backed links: one self-paced batch-completion event chain
+      // per link. The next completion lands after the duration the batch
+      // ACTUALLY took — on a clean channel exactly the Qframe period, but
+      // a ClassicalImpairment's latency stall (folded into the batch's
+      // duration_s) stretches the cadence, so a degraded classical channel
+      // lowers the distilled rate on the timeline, not just on paper.
       for (const network::Link& link : mesh_->topology().links()) {
         const SimTime frame =
             seconds_to_sim(service->link_frame_duration_s(link.id));
         const network::LinkId id = link.id;
-        scheduler_->every(frame, frame, [this, service, id](SimTime) {
-          if (mesh_->topology().link(id).usable()) service->run_link_batch(id);
-        });
+        auto fire = std::make_shared<std::function<void(SimTime)>>();
+        *fire = [this, service, id, frame, fire](SimTime now) {
+          SimTime next = frame;
+          if (mesh_->topology().link(id).usable()) {
+            const double before = service->session(id).totals().duration_s;
+            service->run_link_batch(id);
+            const double took =
+                service->session(id).totals().duration_s - before;
+            if (took > 0.0) next = seconds_to_sim(took);
+          }
+          scheduler_->at(now + next, *fire);
+        };
+        scheduler_->at(frame, *fire);
       }
     } else {
       // Accrual cadence between observations (keeps long idle stretches

@@ -116,10 +116,25 @@ struct ClientDeparture {
   std::size_t count = 1;
 };
 
+/// Degrades one link's CLASSICAL channel — the framed byte stream the
+/// distillation dialogue crosses, not the quantum fiber. Every control
+/// frame pays `latency` one way (a lockstep dialogue stalls by
+/// latency x messages, lowering the distilled rate without deadlock), is
+/// lost with `loss_prob` (retransmission inflates the measured control
+/// traffic) and reordered with `reorder_prob`. All-zero fields restore a
+/// clean channel. Engine-backed links only; an analytic mesh simulates no
+/// classical channel, so there the action is a recorded no-op.
+struct ClassicalImpairment {
+  network::LinkId link = 0;
+  SimTime latency = 0;
+  double loss_prob = 0.0;
+  double reorder_prob = 0.0;
+};
+
 using ScenarioAction =
     std::variant<CutLink, RestoreLink, StartEavesdrop, StopEavesdrop,
                  TrafficBurst, KeyRequest, CompromiseNode, RestoreNode,
-                 ClientArrival, ClientDeparture>;
+                 ClientArrival, ClientDeparture, ClassicalImpairment>;
 
 /// Human-readable action tag for timeline annotations.
 const char* action_name(const ScenarioAction& action);

@@ -1,0 +1,252 @@
+#include "src/wire/etsi.hpp"
+
+#include <stdexcept>
+
+#include "src/wire/packets.hpp"
+
+namespace qkd::wire {
+namespace {
+
+constexpr std::size_t kMaxNameBytes = 256;
+
+void put_string(Bytes& out, const std::string& s) {
+  put_varint(out, s.size());
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+std::string get_string(ByteReader& reader) {
+  const std::uint64_t len = reader.varint();
+  if (len > kMaxNameBytes) throw std::invalid_argument("wire: name too long");
+  const Bytes raw = reader.bytes(static_cast<std::size_t>(len));
+  return std::string(raw.begin(), raw.end());
+}
+
+template <typename Message, typename Parse>
+Result<Message> parse_payload(const Bytes& payload, const Parse& parse) {
+  try {
+    ByteReader reader(payload);
+    Message message = parse(reader);
+    if (!reader.done())
+      return Result<Message>::failure(WireError::kTrailingBytes);
+    return Result<Message>::success(std::move(message));
+  } catch (const std::exception&) {
+    return Result<Message>::failure(WireError::kMalformedPayload);
+  }
+}
+
+}  // namespace
+
+Bytes KmsRegister::encode() const {
+  Bytes out;
+  put_string(out, name);
+  put_u32(out, src);
+  put_u32(out, dst);
+  put_u8(out, qos);
+  return out;
+}
+
+Result<KmsRegister> KmsRegister::decode(const Bytes& payload) {
+  return parse_payload<KmsRegister>(payload, [](ByteReader& reader) {
+    KmsRegister message;
+    message.name = get_string(reader);
+    message.src = reader.u32();
+    message.dst = reader.u32();
+    message.qos = reader.u8();
+    if (message.qos > 2)
+      throw std::invalid_argument("KmsRegister: unknown QoS class");
+    return message;
+  });
+}
+
+Bytes KmsRegisterReply::encode() const {
+  Bytes out;
+  put_u32(out, client_id);
+  return out;
+}
+
+Result<KmsRegisterReply> KmsRegisterReply::decode(const Bytes& payload) {
+  return parse_payload<KmsRegisterReply>(payload, [](ByteReader& reader) {
+    KmsRegisterReply message;
+    message.client_id = reader.u32();
+    return message;
+  });
+}
+
+Bytes KmsGetKey::encode() const {
+  Bytes out;
+  put_u32(out, client_id);
+  put_varint(out, request_id);
+  put_varint(out, bits);
+  return out;
+}
+
+Result<KmsGetKey> KmsGetKey::decode(const Bytes& payload) {
+  return parse_payload<KmsGetKey>(payload, [](ByteReader& reader) {
+    KmsGetKey message;
+    message.client_id = reader.u32();
+    message.request_id = reader.varint();
+    message.bits = reader.varint();
+    if (message.bits == 0)
+      throw std::invalid_argument("KmsGetKey: zero-bit request");
+    return message;
+  });
+}
+
+Bytes KmsGetKeyWithId::encode() const {
+  Bytes out;
+  put_u32(out, client_id);
+  put_varint(out, request_id);
+  put_u64(out, key_id);
+  return out;
+}
+
+Result<KmsGetKeyWithId> KmsGetKeyWithId::decode(const Bytes& payload) {
+  return parse_payload<KmsGetKeyWithId>(payload, [](ByteReader& reader) {
+    KmsGetKeyWithId message;
+    message.client_id = reader.u32();
+    message.request_id = reader.varint();
+    message.key_id = reader.u64();
+    return message;
+  });
+}
+
+Bytes KmsStatus::encode() const {
+  Bytes out;
+  put_u32(out, client_id);
+  return out;
+}
+
+Result<KmsStatus> KmsStatus::decode(const Bytes& payload) {
+  return parse_payload<KmsStatus>(payload, [](ByteReader& reader) {
+    KmsStatus message;
+    message.client_id = reader.u32();
+    return message;
+  });
+}
+
+Result<KmsBye> KmsBye::decode(const Bytes& payload) {
+  return parse_payload<KmsBye>(payload,
+                               [](ByteReader&) { return KmsBye{}; });
+}
+
+Bytes KmsGrant::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_u8(out, status);
+  put_u64(out, key_id);
+  put_bits_dense(out, bits);
+  put_u8(out, compromised ? 1 : 0);
+  return out;
+}
+
+Result<KmsGrant> KmsGrant::decode(const Bytes& payload) {
+  return parse_payload<KmsGrant>(payload, [](ByteReader& reader) {
+    KmsGrant message;
+    message.request_id = reader.varint();
+    message.status = reader.u8();
+    message.key_id = reader.u64();
+    message.bits = get_bits_dense(reader);
+    const std::uint8_t raw = reader.u8();
+    if (raw > 1) throw std::invalid_argument("KmsGrant: non-boolean flag");
+    message.compromised = raw != 0;
+    return message;
+  });
+}
+
+Bytes KmsKeyWithIdReply::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_u8(out, ok ? 1 : 0);
+  put_u64(out, key_id);
+  put_bits_dense(out, bits);
+  return out;
+}
+
+Result<KmsKeyWithIdReply> KmsKeyWithIdReply::decode(const Bytes& payload) {
+  return parse_payload<KmsKeyWithIdReply>(payload, [](ByteReader& reader) {
+    KmsKeyWithIdReply message;
+    message.request_id = reader.varint();
+    const std::uint8_t raw = reader.u8();
+    if (raw > 1)
+      throw std::invalid_argument("KmsKeyWithIdReply: non-boolean flag");
+    message.ok = raw != 0;
+    message.key_id = reader.u64();
+    message.bits = get_bits_dense(reader);
+    return message;
+  });
+}
+
+Bytes KmsStatusReply::encode() const {
+  Bytes out;
+  put_varint(out, requests);
+  put_varint(out, granted);
+  put_varint(out, queue_depth);
+  put_varint(out, claims_fulfilled);
+  return out;
+}
+
+Result<KmsStatusReply> KmsStatusReply::decode(const Bytes& payload) {
+  return parse_payload<KmsStatusReply>(payload, [](ByteReader& reader) {
+    KmsStatusReply message;
+    message.requests = reader.varint();
+    message.granted = reader.varint();
+    message.queue_depth = reader.varint();
+    message.claims_fulfilled = reader.varint();
+    return message;
+  });
+}
+
+Bytes KmsReject::encode() const {
+  Bytes out;
+  put_varint(out, request_id);
+  put_u8(out, status);
+  return out;
+}
+
+Result<KmsReject> KmsReject::decode(const Bytes& payload) {
+  return parse_payload<KmsReject>(payload, [](ByteReader& reader) {
+    KmsReject message;
+    message.request_id = reader.varint();
+    message.status = reader.u8();
+    return message;
+  });
+}
+
+namespace {
+
+template <typename Message>
+Result<EtsiMessage> lift(Result<Message> decoded) {
+  if (!decoded.ok()) return Result<EtsiMessage>::failure(decoded.error);
+  return Result<EtsiMessage>::success(EtsiMessage(std::move(decoded.value)));
+}
+
+}  // namespace
+
+Result<EtsiMessage> decode_etsi(const Frame& frame) {
+  switch (frame.type) {
+    case PacketType::kKmsRegister:
+      return lift(KmsRegister::decode(frame.payload));
+    case PacketType::kKmsRegisterReply:
+      return lift(KmsRegisterReply::decode(frame.payload));
+    case PacketType::kKmsGetKey:
+      return lift(KmsGetKey::decode(frame.payload));
+    case PacketType::kKmsGetKeyWithId:
+      return lift(KmsGetKeyWithId::decode(frame.payload));
+    case PacketType::kKmsStatus:
+      return lift(KmsStatus::decode(frame.payload));
+    case PacketType::kKmsBye:
+      return lift(KmsBye::decode(frame.payload));
+    case PacketType::kKmsGrant:
+      return lift(KmsGrant::decode(frame.payload));
+    case PacketType::kKmsKeyWithIdReply:
+      return lift(KmsKeyWithIdReply::decode(frame.payload));
+    case PacketType::kKmsStatusReply:
+      return lift(KmsStatusReply::decode(frame.payload));
+    case PacketType::kKmsReject:
+      return lift(KmsReject::decode(frame.payload));
+    default:
+      return Result<EtsiMessage>::failure(WireError::kMalformedPayload);
+  }
+}
+
+}  // namespace qkd::wire

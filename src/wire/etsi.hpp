@@ -1,0 +1,157 @@
+// ETSI GS QKD 014-flavored request/response encoding for the KMS API.
+//
+// The delivery model mirrors the spec's two-sided shape (and the
+// Q-KeyMaker key-server architecture): the master side asks get_key and
+// receives (key, key_ID); the slave side fetches the SAME bits by key_ID
+// with get_key_with_id. Here each call is one typed request frame and one
+// typed response frame; src/kms/wire_service.hpp binds the codec to a live
+// KeyManagementService on the server side and to a blocking client API on
+// the other, over any wire::Transport (in-memory channel or TCP socket).
+//
+// Status values in KmsGrant/KmsReject are kms::GrantStatus; the codec
+// layer carries them as raw u8 so src/wire stays below src/kms in the DAG.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/bytes.hpp"
+#include "src/wire/frame.hpp"
+
+namespace qkd::wire {
+
+// ---- Requests --------------------------------------------------------------
+
+/// Registers an application on an endpoint pair (the registry handshake
+/// that precedes ETSI delivery; the spec's SAE identity, here by name).
+struct KmsRegister {
+  static constexpr PacketType kType = PacketType::kKmsRegister;
+  std::string name;
+  std::uint32_t src = 0;
+  std::uint32_t dst = 0;
+  std::uint8_t qos = 1;
+
+  Bytes encode() const;
+  static Result<KmsRegister> decode(const Bytes& payload);
+  bool operator==(const KmsRegister&) const = default;
+};
+
+struct KmsRegisterReply {
+  static constexpr PacketType kType = PacketType::kKmsRegisterReply;
+  std::uint32_t client_id = 0;
+
+  Bytes encode() const;
+  static Result<KmsRegisterReply> decode(const Bytes& payload);
+  bool operator==(const KmsRegisterReply&) const = default;
+};
+
+/// Master side: requests `bits` of end-to-end key. `request_id` is echoed
+/// on the matching KmsGrant/KmsReject so a client may pipeline requests.
+struct KmsGetKey {
+  static constexpr PacketType kType = PacketType::kKmsGetKey;
+  std::uint32_t client_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t bits = 0;
+
+  Bytes encode() const;
+  static Result<KmsGetKey> decode(const Bytes& payload);
+  bool operator==(const KmsGetKey&) const = default;
+};
+
+/// Slave side: claims the peer copy of a granted key by its key_ID.
+struct KmsGetKeyWithId {
+  static constexpr PacketType kType = PacketType::kKmsGetKeyWithId;
+  std::uint32_t client_id = 0;
+  std::uint64_t request_id = 0;
+  std::uint64_t key_id = 0;
+
+  Bytes encode() const;
+  static Result<KmsGetKeyWithId> decode(const Bytes& payload);
+  bool operator==(const KmsGetKeyWithId&) const = default;
+};
+
+struct KmsStatus {
+  static constexpr PacketType kType = PacketType::kKmsStatus;
+  std::uint32_t client_id = 0;
+
+  Bytes encode() const;
+  static Result<KmsStatus> decode(const Bytes& payload);
+  bool operator==(const KmsStatus&) const = default;
+};
+
+/// Ends a wire session (the server's serve loop returns).
+struct KmsBye {
+  static constexpr PacketType kType = PacketType::kKmsBye;
+
+  Bytes encode() const { return {}; }
+  static Result<KmsBye> decode(const Bytes& payload);
+  bool operator==(const KmsBye&) const = default;
+};
+
+// ---- Responses -------------------------------------------------------------
+
+/// A granted get_key: the initiator's copy plus the key_ID naming the same
+/// bits on the peer endpoint.
+struct KmsGrant {
+  static constexpr PacketType kType = PacketType::kKmsGrant;
+  std::uint64_t request_id = 0;
+  std::uint8_t status = 0;  // kms::GrantStatus
+  std::uint64_t key_id = 0;
+  qkd::BitVector bits;
+  bool compromised = false;
+
+  Bytes encode() const;
+  static Result<KmsGrant> decode(const Bytes& payload);
+  bool operator==(const KmsGrant&) const = default;
+};
+
+struct KmsKeyWithIdReply {
+  static constexpr PacketType kType = PacketType::kKmsKeyWithIdReply;
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  std::uint64_t key_id = 0;
+  qkd::BitVector bits;
+
+  Bytes encode() const;
+  static Result<KmsKeyWithIdReply> decode(const Bytes& payload);
+  bool operator==(const KmsKeyWithIdReply&) const = default;
+};
+
+struct KmsStatusReply {
+  static constexpr PacketType kType = PacketType::kKmsStatusReply;
+  std::uint64_t requests = 0;
+  std::uint64_t granted = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t claims_fulfilled = 0;
+
+  Bytes encode() const;
+  static Result<KmsStatusReply> decode(const Bytes& payload);
+  bool operator==(const KmsStatusReply&) const = default;
+};
+
+/// A rejected request (admission control, shedding, departure) — the
+/// non-granted statuses travel here so a grant never needs an empty key.
+struct KmsReject {
+  static constexpr PacketType kType = PacketType::kKmsReject;
+  std::uint64_t request_id = 0;
+  std::uint8_t status = 0;  // kms::GrantStatus
+
+  Bytes encode() const;
+  static Result<KmsReject> decode(const Bytes& payload);
+  bool operator==(const KmsReject&) const = default;
+};
+
+// ---- Whole-message codec ---------------------------------------------------
+
+using EtsiMessage =
+    std::variant<KmsRegister, KmsRegisterReply, KmsGetKey, KmsGetKeyWithId,
+                 KmsStatus, KmsBye, KmsGrant, KmsKeyWithIdReply,
+                 KmsStatusReply, KmsReject>;
+
+/// Decodes a frame's payload into the typed KMS message its header names;
+/// kMalformedPayload for non-KMS frame types.
+Result<EtsiMessage> decode_etsi(const Frame& frame);
+
+}  // namespace qkd::wire

@@ -1,0 +1,369 @@
+#include "src/wire/packets.hpp"
+
+#include <stdexcept>
+
+namespace qkd::wire {
+namespace {
+
+/// Guard against hostile counts before any allocation: a decoded length
+/// may not imply more memory than the payload could possibly describe.
+constexpr std::uint64_t kMaxDecodedBits = 8ull * kMaxPayloadBytes;
+
+void check_bit_count(std::uint64_t bits) {
+  if (bits > kMaxDecodedBits)
+    throw std::out_of_range("wire: bit count exceeds frame bound");
+}
+
+/// Runs a payload parser with strict trailing-byte and exception mapping.
+template <typename Packet, typename Parse>
+Result<Packet> parse_payload(const Bytes& payload, const Parse& parse) {
+  try {
+    ByteReader reader(payload);
+    Packet packet = parse(reader);
+    if (!reader.done())
+      return Result<Packet>::failure(WireError::kTrailingBytes);
+    return Result<Packet>::success(std::move(packet));
+  } catch (const std::exception&) {
+    return Result<Packet>::failure(WireError::kMalformedPayload);
+  }
+}
+
+}  // namespace
+
+void put_bits_dense(Bytes& out, const qkd::BitVector& bits) {
+  put_varint(out, bits.size());
+  const auto packed = bits.to_bytes();
+  out.insert(out.end(), packed.begin(), packed.end());
+}
+
+qkd::BitVector get_bits_dense(ByteReader& reader) {
+  const std::uint64_t n = reader.varint();
+  check_bit_count(n);
+  const std::size_t byte_count = (static_cast<std::size_t>(n) + 7) / 8;
+  const Bytes packed = reader.bytes(byte_count);
+  qkd::BitVector bits = qkd::BitVector::from_bytes(packed);
+  // Strictness: padding bits beyond n must be zero, or two distinct wire
+  // encodings would decode to the same value.
+  for (std::size_t i = n; i < bits.size(); ++i)
+    if (bits.get(i)) throw std::invalid_argument("wire: nonzero padding bit");
+  bits.resize(static_cast<std::size_t>(n));
+  return bits;
+}
+
+void put_bits_sparse(Bytes& out, const qkd::BitVector& bits) {
+  put_varint(out, bits.size());
+  put_varint(out, bits.popcount());
+  std::uint64_t previous = 0;
+  bool first = true;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (!bits.get(i)) continue;
+    put_varint(out, first ? i : i - previous - 1);
+    previous = i;
+    first = false;
+  }
+}
+
+qkd::BitVector get_bits_sparse(ByteReader& reader) {
+  const std::uint64_t n = reader.varint();
+  check_bit_count(n);
+  const std::uint64_t set_count = reader.varint();
+  if (set_count > n) throw std::invalid_argument("wire: popcount > size");
+  qkd::BitVector bits(static_cast<std::size_t>(n));
+  std::uint64_t position = 0;
+  for (std::uint64_t i = 0; i < set_count; ++i) {
+    const std::uint64_t delta = reader.varint();
+    position = (i == 0) ? delta : position + delta + 1;
+    if (position >= n)
+      throw std::invalid_argument("wire: set position out of range");
+    bits.set(static_cast<std::size_t>(position), true);
+  }
+  return bits;
+}
+
+// ---- QframeFeed ------------------------------------------------------------
+
+Bytes QframeFeed::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_bits_sparse(out, detected);
+  put_bits_dense(out, bases);
+  put_bits_dense(out, bits);
+  return out;
+}
+
+Result<QframeFeed> QframeFeed::decode(const Bytes& payload) {
+  return parse_payload<QframeFeed>(payload, [](ByteReader& reader) {
+    QframeFeed packet;
+    packet.frame_id = reader.varint();
+    packet.detected = get_bits_sparse(reader);
+    packet.bases = get_bits_dense(reader);
+    packet.bits = get_bits_dense(reader);
+    if (packet.bases.size() != packet.detected.size() ||
+        packet.bits.size() != packet.detected.size())
+      throw std::invalid_argument("QframeFeed: field sizes disagree");
+    return packet;
+  });
+}
+
+// ---- SiftAnnounce ----------------------------------------------------------
+
+Bytes SiftAnnounce::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_bits_sparse(out, detected);
+  put_bits_dense(out, bob_bases);
+  return out;
+}
+
+Result<SiftAnnounce> SiftAnnounce::decode(const Bytes& payload) {
+  return parse_payload<SiftAnnounce>(payload, [](ByteReader& reader) {
+    SiftAnnounce packet;
+    packet.frame_id = reader.varint();
+    packet.detected = get_bits_sparse(reader);
+    packet.bob_bases = get_bits_dense(reader);
+    if (packet.bob_bases.size() != packet.detected.popcount())
+      throw std::invalid_argument("SiftAnnounce: one basis per detection");
+    return packet;
+  });
+}
+
+// ---- SiftDecision ----------------------------------------------------------
+
+Bytes SiftDecision::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_bits_dense(out, keep);
+  return out;
+}
+
+Result<SiftDecision> SiftDecision::decode(const Bytes& payload) {
+  return parse_payload<SiftDecision>(payload, [](ByteReader& reader) {
+    SiftDecision packet;
+    packet.frame_id = reader.varint();
+    packet.keep = get_bits_dense(reader);
+    return packet;
+  });
+}
+
+// ---- SampleReveal ----------------------------------------------------------
+
+Bytes SampleReveal::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_bits_dense(out, bits);
+  return out;
+}
+
+Result<SampleReveal> SampleReveal::decode(const Bytes& payload) {
+  return parse_payload<SampleReveal>(payload, [](ByteReader& reader) {
+    SampleReveal packet;
+    packet.frame_id = reader.varint();
+    packet.bits = get_bits_dense(reader);
+    return packet;
+  });
+}
+
+// ---- ParityRequest / ParityResponse ---------------------------------------
+
+Bytes ParityRequest::encode() const {
+  Bytes out;
+  put_u8(out, kind);
+  put_u32(out, seed);
+  put_u32(out, begin);
+  put_u32(out, end);
+  return out;
+}
+
+Result<ParityRequest> ParityRequest::decode(const Bytes& payload) {
+  return parse_payload<ParityRequest>(payload, [](ByteReader& reader) {
+    ParityRequest packet;
+    packet.kind = reader.u8();
+    if (packet.kind > 1)
+      throw std::invalid_argument("ParityRequest: unknown subset kind");
+    packet.seed = reader.u32();
+    packet.begin = reader.u32();
+    packet.end = reader.u32();
+    if (packet.begin > packet.end)
+      throw std::invalid_argument("ParityRequest: inverted range");
+    return packet;
+  });
+}
+
+Bytes ParityResponse::encode() const {
+  Bytes out;
+  put_u8(out, parity ? 1 : 0);
+  return out;
+}
+
+Result<ParityResponse> ParityResponse::decode(const Bytes& payload) {
+  return parse_payload<ParityResponse>(payload, [](ByteReader& reader) {
+    ParityResponse packet;
+    const std::uint8_t raw = reader.u8();
+    if (raw > 1) throw std::invalid_argument("ParityResponse: non-boolean");
+    packet.parity = raw != 0;
+    return packet;
+  });
+}
+
+// ---- EcSummary -------------------------------------------------------------
+
+Bytes EcSummary::encode() const {
+  Bytes out;
+  put_u32(out, corrections);
+  put_u8(out, converged ? 1 : 0);
+  return out;
+}
+
+Result<EcSummary> EcSummary::decode(const Bytes& payload) {
+  return parse_payload<EcSummary>(payload, [](ByteReader& reader) {
+    EcSummary packet;
+    packet.corrections = reader.u32();
+    const std::uint8_t raw = reader.u8();
+    if (raw > 1) throw std::invalid_argument("EcSummary: non-boolean");
+    packet.converged = raw != 0;
+    return packet;
+  });
+}
+
+// ---- VerifyHash ------------------------------------------------------------
+
+Bytes VerifyHash::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_bytes(out, digest);
+  return out;
+}
+
+Result<VerifyHash> VerifyHash::decode(const Bytes& payload) {
+  return parse_payload<VerifyHash>(payload, [](ByteReader& reader) {
+    VerifyHash packet;
+    packet.frame_id = reader.varint();
+    packet.digest = reader.bytes(20);
+    return packet;
+  });
+}
+
+// ---- PaParamsPacket --------------------------------------------------------
+
+Bytes PaParamsPacket::encode() const {
+  Bytes out;
+  put_u32(out, n);
+  put_u32(out, m);
+  put_varint(out, modulus_exponents.size());
+  for (std::uint32_t e : modulus_exponents) put_varint(out, e);
+  put_bits_dense(out, multiplier);
+  put_bits_dense(out, addend);
+  return out;
+}
+
+Result<PaParamsPacket> PaParamsPacket::decode(const Bytes& payload) {
+  return parse_payload<PaParamsPacket>(payload, [](ByteReader& reader) {
+    PaParamsPacket packet;
+    packet.n = reader.u32();
+    packet.m = reader.u32();
+    if (packet.m > packet.n)
+      throw std::invalid_argument("PaParams: m > n");
+    const std::uint64_t terms = reader.varint();
+    if (terms > 64) throw std::invalid_argument("PaParams: dense modulus");
+    packet.modulus_exponents.reserve(static_cast<std::size_t>(terms));
+    for (std::uint64_t i = 0; i < terms; ++i) {
+      const std::uint64_t e = reader.varint();
+      if (e > packet.n) throw std::invalid_argument("PaParams: exponent > n");
+      packet.modulus_exponents.push_back(static_cast<std::uint32_t>(e));
+    }
+    packet.multiplier = get_bits_dense(reader);
+    packet.addend = get_bits_dense(reader);
+    if (packet.multiplier.size() != packet.n ||
+        packet.addend.size() != packet.m)
+      throw std::invalid_argument("PaParams: field sizes disagree");
+    return packet;
+  });
+}
+
+// ---- AbortPacket -----------------------------------------------------------
+
+Bytes AbortPacket::encode() const {
+  Bytes out;
+  put_u8(out, reason);
+  return out;
+}
+
+Result<AbortPacket> AbortPacket::decode(const Bytes& payload) {
+  return parse_payload<AbortPacket>(payload, [](ByteReader& reader) {
+    AbortPacket packet;
+    packet.reason = reader.u8();
+    return packet;
+  });
+}
+
+// ---- KeyDigest -------------------------------------------------------------
+
+Bytes KeyDigest::encode() const {
+  Bytes out;
+  put_varint(out, frame_id);
+  put_varint(out, key_bits);
+  put_bytes(out, digest);
+  return out;
+}
+
+Result<KeyDigest> KeyDigest::decode(const Bytes& payload) {
+  return parse_payload<KeyDigest>(payload, [](ByteReader& reader) {
+    KeyDigest packet;
+    packet.frame_id = reader.varint();
+    packet.key_bits = reader.varint();
+    packet.digest = reader.bytes(20);
+    return packet;
+  });
+}
+
+// ---- Whole-packet codec ----------------------------------------------------
+
+namespace {
+
+template <typename Packet>
+Result<DistillationPacket> lift(Result<Packet> decoded) {
+  if (!decoded.ok())
+    return Result<DistillationPacket>::failure(decoded.error);
+  return Result<DistillationPacket>::success(
+      DistillationPacket(std::move(decoded.value)));
+}
+
+}  // namespace
+
+Result<DistillationPacket> decode_packet(const Frame& frame) {
+  switch (frame.type) {
+    case PacketType::kQframeFeed:
+      return lift(QframeFeed::decode(frame.payload));
+    case PacketType::kSiftAnnounce:
+      return lift(SiftAnnounce::decode(frame.payload));
+    case PacketType::kSiftDecision:
+      return lift(SiftDecision::decode(frame.payload));
+    case PacketType::kSampleReveal:
+      return lift(SampleReveal::decode(frame.payload));
+    case PacketType::kParityRequest:
+      return lift(ParityRequest::decode(frame.payload));
+    case PacketType::kParityResponse:
+      return lift(ParityResponse::decode(frame.payload));
+    case PacketType::kEcSummary:
+      return lift(EcSummary::decode(frame.payload));
+    case PacketType::kVerifyHash:
+      return lift(VerifyHash::decode(frame.payload));
+    case PacketType::kPaParams:
+      return lift(PaParamsPacket::decode(frame.payload));
+    case PacketType::kAbort:
+      return lift(AbortPacket::decode(frame.payload));
+    case PacketType::kKeyDigest:
+      return lift(KeyDigest::decode(frame.payload));
+    default:
+      return Result<DistillationPacket>::failure(WireError::kMalformedPayload);
+  }
+}
+
+Result<DistillationPacket> decode_packet_bytes(
+    std::span<const std::uint8_t> buffer) {
+  const auto frame = decode_frame(buffer);
+  if (!frame.ok()) return Result<DistillationPacket>::failure(frame.error);
+  return decode_packet(frame.value);
+}
+
+}  // namespace qkd::wire

@@ -1,0 +1,164 @@
+#include "src/wire/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace qkd::wire {
+
+TcpTransport::TcpTransport(int fd) : fd_(fd) {
+  if (fd_ >= 0) {
+    // Dialogue frames are small and strictly request/response; Nagle only
+    // adds round-trip latency here.
+    int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+}
+
+TcpTransport::~TcpTransport() { close_fd(); }
+
+void TcpTransport::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void TcpTransport::set_recv_timeout_ms(int timeout_ms) {
+  if (fd_ < 0) return;
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+bool TcpTransport::send_frame(const Bytes& frame) {
+  if (fd_ < 0) return false;
+  std::size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + sent, frame.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      last_error_ = WireError::kClosed;
+      close_fd();
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool TcpTransport::read_exact(std::uint8_t* out, std::size_t n) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r == 0) return false;  // orderly shutdown
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;  // error or SO_RCVTIMEO expiry
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+std::optional<Bytes> TcpTransport::recv_frame() {
+  last_error_ = WireError::kNone;
+  if (fd_ < 0) {
+    last_error_ = WireError::kClosed;
+    return std::nullopt;
+  }
+
+  Bytes buffer(kHeaderBytes);
+  if (!read_exact(buffer.data(), kHeaderBytes)) {
+    last_error_ = WireError::kClosed;
+    close_fd();
+    return std::nullopt;
+  }
+
+  // Validate the header before trusting its length field — a corrupt or
+  // hostile peer must produce a typed error, never a 4GiB allocation.
+  const auto total = frame_total_length(buffer);
+  if (!total.ok()) {
+    last_error_ = total.error;
+    close_fd();
+    return std::nullopt;
+  }
+
+  buffer.resize(total.value);
+  if (total.value > kHeaderBytes &&
+      !read_exact(buffer.data() + kHeaderBytes, total.value - kHeaderBytes)) {
+    last_error_ = WireError::kClosed;
+    close_fd();
+    return std::nullopt;
+  }
+  return buffer;
+}
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return;
+
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(fd_, 8) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    return;
+  }
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) == 0)
+    port_ = ntohs(addr.sin_port);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<TcpTransport> TcpListener::accept_transport() {
+  if (fd_ < 0) return nullptr;
+  for (;;) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return std::make_unique<TcpTransport>(client);
+    if (errno != EINTR) return nullptr;
+  }
+}
+
+std::unique_ptr<TcpTransport> tcp_connect(std::uint16_t port, int retry_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(retry_ms);
+  for (;;) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return nullptr;
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0)
+      return std::make_unique<TcpTransport>(fd);
+
+    ::close(fd);
+    // The listener may still be binding (the forked child races its
+    // parent); back off briefly and retry until the deadline.
+    if (std::chrono::steady_clock::now() >= deadline) return nullptr;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+}  // namespace qkd::wire

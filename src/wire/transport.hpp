@@ -1,0 +1,108 @@
+// The Transport seam: where encoded frames meet a byte-moving substrate.
+//
+// Exactly two implementations exist, and every protocol conversation works
+// over either unchanged (same codec, same bytes — the transport is the
+// only swapped part):
+//
+//  * net::ChannelTransport (src/net/channel_transport.hpp): one side of
+//    the in-memory PublicChannel. Tier-1 runs fully simulated over it, and
+//    the scenario engine's classical-channel impairments (latency, loss,
+//    reordering) attack the framed byte stream it carries.
+//  * TcpTransport (here): a blocking localhost/LAN socket, reassembling
+//    frames from the stream by their length prefix. The opt-in
+//    integration suite runs Alice/Bob and KMS client/server as separate
+//    OS processes over it.
+//
+// send_frame/recv_frame move WHOLE frames (as produced by encode_frame);
+// a transport never splits or merges what the codec made, and the TCP
+// receive path strictly validates the header before trusting its length.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/bytes.hpp"
+#include "src/wire/frame.hpp"
+
+namespace qkd::wire {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Ships one encoded frame. False when the peer is gone.
+  virtual bool send_frame(const Bytes& frame) = 0;
+
+  /// Next complete frame, still encoded (caller runs decode_frame).
+  /// nullopt when none is available: immediately for a drained in-memory
+  /// channel, after EOF/error for a socket (last_error() says which).
+  virtual std::optional<Bytes> recv_frame() = 0;
+
+  /// Why the last recv_frame returned nullopt (kNone: merely drained).
+  virtual WireError last_error() const { return WireError::kNone; }
+};
+
+// ---- Blocking TCP ----------------------------------------------------------
+
+/// A connected, blocking TCP endpoint carrying frames. Construction is via
+/// TcpListener::accept_transport or tcp_connect. Closes its fd on
+/// destruction. Not thread-safe; one conversation per transport.
+class TcpTransport final : public Transport {
+ public:
+  explicit TcpTransport(int fd);
+  ~TcpTransport() override;
+
+  TcpTransport(const TcpTransport&) = delete;
+  TcpTransport& operator=(const TcpTransport&) = delete;
+
+  bool send_frame(const Bytes& frame) override;
+
+  /// Blocks until one whole frame arrives (header first — validated
+  /// before its payload is read), the peer closes (kClosed), the header
+  /// fails validation (typed error), or the receive timeout fires.
+  std::optional<Bytes> recv_frame() override;
+
+  WireError last_error() const override { return last_error_; }
+
+  /// Receive timeout; a hung peer then surfaces as kClosed instead of
+  /// wedging the process (the integration suite's anti-hang guard).
+  void set_recv_timeout_ms(int timeout_ms);
+
+  bool is_open() const { return fd_ >= 0; }
+
+ private:
+  bool read_exact(std::uint8_t* out, std::size_t n);
+  void close_fd();
+
+  int fd_ = -1;
+  WireError last_error_ = WireError::kNone;
+};
+
+/// Listening socket on 127.0.0.1. Port 0 binds an ephemeral port (read it
+/// back with port() — the two-process tests hand it to the child).
+class TcpListener {
+ public:
+  explicit TcpListener(std::uint16_t port);
+  ~TcpListener();
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Blocks for one inbound connection; nullptr on error.
+  std::unique_ptr<TcpTransport> accept_transport();
+
+ private:
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to 127.0.0.1:`port` (retrying briefly while the server is
+/// still binding); nullptr when the connection cannot be established.
+std::unique_ptr<TcpTransport> tcp_connect(std::uint16_t port,
+                                          int retry_ms = 2000);
+
+}  // namespace qkd::wire

@@ -8,6 +8,7 @@
 #
 # The rules here mirror tests/CMakeLists.txt's taxonomy:
 #   *_long_test        -> fuzz;slow       (env-gated long legs, not tier1)
+#   integration_wire_* -> wire            (two-process socket suite, opt-in)
 #   *fuzz*             -> tier1;fuzz      (short randomized campaigns)
 #   scenarios_*        -> tier1;scenarios (declarative corpus)
 #   everything else    -> tier1
@@ -19,6 +20,8 @@ foreach(_file IN LISTS _qkd_discovery_files)
 
   if(_target MATCHES "_long_test$")
     set(_labels fuzz slow)
+  elseif(_target MATCHES "^integration_wire")
+    set(_labels wire)
   elseif(_target MATCHES "fuzz")
     set(_labels tier1 fuzz)
   elseif(_target MATCHES "^scenarios_")

@@ -1,0 +1,211 @@
+// The KMS wire adapters over the in-memory channel: the blocking client
+// and the request/response server exchange the same encoded ETSI frames
+// the TCP path moves, so idempotent retransmission (request_ids plus the
+// server's last-reply cache) is testable under seeded message loss without
+// a second process.
+#include "src/kms/wire_service.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/net/channel_transport.hpp"
+#include "src/network/key_service.hpp"
+#include "src/wire/packets.hpp"
+
+namespace qkd::kms {
+namespace {
+
+using network::NodeId;
+using network::NodeKind;
+using network::Topology;
+
+Topology hot_star() {
+  Topology topo;
+  const NodeId relay = topo.add_node("relay", NodeKind::kTrustedRelay);
+  const NodeId a = topo.add_node("a", NodeKind::kEndpoint);
+  const NodeId b = topo.add_node("b", NodeKind::kEndpoint);
+  qkd::optics::LinkParams optics;
+  optics.fiber_km = 1.0;
+  optics.pulse_rate_hz = 1e9;
+  topo.add_link(relay, a, optics);
+  topo.add_link(relay, b, optics);
+  return topo;
+}
+
+/// Client-side transport that pumps the server for its reply whenever the
+/// client's inbox is drained — the single-threaded stand-in for a peer
+/// process on the other end of the channel.
+class ServedChannel final : public wire::Transport {
+ public:
+  ServedChannel(net::PublicChannel& channel, KmsWireServer& server)
+      : client_side_(channel, net::ChannelTransport::Side::kA),
+        server_side_(channel, net::ChannelTransport::Side::kB),
+        server_(server) {}
+
+  bool send_frame(const Bytes& frame) override {
+    return client_side_.send_frame(frame);
+  }
+
+  std::optional<Bytes> recv_frame() override {
+    if (auto ready = client_side_.recv_frame()) return ready;
+    server_.serve_one(server_side_);
+    return client_side_.recv_frame();
+  }
+
+  net::ChannelTransport& server_side() { return server_side_; }
+
+ private:
+  net::ChannelTransport client_side_;
+  net::ChannelTransport server_side_;
+  KmsWireServer& server_;
+};
+
+struct Harness {
+  Harness() : mesh(hot_star(), 77), scheduler(clock), kms(mesh, scheduler, {}),
+              server(kms, scheduler), io(channel, server), client(io) {
+    mesh.step(20.0);  // supply never bounds these tests
+  }
+
+  network::MeshSimulation mesh;
+  qkd::SimClock clock;
+  sim::EventScheduler scheduler;
+  KeyManagementService kms;
+  net::PublicChannel channel;
+  KmsWireServer server;
+  ServedChannel io;
+  KmsWireClient client;
+};
+
+TEST(KmsWire, FullDialogueOverTheChannel) {
+  Harness h;
+  const auto alice = h.client.register_app("alice-app", 1, 2);
+  const auto bob = h.client.register_app("bob-app", 2, 1);
+  ASSERT_TRUE(alice.has_value());
+  ASSERT_TRUE(bob.has_value());
+  EXPECT_NE(*alice, *bob);
+
+  const auto reply = h.client.get_key(*alice, 512);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->status, GrantStatus::kGranted);
+  EXPECT_NE(reply->key_id, 0u);
+  EXPECT_EQ(reply->bits.size(), 512u);
+  EXPECT_FALSE(reply->compromised);
+
+  // The peer endpoint claims the SAME bits by key_ID over the wire.
+  const auto claimed = h.client.get_key_with_id(*bob, reply->key_id);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_EQ(claimed->key_id, reply->key_id);
+  EXPECT_TRUE(claimed->bits == reply->bits);
+
+  // A second claim finds nothing (new request_id: a fresh call, not a
+  // retransmit, so the duplicate cache rightly does not shield it).
+  EXPECT_FALSE(h.client.get_key_with_id(*bob, reply->key_id).has_value());
+
+  const auto status = h.client.status(*alice);
+  ASSERT_TRUE(status.has_value());
+  EXPECT_GE(status->requests, 1u);
+  EXPECT_GE(status->granted, 1u);
+  EXPECT_EQ(status->claims_fulfilled, 1u);
+
+  // Bye ends the conversation: the server's next serve_one returns false.
+  h.client.bye();
+  EXPECT_FALSE(h.server.serve_one(h.io.server_side()));
+  EXPECT_GT(h.server.served(), 0u);
+}
+
+TEST(KmsWire, LossyChannelRetransmitsIdempotently) {
+  Harness h;
+  const auto alice = h.client.register_app("alice-app", 1, 2);
+  const auto bob = h.client.register_app("bob-app", 2, 1);
+  ASSERT_TRUE(alice.has_value());
+  ASSERT_TRUE(bob.has_value());
+
+  // Lose a third of all frames, both directions, deterministically.
+  net::ClassicalConditions lossy;
+  lossy.loss_prob = 0.33;
+  h.channel.set_conditions(lossy, /*seed=*/404);
+
+  const std::size_t sent_before = h.client.messages_sent();
+  std::vector<KmsWireClient::KeyReply> grants;
+  for (int i = 0; i < 8; ++i) {
+    const auto reply = h.client.get_key(*alice, 128);
+    ASSERT_TRUE(reply.has_value()) << "call " << i;
+    ASSERT_EQ(reply->status, GrantStatus::kGranted) << "call " << i;
+    grants.push_back(*reply);
+  }
+
+  // Loss forced retransmits...
+  EXPECT_GT(h.client.messages_sent() - sent_before, 8u);
+  EXPECT_GT(h.channel.stats().lost, 0u);
+  // ...but each logical call produced exactly one grant: 8 distinct keys,
+  // no grant minted twice for a retransmitted request.
+  for (std::size_t i = 0; i < grants.size(); ++i)
+    for (std::size_t j = i + 1; j < grants.size(); ++j)
+      EXPECT_NE(grants[i].key_id, grants[j].key_id);
+  EXPECT_EQ(h.kms.class_stats(QosClass::kInteractive).granted, 8u);
+
+  // A claim whose request or reply drowns still fulfills exactly once.
+  const auto claimed = h.client.get_key_with_id(*bob, grants[0].key_id);
+  ASSERT_TRUE(claimed.has_value());
+  EXPECT_TRUE(claimed->bits == grants[0].bits);
+  EXPECT_EQ(h.kms.stats().claims_fulfilled, 1u);
+}
+
+TEST(KmsWire, ByteIdenticalDuplicateIsAnsweredFromTheCache) {
+  Harness h;
+  const auto alice = h.client.register_app("alice-app", 1, 2);
+  const auto bob = h.client.register_app("bob-app", 2, 1);
+  const auto granted = h.client.get_key(*alice, 256);
+  ASSERT_TRUE(granted.has_value());
+
+  // Hand-deliver the same claim frame twice, as a loss-driven retransmit
+  // would: the second must be answered from the reply cache, not
+  // re-executed (a re-execution would see "already claimed").
+  net::ChannelTransport client_side(h.channel,
+                                    net::ChannelTransport::Side::kA);
+  wire::KmsGetKeyWithId claim;
+  claim.client_id = *bob;
+  claim.request_id = 9001;
+  claim.key_id = granted->key_id;
+  const Bytes framed = to_frame(claim);
+
+  std::vector<Bytes> replies;
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    ASSERT_TRUE(client_side.send_frame(framed));
+    ASSERT_TRUE(h.server.serve_one(h.io.server_side()));
+    const auto reply = client_side.recv_frame();
+    ASSERT_TRUE(reply.has_value());
+    replies.push_back(*reply);
+  }
+
+  ASSERT_EQ(replies.size(), 2u);
+  EXPECT_EQ(replies[0], replies[1]);  // byte-identical replay
+  const auto decoded = wire::decode_frame(replies[1]);
+  ASSERT_TRUE(decoded.ok());
+  const auto message = wire::decode_etsi(decoded.value);
+  ASSERT_TRUE(message.ok());
+  const auto& reply = std::get<wire::KmsKeyWithIdReply>(message.value);
+  EXPECT_TRUE(reply.ok);
+  EXPECT_TRUE(reply.bits == granted->bits);
+  EXPECT_EQ(h.kms.stats().claims_fulfilled, 1u);  // executed once
+}
+
+TEST(KmsWire, MalformedFrameIsDroppedNotFatal) {
+  Harness h;
+  net::ChannelTransport client_side(h.channel,
+                                    net::ChannelTransport::Side::kA);
+  Bytes corrupt = wire::encode_frame(wire::PacketType::kKmsStatus, Bytes{1});
+  corrupt.back() ^= 0xFF;        // still a valid frame header...
+  corrupt.push_back(0x00);       // ...but now the payload has trailing junk
+  const auto total = wire::frame_total_length(corrupt);
+  ASSERT_TRUE(total.ok());  // header stays plausible; the payload is junk
+
+  ASSERT_TRUE(client_side.send_frame(corrupt));
+  EXPECT_TRUE(h.server.serve_one(h.io.server_side()));  // dropped, not fatal
+
+  // The conversation continues normally afterwards.
+  const auto id = h.client.register_app("survivor", 1, 2);
+  EXPECT_TRUE(id.has_value());
+}
+
+}  // namespace
+}  // namespace qkd::kms

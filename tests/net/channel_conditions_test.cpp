@@ -1,0 +1,116 @@
+// Regression pins for the channel accounting the wire layer builds on:
+// byte counters record what was DELIVERED (post-impairment sizes), and
+// ClassicalConditions loss/reordering act on the framed byte stream with
+// their own counters. The QKD session's measured control traffic and the
+// scenario engine's impairments both read through these semantics.
+#include <gtest/gtest.h>
+
+#include "src/net/channel.hpp"
+
+namespace qkd::net {
+namespace {
+
+TEST(ChannelStats, DroppedMessageDeliversNoBytes) {
+  PublicChannel channel;
+  channel.set_impairment(
+      [](const Bytes&, bool) -> std::optional<Bytes> { return std::nullopt; });
+  channel.send_from_a(Bytes(100));
+  EXPECT_EQ(channel.stats().dropped, 1u);
+  EXPECT_EQ(channel.stats().messages_ab, 0u);
+  EXPECT_EQ(channel.stats().bytes_ab, 0u);  // a wiretap at B saw nothing
+}
+
+TEST(ChannelStats, ModifiedMessageDeliversItsModifiedSize) {
+  PublicChannel channel;
+  channel.set_impairment([](const Bytes&, bool) -> std::optional<Bytes> {
+    return Bytes(7);  // Eve substitutes a 7-byte forgery
+  });
+  channel.send_from_a(Bytes(100));
+  EXPECT_EQ(channel.stats().modified, 1u);
+  EXPECT_EQ(channel.stats().bytes_ab, 7u);  // the forged size, not the sent
+}
+
+TEST(ChannelStats, PassthroughDeliversTheOriginalSize) {
+  PublicChannel channel;
+  channel.set_impairment(
+      [](const Bytes& message, bool) -> std::optional<Bytes> {
+        return message;
+      });
+  channel.send_from_a(Bytes(100));
+  EXPECT_EQ(channel.stats().modified, 0u);
+  EXPECT_EQ(channel.stats().bytes_ab, 100u);
+}
+
+TEST(ClassicalConditions, LossDropsAndCounts) {
+  PublicChannel channel;
+  ClassicalConditions conditions;
+  conditions.loss_prob = 0.5;
+  channel.set_conditions(conditions, /*seed=*/11);
+
+  for (int i = 0; i < 1000; ++i) channel.send_from_a(Bytes{1});
+  const auto lost = channel.stats().lost;
+  EXPECT_GT(lost, 400u);
+  EXPECT_LT(lost, 600u);
+  // Delivered accounting matches: only surviving messages were counted.
+  EXPECT_EQ(channel.stats().messages_ab, 1000u - lost);
+  EXPECT_EQ(channel.stats().bytes_ab, 1000u - lost);
+}
+
+TEST(ClassicalConditions, LossIsDeterministicPerSeed) {
+  const auto lost_with_seed = [](std::uint64_t seed) {
+    PublicChannel channel;
+    ClassicalConditions conditions;
+    conditions.loss_prob = 0.3;
+    channel.set_conditions(conditions, seed);
+    for (int i = 0; i < 500; ++i) channel.send_from_a(Bytes{1});
+    return channel.stats().lost;
+  };
+  EXPECT_EQ(lost_with_seed(42), lost_with_seed(42));
+  EXPECT_NE(lost_with_seed(42), lost_with_seed(43));
+}
+
+TEST(ClassicalConditions, ReorderSwapsAdjacentArrivals) {
+  PublicChannel channel;
+  ClassicalConditions conditions;
+  conditions.reorder_prob = 1.0;  // every eligible arrival swaps
+  channel.set_conditions(conditions, /*seed=*/5);
+
+  channel.send_from_a(Bytes{1});
+  channel.send_from_a(Bytes{2});
+  EXPECT_GE(channel.stats().reordered, 1u);
+  // Both messages still arrive — reordering is not loss.
+  const auto first = channel.recv_at_b();
+  const auto second = channel.recv_at_b();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(first->size() + second->size(), 2u);
+  EXPECT_NE(*first, *second);
+}
+
+TEST(ClassicalConditions, ZeroConditionsRestoreACleanChannel) {
+  PublicChannel channel;
+  ClassicalConditions lossy;
+  lossy.loss_prob = 1.0;
+  channel.set_conditions(lossy, /*seed=*/3);
+  channel.send_from_a(Bytes{1});
+  EXPECT_FALSE(channel.b_has_message());
+
+  channel.set_conditions(ClassicalConditions{});  // all-zero: lifted
+  channel.send_from_a(Bytes{2});
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{2}));
+}
+
+TEST(ClassicalConditions, LatencyIsAdvisoryAndRecorded) {
+  PublicChannel channel;
+  ClassicalConditions conditions;
+  conditions.latency = 20 * kMillisecond;
+  channel.set_conditions(conditions);
+  EXPECT_EQ(channel.conditions().latency, 20 * kMillisecond);
+  // The synchronous dialogue still completes: latency stalls time, it
+  // never blocks delivery.
+  channel.send_from_a(Bytes{9});
+  EXPECT_EQ(channel.recv_at_b(), (Bytes{9}));
+}
+
+}  // namespace
+}  // namespace qkd::net

@@ -1,0 +1,175 @@
+#include "src/wire/transport.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <thread>
+
+#include "src/net/channel_transport.hpp"
+#include "src/wire/packets.hpp"
+#include "tests/testing/seeded_rng.hpp"
+
+namespace qkd::wire {
+namespace {
+
+TEST(TcpTransport, RoundTripsFramesBothWays) {
+  TcpListener listener(0);
+  ASSERT_NE(listener.port(), 0);
+
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+
+  const Bytes ping = encode_frame(PacketType::kKmsStatus, Bytes{1, 2, 3});
+  const Bytes pong = encode_frame(PacketType::kKmsStatusReply, Bytes{4, 5});
+  ASSERT_TRUE(client->send_frame(ping));
+  ASSERT_TRUE(server->send_frame(pong));
+
+  EXPECT_EQ(server->recv_frame(), ping);
+  EXPECT_EQ(client->recv_frame(), pong);
+}
+
+TEST(TcpTransport, ReassemblesLargeFrameFromTheStream) {
+  QKD_SEEDED_RNG(rng, 41);
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(server, nullptr);
+  ASSERT_NE(client, nullptr);
+
+  // Well past any single read(): the receiver must loop on the length
+  // prefix until the whole payload is in.
+  Bytes payload(512 * 1024);
+  for (auto& byte : payload)
+    byte = static_cast<std::uint8_t>(rng.next_below(256));
+  const Bytes big = encode_frame(PacketType::kQframeFeed, payload);
+
+  std::thread sender([&client, &big] { client->send_frame(big); });
+  const auto received = server->recv_frame();
+  sender.join();
+  ASSERT_TRUE(received.has_value());
+  EXPECT_EQ(*received, big);
+}
+
+TEST(TcpTransport, BackToBackFramesStaySeparate) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(client, nullptr);
+
+  // Several frames land in one TCP segment's worth of bytes; the length
+  // prefix must carve them back apart, never split or merge.
+  std::vector<Bytes> sent;
+  for (std::uint8_t i = 0; i < 5; ++i)
+    sent.push_back(encode_frame(PacketType::kParityRequest, Bytes(13, i)));
+  for (const Bytes& frame : sent) ASSERT_TRUE(client->send_frame(frame));
+
+  for (const Bytes& frame : sent) EXPECT_EQ(server->recv_frame(), frame);
+}
+
+TEST(TcpTransport, PeerCloseSurfacesAsClosed) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(server, nullptr);
+
+  client.reset();  // closes the fd -> EOF on the server side
+  EXPECT_EQ(server->recv_frame(), std::nullopt);
+  EXPECT_EQ(server->last_error(), WireError::kClosed);
+  EXPECT_FALSE(server->is_open());
+}
+
+TEST(TcpTransport, ReceiveTimeoutSurfacesAsClosedNotHang) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(server, nullptr);
+
+  server->set_recv_timeout_ms(50);  // nobody ever sends
+  EXPECT_EQ(server->recv_frame(), std::nullopt);
+  EXPECT_EQ(server->last_error(), WireError::kClosed);
+}
+
+TEST(TcpTransport, CorruptHeaderIsRejectedBeforeThePayload) {
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(client, nullptr);
+
+  Bytes corrupt = encode_frame(PacketType::kAbort, Bytes{1});
+  corrupt[0] ^= 0xFF;  // break the magic
+  ASSERT_TRUE(client->send_frame(corrupt));
+  EXPECT_EQ(server->recv_frame(), std::nullopt);
+  EXPECT_EQ(server->last_error(), WireError::kBadMagic);
+}
+
+TEST(TcpTransport, ConnectToDeadPortFails) {
+  std::uint16_t dead_port = 0;
+  {
+    TcpListener listener(0);
+    dead_port = listener.port();
+  }  // listener closed: nothing is bound there now
+  EXPECT_EQ(tcp_connect(dead_port, /*retry_ms=*/50), nullptr);
+}
+
+TEST(ChannelTransport, MovesTheSameEncodedBytesAsTheSocketPath) {
+  // The acceptance bar: codec shared, transport swapped. One frame goes
+  // over an in-memory channel and over TCP; both receivers see identical
+  // bytes.
+  SampleReveal packet;
+  packet.frame_id = 6;
+  packet.bits = qkd::BitVector{1, 1, 0, 1};
+  const Bytes framed = to_frame(packet);
+
+  net::PublicChannel channel;
+  net::ChannelTransport a(channel, net::ChannelTransport::Side::kA);
+  net::ChannelTransport b(channel, net::ChannelTransport::Side::kB);
+  ASSERT_TRUE(a.send_frame(framed));
+  const auto via_channel = b.recv_frame();
+  ASSERT_TRUE(via_channel.has_value());
+
+  TcpListener listener(0);
+  std::unique_ptr<TcpTransport> client;
+  std::thread connector(
+      [&client, port = listener.port()] { client = tcp_connect(port); });
+  std::unique_ptr<TcpTransport> server = listener.accept_transport();
+  connector.join();
+  ASSERT_NE(client, nullptr);
+  ASSERT_TRUE(client->send_frame(framed));
+  const auto via_socket = server->recv_frame();
+  ASSERT_TRUE(via_socket.has_value());
+
+  EXPECT_EQ(*via_channel, *via_socket);
+  EXPECT_EQ(*via_channel, framed);
+}
+
+TEST(ChannelTransport, DrainedChannelIsACueNotAnError) {
+  net::PublicChannel channel;
+  net::ChannelTransport a(channel, net::ChannelTransport::Side::kA);
+  EXPECT_EQ(a.recv_frame(), std::nullopt);
+  EXPECT_EQ(a.last_error(), WireError::kNone);
+}
+
+}  // namespace
+}  // namespace qkd::wire
