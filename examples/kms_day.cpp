@@ -11,10 +11,19 @@
 // drains. Everything — arrivals, requests, service rounds, shedding,
 // recovery — is an event on one EventScheduler, and the TimelineRecorder
 // charts per-class queue depth, grants and rejections as it happens.
+//
+// Set QKD_TRACE_OUT=/path/trace.json to trace the midday incident window
+// (one minute straddling Eve's arrival) and write it as Chrome trace JSON
+// — open the file in Perfetto (ui.perfetto.dev) or feed it to
+// tools/trace_report.py for per-span latency percentiles.
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
 #include "src/kms/client_fleet.hpp"
 #include "src/kms/kms.hpp"
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/scenario.hpp"
 
 using namespace qkd;
@@ -61,6 +70,24 @@ int main() {
   runner.attach_client_driver(fleet);
   runner.recorder().attach_service(kms);
 
+  // Optional tracing: the full day would record millions of spans, so the
+  // trace covers the interesting minute — thirty seconds of healthy
+  // service, then Eve's arrival and the starvation that follows.
+  const char* trace_out = std::getenv("QKD_TRACE_OUT");
+  obs::Tracer tracer(kms.shard_count());
+  if (trace_out != nullptr) {
+    tracer.set_sim_time_source(
+        [&runner] { return runner.scheduler().now(); });
+    kms.set_tracer(&tracer);
+    mesh.set_tracer(&tracer);
+    runner.scheduler().at(
+        19 * kMinute + 30 * kSecond,
+        [&tracer](SimTime) { tracer.set_enabled(true); });
+    runner.scheduler().at(
+        20 * kMinute + 30 * kSecond,
+        [&tracer](SimTime) { tracer.set_enabled(false); });
+  }
+
   const std::size_t dispatched = runner.run(kHour);
 
   std::printf(
@@ -105,5 +132,16 @@ int main() {
       "\n-- recorder.to_csv(): %zu bytes, plottable per-class series --\n",
       csv.size());
   std::printf("%s", csv.substr(0, csv.find('\n') + 1).c_str());
+
+  if (trace_out != nullptr) {
+    const std::string json = obs::chrome_trace_json(tracer);
+    std::ofstream out(trace_out);
+    out << json;
+    std::printf(
+        "\n-- trace: %zu spans over the incident minute -> %s (%zu KiB) --\n"
+        "   load in Perfetto (ui.perfetto.dev) or run "
+        "tools/trace_report.py on it\n",
+        tracer.span_count(), trace_out, json.size() / 1024);
+  }
   return 0;
 }

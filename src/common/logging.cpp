@@ -29,10 +29,31 @@ Logger::Logger() {
   };
 }
 
-void Logger::set_sink(Sink sink) { sink_ = std::move(sink); }
+void Logger::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+void Logger::set_clock(const SimClock* clock) {
+  std::lock_guard<std::mutex> lock(mu_);
+  clock_ = clock;
+}
 
 void Logger::log(LogLevel level, const std::string& message) {
-  if (enabled(level) && sink_) sink_(level, message);
+  if (!enabled(level)) return;
+  // The sink is invoked under the mutex: a concurrent set_sink can never
+  // destroy the std::function mid-call, and interleaved messages arrive at
+  // the sink whole (the sinks in tree — stderr, capture vectors — are not
+  // themselves synchronized).
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!sink_) return;
+  if (clock_ != nullptr) {
+    char stamp[32];
+    std::snprintf(stamp, sizeof stamp, "[t=%.6fs] ", clock_->seconds());
+    sink_(level, stamp + message);
+  } else {
+    sink_(level, message);
+  }
 }
 
 }  // namespace qkd

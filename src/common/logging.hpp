@@ -4,11 +4,22 @@
 // therefore supports a "syslog" formatting mode:
 //   Dec  5 12:53:32 bob-gw racoon: INFO: isakmp.c:1046:...: message
 // Logging is process-global, cheap when disabled, and capturable in tests.
+//
+// Thread safety: the stack logs from shard lanes and worker threads, so the
+// level gate is an atomic (the QKD_LOG fast path stays one relaxed load) and
+// the sink/clock are swapped and invoked under a mutex — a set_sink racing a
+// concurrent log() can no longer tear the std::function. Messages are
+// stamped with simulation time when a SimClock is registered, so transcript
+// lines line up with the event timeline instead of wall time.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
+
+#include "src/common/sim_clock.hpp"
 
 namespace qkd {
 
@@ -22,20 +33,32 @@ class Logger {
 
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Replaces the output sink (default writes to stderr). Tests install a
   /// capturing sink; examples install a syslog-style stdout sink.
+  /// Thread-safe against concurrent log() calls.
   void set_sink(Sink sink);
 
-  bool enabled(LogLevel level) const { return level >= level_; }
+  /// Registers (or, with nullptr, clears) the simulation clock whose time
+  /// stamps every message as a "[t=...s]" prefix. The clock must outlive
+  /// its registration; the logger only reads now() under its own mutex, so
+  /// register a clock that is not concurrently advanced mid-log (the global
+  /// scheduler's clock between runs, in practice).
+  void set_clock(const SimClock* clock);
+
+  bool enabled(LogLevel level) const { return level >= this->level(); }
   void log(LogLevel level, const std::string& message);
 
  private:
   Logger();
-  LogLevel level_ = LogLevel::kWarning;
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
+  std::mutex mu_;  // guards sink_ and clock_ (swap and invocation)
   Sink sink_;
+  const SimClock* clock_ = nullptr;
 };
 
 /// Stream-style log statement:

@@ -13,9 +13,10 @@ thread_local bool t_inside_task = false;
 
 WorkerPool::WorkerPool(std::size_t lanes) {
   const std::size_t workers = lanes > 1 ? lanes - 1 : 0;
+  lane_tasks_ = std::vector<LaneCounter>(workers + 1);
   threads_.reserve(workers);
   for (std::size_t t = 0; t < workers; ++t)
-    threads_.emplace_back([this] { worker_main(); });
+    threads_.emplace_back([this, t] { worker_main(t + 1); });
 }
 
 WorkerPool::~WorkerPool() {
@@ -32,8 +33,15 @@ std::size_t WorkerPool::default_lanes() {
       1, std::min<std::size_t>(std::thread::hardware_concurrency(), 8));
 }
 
+std::uint64_t WorkerPool::total_tasks() const {
+  std::uint64_t total = 0;
+  for (const LaneCounter& lane : lane_tasks_)
+    total += lane.v.load(std::memory_order_relaxed);
+  return total;
+}
+
 void WorkerPool::run_slice(const std::function<void(std::size_t)>& task,
-                           std::size_t count) {
+                           std::size_t count, std::size_t lane) {
   for (;;) {
     std::size_t index;
     {
@@ -41,6 +49,7 @@ void WorkerPool::run_slice(const std::function<void(std::size_t)>& task,
       if (next_ >= count) return;
       index = next_++;
     }
+    lane_tasks_[lane].v.fetch_add(1, std::memory_order_relaxed);
     try {
       t_inside_task = true;
       task(index);
@@ -53,7 +62,7 @@ void WorkerPool::run_slice(const std::function<void(std::size_t)>& task,
   }
 }
 
-void WorkerPool::worker_main() {
+void WorkerPool::worker_main(std::size_t lane) {
   std::unique_lock<std::mutex> lock(mu_);
   std::uint64_t seen = 0;
   for (;;) {
@@ -63,7 +72,7 @@ void WorkerPool::worker_main() {
     const auto* task = task_;
     const std::size_t count = count_;
     lock.unlock();
-    run_slice(*task, count);
+    run_slice(*task, count, lane);
     lock.lock();
     if (--working_ == 0) done_cv_.notify_all();
   }
@@ -72,9 +81,11 @@ void WorkerPool::worker_main() {
 void WorkerPool::parallel_for(std::size_t count,
                               const std::function<void(std::size_t)>& task) {
   if (count == 0) return;
+  jobs_.fetch_add(1, std::memory_order_relaxed);
   // Single lane, a single index, or a nested call from inside a task: run
   // inline, in ascending index order (the deterministic sequential path).
   if (threads_.empty() || count == 1 || t_inside_task) {
+    lane_tasks_[0].v.fetch_add(count, std::memory_order_relaxed);
     for (std::size_t i = 0; i < count; ++i) task(i);
     return;
   }
@@ -88,7 +99,7 @@ void WorkerPool::parallel_for(std::size_t count,
     ++generation_;
   }
   work_cv_.notify_all();
-  run_slice(task, count);  // the caller is a lane too
+  run_slice(task, count, 0);  // the caller is a lane too
   std::unique_lock<std::mutex> lock(mu_);
   done_cv_.wait(lock, [&] { return working_ == 0; });
   task_ = nullptr;

@@ -16,8 +16,10 @@
 // from a worker lane runs inline on that lane instead of deadlocking.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -50,13 +52,36 @@ class WorkerPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& task);
 
+  // ---- Utilization accounting ----------------------------------------------
+  // Per-lane task tallies (relaxed atomics, one cache line each) so a
+  // metrics snapshot can see how evenly work spreads across lanes without
+  // adding any synchronization to the claim loop. Lane 0 is the caller.
+  /// parallel_for jobs dispatched (inline fast-path runs included).
+  std::uint64_t jobs_dispatched() const {
+    return jobs_.load(std::memory_order_relaxed);
+  }
+  /// Task indices this lane has executed.
+  std::uint64_t lane_tasks(std::size_t lane) const {
+    return lane < lane_tasks_.size()
+               ? lane_tasks_[lane].v.load(std::memory_order_relaxed)
+               : 0;
+  }
+  /// Task indices executed across all lanes.
+  std::uint64_t total_tasks() const;
+
  private:
-  void worker_main();
+  void worker_main(std::size_t lane);
   /// Claims and runs indices of the current job until they run out.
   void run_slice(const std::function<void(std::size_t)>& task,
-                 std::size_t count);
+                 std::size_t count, std::size_t lane);
+
+  struct LaneCounter {
+    alignas(64) std::atomic<std::uint64_t> v{0};
+  };
 
   std::vector<std::thread> threads_;
+  std::vector<LaneCounter> lane_tasks_;  // sized lanes(); index 0 = caller
+  std::atomic<std::uint64_t> jobs_{0};
 
   std::mutex mu_;
   std::condition_variable work_cv_;

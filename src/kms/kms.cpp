@@ -134,7 +134,7 @@ void KeyManagementService::flush_frames(qkd::SimTime now) {
   for (FrameJob* job : jobs)
     job->plan = mesh_.plan_key_batch(job->pair->src, job->pair->dst,
                                      job->payload_bits,
-                                     &job->pair->route_cache);
+                                     &job->pair->route_cache, job->trace);
   // Fan the settlement back out: grants, requeues and re-arms are all
   // shard-local, so every shard finalizes on its own lane.
   sharded_->pool().parallel_for(
@@ -191,6 +191,12 @@ const ClientConfig& KeyManagementService::client(ClientId id) const {
 
 void KeyManagementService::get_key(ClientId id, std::size_t bits,
                                    GrantCallback on_grant) {
+  get_key(id, bits, std::move(on_grant), obs::TraceContext{});
+}
+
+void KeyManagementService::get_key(ClientId id, std::size_t bits,
+                                   GrantCallback on_grant,
+                                   obs::TraceContext trace) {
   if (bits == 0)
     throw std::invalid_argument("KeyManagementService::get_key: bits == 0");
   if (!on_grant)
@@ -203,6 +209,7 @@ void KeyManagementService::get_key(ClientId id, std::size_t bits,
   request.bits = bits;
   request.callback = std::move(on_grant);
   request.requested_at = now;
+  request.trace = trace;
   record.shard->submit(*record.pair,
                        static_cast<unsigned>(record.config.qos),
                        std::move(request), now);
@@ -230,6 +237,36 @@ void KeyManagementService::on_supply_replenished(qkd::SimTime now) {
   for (const auto& shard : shards_)
     if (shard->wake_backlogged(now)) woke = true;
   if (woke) ++router_stats_.replenish_wakeups;
+}
+
+// ---- Observability ---------------------------------------------------------
+
+void KeyManagementService::bind_metrics(obs::MetricsRegistry& registry,
+                                        std::string prefix) {
+  registry.add_collector([this, prefix = std::move(prefix)](
+                             obs::MetricsRegistry::Collect& out) {
+    const Stats& s = stats();
+    out.counter(prefix + "_service_rounds", s.service_rounds);
+    out.counter(prefix + "_transports", s.transports);
+    out.counter(prefix + "_starved_rounds", s.starved_rounds);
+    out.counter(prefix + "_shed_events", s.shed_events);
+    out.counter(prefix + "_replenish_wakeups", s.replenish_wakeups);
+    out.counter(prefix + "_claims_fulfilled", s.claims_fulfilled);
+    out.counter(prefix + "_claims_expired", s.claims_expired);
+    out.counter(prefix + "_bits_reclaimed", s.bits_reclaimed);
+    for (std::size_t qos = 0; qos < kQosClassCount; ++qos) {
+      const auto cls = static_cast<QosClass>(qos);
+      const ClassStats& c = class_stats(cls);
+      const std::string base = prefix + "_" + qos_class_name(cls);
+      out.counter(base + "_requests", c.requests);
+      out.counter(base + "_granted", c.granted);
+      out.counter(base + "_rejected_queue_full", c.rejected_queue_full);
+      out.counter(base + "_shed", c.shed);
+      out.counter(base + "_departed", c.departed);
+      out.counter(base + "_bits_granted", c.bits_granted);
+      out.gauge(base + "_p99_grant_latency_s", p99_grant_latency_s(cls));
+    }
+  });
 }
 
 // ---- Introspection ---------------------------------------------------------

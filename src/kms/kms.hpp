@@ -74,6 +74,8 @@
 
 #include "src/keystore/key_pool.hpp"
 #include "src/network/key_transport.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/event_scheduler.hpp"
 #include "src/sim/timeline.hpp"
 
@@ -274,6 +276,13 @@ class KeyManagementService final : public sim::ServiceSampler {
   /// std::invalid_argument for bits == 0 or an unknown/departed client.
   void get_key(ClientId id, std::size_t bits, GrantCallback on_grant);
 
+  /// The traced form: `trace` (a client span's context, possibly carried in
+  /// off the wire) parents every grant-path span of this request —
+  /// admission, the DRR service round, the mesh plan and hops, the grant.
+  /// An invalid (default) context behaves exactly like the overload above.
+  void get_key(ClientId id, std::size_t bits, GrantCallback on_grant,
+               obs::TraceContext trace);
+
   /// Peer side: claims the peer copy of a granted key by its key_id. Only
   /// the peer endpoint's applications (registered on the reversed pair)
   /// and the granted client itself may claim — a co-tenant on the same
@@ -295,7 +304,26 @@ class KeyManagementService final : public sim::ServiceSampler {
   sim::EventScheduler& stream_for_pair(network::NodeId src,
                                        network::NodeId dst);
 
+  // ---- Observability ------------------------------------------------------
+  /// Installs (or removes, with nullptr) the tracer the grant path records
+  /// spans into. Shard spans land in the owning shard's cell; the caller
+  /// should size the tracer with at least shard_count() cells. The mesh's
+  /// tracer is NOT installed here — set it on the mesh explicitly if the
+  /// relay legs should be recorded too.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  obs::Tracer* tracer() const { return tracer_; }
+
+  /// Registers a collector exposing aggregated service/class counters and
+  /// per-class p99 grant latency under `prefix`. Reads only the shards'
+  /// relaxed-atomic counters, so snapshots are safe from one monitoring
+  /// thread while shard lanes grant.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string prefix);
+
   // ---- Introspection (aggregated across shards) ---------------------------
+  // Counter/latency accessors aggregate the shards' relaxed-atomic stats:
+  // callable from ONE monitoring thread concurrently with shard-lane
+  // grants. queue_depth / inspect_pairs still walk shard pair state and
+  // require lanes parked.
   const ClassStats& class_stats(QosClass qos) const;
   const Stats& stats() const;
   const Config& config() const { return config_; }
@@ -359,6 +387,7 @@ class KeyManagementService final : public sim::ServiceSampler {
   mutable Stats agg_stats_;
   mutable std::array<ClassStats, kQosClassCount> agg_class_stats_{};
   GrantCallback grant_observer_;
+  obs::Tracer* tracer_ = nullptr;
   std::vector<std::uint64_t> supply_subscriptions_;  // engine mode only
 };
 

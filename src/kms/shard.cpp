@@ -45,6 +45,26 @@ double LatencyHistogram::mean_s() const {
   return sim_to_seconds(total_) / static_cast<double>(count_);
 }
 
+// ---- AtomicLatencyHistogram ------------------------------------------------
+
+void AtomicLatencyHistogram::record(qkd::SimTime latency) {
+  if (latency < 0) latency = 0;
+  std::size_t index = std::bit_width(static_cast<std::uint64_t>(latency));
+  if (index >= kBuckets) index = kBuckets - 1;
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(latency, std::memory_order_relaxed);
+}
+
+LatencyHistogram AtomicLatencyHistogram::snapshot() const {
+  LatencyHistogram out;
+  for (std::size_t i = 0; i < kBuckets; ++i)
+    out.buckets_[i] = buckets_[i].load(std::memory_order_relaxed);
+  out.count_ = count_.load(std::memory_order_relaxed);
+  out.total_ = total_.load(std::memory_order_relaxed);
+  return out;
+}
+
 // ---- Construction ----------------------------------------------------------
 
 KmsShard::KmsShard(KeyManagementService& service, std::size_t index,
@@ -102,11 +122,17 @@ PairState& KmsShard::pair_for(network::NodeId src, network::NodeId dst) {
 // ---- Delivery --------------------------------------------------------------
 
 void KmsShard::finish(Request& request, GrantStatus status, qkd::SimTime now,
-                      ClassStats& stats) {
+                      AtomicClassStats& stats) {
   switch (status) {
-    case GrantStatus::kRejectedQueueFull: ++stats.rejected_queue_full; break;
-    case GrantStatus::kShed: ++stats.shed; break;
-    case GrantStatus::kDeparted: ++stats.departed; break;
+    case GrantStatus::kRejectedQueueFull:
+      stats.rejected_queue_full.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GrantStatus::kShed:
+      stats.shed.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case GrantStatus::kDeparted:
+      stats.departed.fetch_add(1, std::memory_order_relaxed);
+      break;
     case GrantStatus::kGranted: break;  // grant_round accounts these
   }
   Grant grant;
@@ -120,13 +146,23 @@ void KmsShard::finish(Request& request, GrantStatus status, qkd::SimTime now,
 
 void KmsShard::submit(PairState& pair, unsigned qos, Request request,
                       qkd::SimTime now) {
-  ClassStats& stats = class_stats_[qos];
-  ++stats.requests;
+  AtomicClassStats& stats = class_stats_[qos];
+  stats.requests.fetch_add(1, std::memory_order_relaxed);
+  // The admission decision is the first server-side leg of a traced
+  // request; it parents under whatever context the caller propagated
+  // (possibly off the wire).
+  obs::ScopedSpan admit_span(tracer(), "kms.admit", request.trace, index_);
   // Admission control: a full (pair, class) queue pushes back at request
   // time instead of letting grant latency grow without bound.
   if (pair.queues[qos].size() >= service_.config_.max_queue_per_class) {
+    if (admit_span.recording()) admit_span.attr("result", "queue-full");
     finish(request, GrantStatus::kRejectedQueueFull, now, stats);
     return;
+  }
+  if (admit_span.recording()) {
+    admit_span.attr("qos", std::to_string(qos));
+    admit_span.attr("bits", std::to_string(request.bits));
+    admit_span.attr("result", "queued");
   }
   pair.queues[qos].push_back(std::move(request));
   arm_service(pair, now + service_.config_.batch_window);
@@ -152,7 +188,7 @@ std::optional<keystore::KeyBlock> KmsShard::claim(PairState& own,
     keystore::KeyBlock block = std::move(it->block);
     it->claimed = true;  // tombstone; popped when it reaches the front
     --pair->live_claims;
-    ++stats_.claims_fulfilled;
+    stats_.claims_fulfilled.fetch_add(1, std::memory_order_relaxed);
     return block;
   }
   return std::nullopt;
@@ -176,8 +212,8 @@ void KmsShard::purge_expired_claims(PairState& pair, qkd::SimTime now) {
     const qkd::BitVector& bits = front.block.bits;
     pair.src_store.deposit(bits);
     pair.dst_store.deposit(bits);
-    stats_.bits_reclaimed += bits.size();
-    ++stats_.claims_expired;
+    stats_.bits_reclaimed.fetch_add(bits.size(), std::memory_order_relaxed);
+    stats_.claims_expired.fetch_add(1, std::memory_order_relaxed);
     --pair.live_claims;
     pair.claims.pop_front();
   }
@@ -285,15 +321,21 @@ void KmsShard::shed_lowest_class(PairState& pair, qkd::SimTime now) {
       finish(request, GrantStatus::kShed, now, class_stats_[qos]);
     queue.clear();
     pair.deficit_bits[qos] = 0;
-    ++stats_.shed_events;
-    shedding_ = true;
+    stats_.shed_events.fetch_add(1, std::memory_order_relaxed);
+    shedding_.store(true, std::memory_order_relaxed);
     return;
   }
 }
 
 void KmsShard::grant_round(
     PairState& pair, std::vector<std::pair<unsigned, Request>>& round,
-    const network::MeshSimulation::TransportResult& frame, qkd::SimTime now) {
+    const network::MeshSimulation::TransportResult& frame, qkd::SimTime now,
+    obs::TraceContext trace) {
+  obs::ScopedSpan grant_span(tracer(), "kms.grant_round", trace, index_);
+  if (grant_span.recording()) {
+    grant_span.attr("requests", std::to_string(round.size()));
+    grant_span.attr("payload_bits", std::to_string(frame.key.size()));
+  }
   // Both endpoints received the frame payload: deposit it into the two
   // mirror-image pools, then withdraw per request through identical calls —
   // the key_ids the two stores assign are equal by the keystore's mirrored
@@ -316,9 +358,9 @@ void KmsShard::grant_round(
                                        false});
     ++pair.live_claims;
 
-    ClassStats& stats = class_stats_[qos];
-    ++stats.granted;
-    stats.bits_granted += request.bits;
+    AtomicClassStats& stats = class_stats_[qos];
+    stats.granted.fetch_add(1, std::memory_order_relaxed);
+    stats.bits_granted.fetch_add(request.bits, std::memory_order_relaxed);
     latency_[qos].record(now - request.requested_at);
 
     Grant grant;
@@ -336,7 +378,7 @@ void KmsShard::grant_round(
 }
 
 void KmsShard::service_round(PairState& pair, qkd::SimTime now) {
-  ++stats_.service_rounds;
+  stats_.service_rounds.fetch_add(1, std::memory_order_relaxed);
   purge_expired_claims(pair, now);
 
   auto round = select_round(pair);
@@ -347,14 +389,33 @@ void KmsShard::service_round(PairState& pair, qkd::SimTime now) {
     return;
   }
 
+  // Selection runs BEFORE the round span opens so the span can be born
+  // under the adopted context (the first traced request's) — reparenting
+  // after the fact would leave already-opened children in the wrong trace.
+  // The DRR pass itself is recorded as an annotation child.
+  obs::TraceContext adopted;
+  for (const auto& [qos, request] : round)
+    if (request.trace.valid()) { adopted = request.trace; break; }
+  obs::ScopedSpan round_span(tracer(), "kms.service_round", adopted, index_);
+  if (round_span.recording()) {
+    round_span.attr("pair", std::to_string(pair.src) + "->" +
+                                std::to_string(pair.dst));
+    round_span.attr("requests", std::to_string(round.size()));
+    obs::ScopedSpan drr_span(tracer(), "kms.drr_select", round_span.context(),
+                             index_);
+    drr_span.attr("selected", std::to_string(round.size()));
+  }
+
   if (epoch_mode_) {
     // Park the selection; the window barrier plans the transport and
     // finalize_outbox() settles the outcome (including the re-arm, which
-    // depends on it).
+    // depends on it). The round's context rides along so the barrier plan
+    // and the finalize spans stay in this trace.
     FrameJob job;
     job.pair = &pair;
     for (const auto& [qos, request] : round) job.payload_bits += request.bits;
     job.round = std::move(round);
+    job.trace = round_span.context();
     outbox_.push_back(std::move(job));
     return;
   }
@@ -363,21 +424,22 @@ void KmsShard::service_round(PairState& pair, qkd::SimTime now) {
   std::vector<std::size_t> sizes;
   sizes.reserve(round.size());
   for (const auto& [qos, request] : round) sizes.push_back(request.bits);
-  const auto frame =
-      service_.mesh_.transport_key_batch(pair.src, pair.dst, sizes);
+  const auto frame = service_.mesh_.transport_key_batch(
+      pair.src, pair.dst, sizes, round_span.context());
   if (!frame.success) {
-    ++stats_.starved_rounds;
+    stats_.starved_rounds.fetch_add(1, std::memory_order_relaxed);
     ++pair.consecutive_starved;
+    if (round_span.recording()) round_span.attr("result", "starved");
     requeue_round(pair, round);
     if (pair.consecutive_starved >= service_.config_.shed_after_starved_rounds)
       shed_lowest_class(pair, now);
     if (backlogged(pair)) arm_service(pair, now + service_.config_.retry_backoff);
     return;
   }
-  ++stats_.transports;
+  stats_.transports.fetch_add(1, std::memory_order_relaxed);
   pair.consecutive_starved = 0;
-  shedding_ = false;
-  grant_round(pair, round, frame, now);
+  shedding_.store(false, std::memory_order_relaxed);
+  grant_round(pair, round, frame, now, round_span.context());
   if (backlogged(pair)) arm_service(pair, now + service_.config_.batch_window);
 }
 
@@ -391,7 +453,7 @@ void KmsShard::finalize_outbox(qkd::SimTime now) {
   for (FrameJob& job : outbox_) {
     PairState& pair = *job.pair;
     if (!job.plan.success) {
-      ++stats_.starved_rounds;
+      stats_.starved_rounds.fetch_add(1, std::memory_order_relaxed);
       ++pair.consecutive_starved;
       requeue_round(pair, job.round);
       if (pair.consecutive_starved >=
@@ -401,14 +463,19 @@ void KmsShard::finalize_outbox(qkd::SimTime now) {
         arm_service(pair, now + service_.config_.retry_backoff);
       continue;
     }
-    ++stats_.transports;
+    stats_.transports.fetch_add(1, std::memory_order_relaxed);
     pair.consecutive_starved = 0;
-    shedding_ = false;
+    shedding_.store(false, std::memory_order_relaxed);
+    // The finalize leg runs on a worker lane under the parked round's
+    // context — the trace reconnects across the barrier.
+    obs::ScopedSpan finalize_span(tracer(), "kms.finalize", job.trace, index_);
+    if (finalize_span.recording())
+      finalize_span.attr("hops", std::to_string(job.plan.route.links.size()));
     // Materialize the frame from the pair's own deterministic stream — no
     // shared rng, no mesh state, so every shard finalizes concurrently.
     const auto frame =
         network::MeshSimulation::finalize_frame(job.plan, pair.frame_rng);
-    grant_round(pair, job.round, frame, now);
+    grant_round(pair, job.round, frame, now, finalize_span.context());
     if (backlogged(pair))
       arm_service(pair, now + service_.config_.batch_window);
   }
@@ -416,6 +483,46 @@ void KmsShard::finalize_outbox(qkd::SimTime now) {
 }
 
 // ---- Aggregation -----------------------------------------------------------
+
+const std::array<KmsShard::ClassStats, kQosClassCount>& KmsShard::class_stats()
+    const {
+  for (std::size_t qos = 0; qos < kQosClassCount; ++qos) {
+    const AtomicClassStats& in = class_stats_[qos];
+    ClassStats& out = class_stats_cache_[qos];
+    out.requests = in.requests.load(std::memory_order_relaxed);
+    out.granted = in.granted.load(std::memory_order_relaxed);
+    out.rejected_queue_full =
+        in.rejected_queue_full.load(std::memory_order_relaxed);
+    out.shed = in.shed.load(std::memory_order_relaxed);
+    out.departed = in.departed.load(std::memory_order_relaxed);
+    out.bits_granted = in.bits_granted.load(std::memory_order_relaxed);
+  }
+  return class_stats_cache_;
+}
+
+const std::array<LatencyHistogram, kQosClassCount>& KmsShard::latency() const {
+  for (std::size_t qos = 0; qos < kQosClassCount; ++qos)
+    latency_cache_[qos] = latency_[qos].snapshot();
+  return latency_cache_;
+}
+
+const KmsShard::Stats& KmsShard::stats() const {
+  stats_cache_.service_rounds =
+      stats_.service_rounds.load(std::memory_order_relaxed);
+  stats_cache_.transports = stats_.transports.load(std::memory_order_relaxed);
+  stats_cache_.starved_rounds =
+      stats_.starved_rounds.load(std::memory_order_relaxed);
+  stats_cache_.shed_events = stats_.shed_events.load(std::memory_order_relaxed);
+  stats_cache_.claims_fulfilled =
+      stats_.claims_fulfilled.load(std::memory_order_relaxed);
+  stats_cache_.claims_expired =
+      stats_.claims_expired.load(std::memory_order_relaxed);
+  stats_cache_.bits_reclaimed =
+      stats_.bits_reclaimed.load(std::memory_order_relaxed);
+  return stats_cache_;
+}
+
+obs::Tracer* KmsShard::tracer() const { return service_.tracer_; }
 
 std::size_t KmsShard::queue_depth(std::size_t qos) const {
   std::size_t depth = 0;

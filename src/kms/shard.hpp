@@ -32,6 +32,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <utility>
@@ -41,9 +42,11 @@
 
 namespace qkd::kms {
 
+class AtomicLatencyHistogram;
+
 /// O(1)-memory latency histogram (power-of-two nanosecond buckets) for the
-/// per-class p99 over million-grant runs. Shards record locally; the
-/// router merges per-shard histograms on read.
+/// per-class p99 over million-grant runs. Shards record locally (into the
+/// atomic variant below); the router merges per-shard histograms on read.
 class LatencyHistogram {
  public:
   void record(qkd::SimTime latency);
@@ -53,10 +56,28 @@ class LatencyHistogram {
   std::uint64_t count() const { return count_; }
 
  private:
+  friend class AtomicLatencyHistogram;
   static constexpr std::size_t kBuckets = 64;
   std::array<std::uint64_t, kBuckets> buckets_{};
   std::uint64_t count_ = 0;
   qkd::SimTime total_ = 0;
+};
+
+/// The shard-side recording form of LatencyHistogram: the same power-of-two
+/// buckets held in relaxed atomics, so a monitoring thread can snapshot
+/// latency quantiles while shard lanes are mid-grant (the counters are
+/// statistically consistent, never torn).
+class AtomicLatencyHistogram {
+ public:
+  void record(qkd::SimTime latency);
+  /// The current contents as a plain histogram (relaxed loads per bucket).
+  LatencyHistogram snapshot() const;
+
+ private:
+  static constexpr std::size_t kBuckets = LatencyHistogram::kBuckets;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<qkd::SimTime> total_{0};
 };
 
 struct Request {
@@ -64,6 +85,9 @@ struct Request {
   std::size_t bits = 0;
   GrantCallback callback;
   qkd::SimTime requested_at = 0;
+  /// The caller's trace (invalid for untraced requests): the parent every
+  /// grant-path span of this request hangs under.
+  obs::TraceContext trace;
 };
 
 /// An unclaimed peer copy. key_ids are monotonic per pair and claim_ttl is
@@ -113,6 +137,10 @@ struct FrameJob {
   std::vector<std::pair<unsigned, Request>> round;
   std::size_t payload_bits = 0;
   network::MeshSimulation::FramePlan plan;
+  /// The service round's span context (adopted from the first traced
+  /// request in the round): the barrier's mesh plan and the finalize spans
+  /// parent under it, keeping the trace connected across the park.
+  obs::TraceContext trace;
 };
 
 class KmsShard {
@@ -162,34 +190,56 @@ class KmsShard {
   /// clears the outbox. Runs on a worker lane; touches only shard state.
   void finalize_outbox(qkd::SimTime now);
 
-  // ---- Aggregation surface (router reads, shard lanes parked) -------------
-  const std::array<ClassStats, kQosClassCount>& class_stats() const {
-    return class_stats_;
-  }
-  const std::array<LatencyHistogram, kQosClassCount>& latency() const {
-    return latency_;
-  }
-  const Stats& stats() const { return stats_; }
-  bool shedding() const { return shedding_; }
+  // ---- Aggregation surface -------------------------------------------------
+  // Counter and latency accessors read relaxed atomics into mutable caches
+  // and return references into them: safe to call from ONE monitoring
+  // thread concurrently with shard-lane grants (the cross-shard stats
+  // regression test pins this under TSan). queue_depth / inspect_into
+  // still walk pair state and require shard lanes parked.
+  const std::array<ClassStats, kQosClassCount>& class_stats() const;
+  const std::array<LatencyHistogram, kQosClassCount>& latency() const;
+  const Stats& stats() const;
+  bool shedding() const { return shedding_.load(std::memory_order_relaxed); }
   std::size_t queue_depth(std::size_t qos) const;
   void inspect_into(
       std::vector<KeyManagementService::PairInspection>& out) const;
 
  private:
+  /// ClassStats with every counter a relaxed atomic — the recording form;
+  /// class_stats() snapshots these into the plain structs callers see.
+  struct AtomicClassStats {
+    std::atomic<std::uint64_t> requests{0};
+    std::atomic<std::uint64_t> granted{0};
+    std::atomic<std::uint64_t> rejected_queue_full{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> departed{0};
+    std::atomic<std::uint64_t> bits_granted{0};
+  };
+  struct AtomicStats {
+    std::atomic<std::uint64_t> service_rounds{0};
+    std::atomic<std::uint64_t> transports{0};
+    std::atomic<std::uint64_t> starved_rounds{0};
+    std::atomic<std::uint64_t> shed_events{0};
+    std::atomic<std::uint64_t> claims_fulfilled{0};
+    std::atomic<std::uint64_t> claims_expired{0};
+    std::atomic<std::uint64_t> bits_reclaimed{0};
+  };
+
   void arm_service(PairState& pair, qkd::SimTime when);
   void service_round(PairState& pair, qkd::SimTime now);
   std::vector<std::pair<unsigned, Request>> select_round(PairState& pair);
   void grant_round(PairState& pair,
                    std::vector<std::pair<unsigned, Request>>& round,
                    const network::MeshSimulation::TransportResult& frame,
-                   qkd::SimTime now);
+                   qkd::SimTime now, obs::TraceContext trace);
   void requeue_round(PairState& pair,
                      std::vector<std::pair<unsigned, Request>>& round);
   void shed_lowest_class(PairState& pair, qkd::SimTime now);
   void purge_expired_claims(PairState& pair, qkd::SimTime now);
   void finish(Request& request, GrantStatus status, qkd::SimTime now,
-              ClassStats& stats);
+              AtomicClassStats& stats);
   static bool backlogged(const PairState& pair);
+  obs::Tracer* tracer() const;
 
   KeyManagementService& service_;
   std::size_t index_ = 0;
@@ -201,10 +251,16 @@ class KmsShard {
   std::vector<std::unique_ptr<PairState>> pairs_;
   std::vector<FrameJob> outbox_;
 
-  std::array<ClassStats, kQosClassCount> class_stats_{};
-  std::array<LatencyHistogram, kQosClassCount> latency_{};
-  Stats stats_;
-  bool shedding_ = false;
+  std::array<AtomicClassStats, kQosClassCount> class_stats_{};
+  std::array<AtomicLatencyHistogram, kQosClassCount> latency_{};
+  AtomicStats stats_;
+  std::atomic<bool> shedding_{false};
+
+  /// Snapshot caches the const accessors refresh and hand out references
+  /// into (written only by the reading thread).
+  mutable std::array<ClassStats, kQosClassCount> class_stats_cache_{};
+  mutable std::array<LatencyHistogram, kQosClassCount> latency_cache_{};
+  mutable Stats stats_cache_;
 };
 
 }  // namespace qkd::kms

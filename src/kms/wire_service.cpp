@@ -48,7 +48,7 @@ bool KmsWireServer::serve_one(wire::Transport& io) {
   last_request_ = *raw;
   last_reply_.clear();
   ++served_;
-  return handle(io, message.value);
+  return handle(io, message.value, frame.value.trace);
 }
 
 bool KmsWireServer::reply(wire::Transport& io, const Bytes& framed) {
@@ -58,7 +58,8 @@ bool KmsWireServer::reply(wire::Transport& io, const Bytes& framed) {
 }
 
 bool KmsWireServer::handle(wire::Transport& io,
-                           const wire::EtsiMessage& message) {
+                           const wire::EtsiMessage& message,
+                           obs::TraceContext trace) {
   if (std::holds_alternative<wire::KmsBye>(message)) return false;
 
   if (const auto* reg = std::get_if<wire::KmsRegister>(&message)) {
@@ -74,13 +75,22 @@ bool KmsWireServer::handle(wire::Transport& io,
   }
 
   if (const auto* get = std::get_if<wire::KmsGetKey>(&message)) {
+    // The server-side half of the request's trace: parented on the context
+    // the version-2 frame carried in (or a fresh root when the client was
+    // untraced but this server records).
+    obs::ScopedSpan server_span(tracer_, "kms.server.get_key", trace);
+    if (server_span.recording()) {
+      server_span.attr("client", std::to_string(get->client_id));
+      server_span.attr("bits", std::to_string(get->bits));
+    }
     // The grant lands asynchronously from a service round; the delivery
     // slot is shared so a patience timeout cannot leave the callback
     // writing through a dangling pointer.
     auto slot = std::make_shared<std::optional<Grant>>();
     try {
       kms_.get_key(get->client_id, static_cast<std::size_t>(get->bits),
-                   [slot](const Grant& grant) { *slot = grant; });
+                   [slot](const Grant& grant) { *slot = grant; },
+                   server_span.context());
     } catch (const std::invalid_argument&) {
       wire::KmsReject reject;
       reject.request_id = get->request_id;
@@ -92,6 +102,11 @@ bool KmsWireServer::handle(wire::Transport& io,
     for (qkd::SimTime waited = 0; !slot->has_value() && waited < kGrantPatience;
          waited += step)
       scheduler_.run_for(step);
+    if (server_span.recording())
+      server_span.attr("result",
+                       grant_status_name(slot->has_value()
+                                             ? (*slot)->status
+                                             : GrantStatus::kShed));
     if (slot->has_value() && (*slot)->status == GrantStatus::kGranted) {
       wire::KmsGrant grant;
       grant.request_id = get->request_id;
@@ -186,13 +201,22 @@ std::optional<ClientId> KmsWireClient::register_app(const std::string& name,
 
 std::optional<KmsWireClient::KeyReply> KmsWireClient::get_key(
     ClientId id, std::uint64_t bits) {
+  // The trace root: every server-side span of this request descends from
+  // here, carried across the transport in the request's version-2 frame.
+  // With no tracer the context is invalid and the frame stays version 1.
+  obs::ScopedSpan client_span(tracer_, "kms.client.get_key");
+  if (client_span.recording()) {
+    client_span.attr("client", std::to_string(id));
+    client_span.attr("bits", std::to_string(bits));
+  }
   wire::KmsGetKey request;
   request.client_id = id;
   request.request_id = next_request_id_++;
   request.bits = bits;
-  const auto response =
-      call(wire::encode_frame(request.kType, request.encode()),
-           wire::PacketType::kKmsGrant, wire::PacketType::kKmsReject);
+  const auto response = call(
+      wire::encode_frame(request.kType, request.encode(),
+                         client_span.context()),
+      wire::PacketType::kKmsGrant, wire::PacketType::kKmsReject);
   if (!response.has_value()) return std::nullopt;
   KeyReply out;
   if (const auto* grant = std::get_if<wire::KmsGrant>(&*response)) {
@@ -204,6 +228,8 @@ std::optional<KmsWireClient::KeyReply> KmsWireClient::get_key(
     out.status =
         static_cast<GrantStatus>(std::get<wire::KmsReject>(*response).status);
   }
+  if (client_span.recording())
+    client_span.attr("status", grant_status_name(out.status));
   return out;
 }
 

@@ -54,12 +54,19 @@ class KmsWireServer {
   /// Requests served (duplicates answered from cache included).
   std::size_t served() const { return served_; }
 
+  /// Installs the tracer the server records its spans into. A version-2
+  /// request frame's trace context parents the server-side span, so the
+  /// client's trace continues across the transport.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
-  bool handle(wire::Transport& io, const wire::EtsiMessage& message);
+  bool handle(wire::Transport& io, const wire::EtsiMessage& message,
+              obs::TraceContext trace);
   bool reply(wire::Transport& io, const Bytes& framed);
 
   KeyManagementService& kms_;
   sim::EventScheduler& scheduler_;
+  obs::Tracer* tracer_ = nullptr;
   std::optional<Bytes> last_request_;  // raw frame bytes of the last request
   Bytes last_reply_;                   // raw frame bytes of its response
   std::size_t served_ = 0;
@@ -104,6 +111,11 @@ class KmsWireClient {
   /// Wire traffic this client put on the transport (retransmits included).
   std::size_t messages_sent() const { return messages_sent_; }
 
+  /// Installs the tracer get_key roots its client span in. With one set
+  /// (and enabled), get_key requests travel as version-2 frames carrying
+  /// the span's context — the server resumes the same trace.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   /// Sends `request` and blocks for a response frame of type `want`
   /// (retransmitting the identical bytes through loss); returns the
@@ -113,6 +125,7 @@ class KmsWireClient {
                                         wire::PacketType alt);
 
   wire::Transport& io_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   std::size_t messages_sent_ = 0;
 };

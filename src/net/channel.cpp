@@ -1,6 +1,23 @@
 #include "src/net/channel.hpp"
 
+#include <utility>
+
 namespace qkd::net {
+
+void PublicChannel::bind_metrics(obs::MetricsRegistry& registry,
+                                 std::string prefix) {
+  registry.add_collector([this, prefix = std::move(prefix)](
+                             obs::MetricsRegistry::Collect& out) {
+    out.counter(prefix + "_messages_ab", stats_.messages_ab);
+    out.counter(prefix + "_messages_ba", stats_.messages_ba);
+    out.counter(prefix + "_bytes_ab", stats_.bytes_ab);
+    out.counter(prefix + "_bytes_ba", stats_.bytes_ba);
+    out.counter(prefix + "_dropped", stats_.dropped);
+    out.counter(prefix + "_modified", stats_.modified);
+    out.counter(prefix + "_lost", stats_.lost);
+    out.counter(prefix + "_reordered", stats_.reordered);
+  });
+}
 
 void PublicChannel::set_conditions(const ClassicalConditions& conditions,
                                    std::uint64_t seed) {

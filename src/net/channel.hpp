@@ -19,6 +19,7 @@
 #include "src/common/bytes.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/sim_clock.hpp"
+#include "src/obs/metrics.hpp"
 
 namespace qkd::net {
 
@@ -89,6 +90,12 @@ class PublicChannel {
   bool b_has_message() const { return !b_.inbox.empty(); }
 
   const ChannelStats& stats() const { return stats_; }
+
+  /// Registers a collector exposing the delivered-traffic counters under
+  /// `prefix` (e.g. "<prefix>_bytes_ab"). The channel keeps ChannelStats as
+  /// its storage — stats() is unchanged — and must outlive the registry's
+  /// snapshots.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string prefix);
 
  private:
   void send(const Bytes& message, bool to_b);

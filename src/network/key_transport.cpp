@@ -2,6 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
+#include <utility>
 
 #include "src/qkd/entropy.hpp"
 
@@ -114,7 +116,8 @@ MeshSimulation::TransportResult MeshSimulation::transport_key(
 }
 
 MeshSimulation::TransportResult MeshSimulation::transport_key_batch(
-    NodeId src, NodeId dst, const std::vector<std::size_t>& request_bits) {
+    NodeId src, NodeId dst, const std::vector<std::size_t>& request_bits,
+    obs::TraceContext trace) {
   if (request_bits.empty())
     throw std::invalid_argument("MeshSimulation: empty transport batch");
   std::size_t payload_bits = 0;
@@ -127,19 +130,29 @@ MeshSimulation::TransportResult MeshSimulation::transport_key_batch(
   // Uncached plan: routes every frame against the global last-route memo
   // (the legacy reroute accounting) and finalizes on the mesh's own rng —
   // the draw order (key, then analytic pads hop by hop) is unchanged.
-  return finalize_frame(plan_key_batch(src, dst, payload_bits, nullptr),
-                        rng_);
+  return finalize_frame(
+      plan_key_batch(src, dst, payload_bits, nullptr, trace), rng_);
 }
 
 MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
                                                          NodeId dst,
                                                          std::size_t payload_bits,
-                                                         RouteCache* cache) {
+                                                         RouteCache* cache,
+                                                         obs::TraceContext trace) {
   if (payload_bits == 0)
     throw std::invalid_argument("MeshSimulation: zero-bit transport plan");
   // One frame per hop: the concatenated payloads plus the header+tag
   // overhead, all of it OTP-encrypted under the hop's pairwise pad.
   const std::size_t frame_bits = payload_bits + kFrameOverheadBits;
+
+  // recording() gates the attr formatting so a disabled tracer costs the
+  // span constructor's single branch, not std::to_string allocations.
+  obs::ScopedSpan plan_span(tracer_, "mesh.plan", trace);
+  if (plan_span.recording()) {
+    plan_span.attr("src", std::to_string(src));
+    plan_span.attr("dst", std::to_string(dst));
+    plan_span.attr("payload_bits", std::to_string(payload_bits));
+  }
 
   FramePlan plan;
   plan.payload_bits = payload_bits;
@@ -170,6 +183,7 @@ MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
     if (!route.has_value()) {
       if (cache != nullptr) cache->route.reset();
       ++stats_.transports_no_route;
+      plan_span.attr("result", "no-route");
       return plan;
     }
     if (cache != nullptr) {
@@ -190,6 +204,7 @@ MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
   // Check every hop can afford the frame before consuming anything.
   if (!affordable(*route)) {
     ++stats_.transports_starved;
+    plan_span.attr("result", "starved");
     return plan;
   }
 
@@ -199,6 +214,7 @@ MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
   // simulated pad bits are drawn later, inside finalize_frame.
   for (std::size_t hop = 0; hop < route->links.size(); ++hop) {
     const LinkId link_id = route->links[hop];
+    obs::ScopedSpan hop_span(tracer_, "mesh.hop", plan_span.context());
     if (rate_model_ == RateModel::kEngine) {
       plan.hop_pads.push_back(
           service_->supply(link_id)
@@ -213,6 +229,11 @@ MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
     const NodeId holder = route->nodes[hop + 1];
     if (topology_.node(holder).kind == NodeKind::kTrustedRelay)
       plan.exposed_to.push_back(holder);
+    if (hop_span.recording()) {
+      hop_span.attr("link", std::to_string(link_id));
+      hop_span.attr("to_node", std::to_string(holder));
+      hop_span.attr("pad_bits", std::to_string(frame_bits));
+    }
   }
 
   for (NodeId relay : plan.exposed_to)
@@ -221,6 +242,11 @@ MeshSimulation::FramePlan MeshSimulation::plan_key_batch(NodeId src,
 
   plan.success = true;
   ++stats_.transports_succeeded;
+  if (plan_span.recording()) {
+    plan_span.attr("hops", std::to_string(route->links.size()));
+    plan_span.attr("exposed_relays", std::to_string(plan.exposed_to.size()));
+    if (plan.compromised) plan_span.attr("compromised", "true");
+  }
   return plan;
 }
 
@@ -253,6 +279,24 @@ MeshSimulation::TransportResult MeshSimulation::finalize_frame(
 
   result.success = true;
   return result;
+}
+
+void MeshSimulation::bind_metrics(obs::MetricsRegistry& registry,
+                                  std::string prefix) {
+  registry.add_collector([this, prefix = std::move(prefix)](
+                             obs::MetricsRegistry::Collect& out) {
+    out.counter(prefix + "_transports_attempted", stats_.transports_attempted);
+    out.counter(prefix + "_transports_succeeded", stats_.transports_succeeded);
+    out.counter(prefix + "_transports_no_route", stats_.transports_no_route);
+    out.counter(prefix + "_transports_starved", stats_.transports_starved);
+    out.counter(prefix + "_reroutes", stats_.reroutes);
+    out.counter(prefix + "_transports_compromised",
+                stats_.transports_compromised);
+    double pool_bits = 0.0;
+    for (const Link& link : topology_.links())
+      pool_bits += link_pool_bits(link.id);
+    out.gauge(prefix + "_pool_bits_total", pool_bits);
+  });
 }
 
 void MeshSimulation::cut_link(LinkId link) {

@@ -20,6 +20,8 @@
 #include "src/network/key_service.hpp"
 #include "src/network/routing.hpp"
 #include "src/network/topology.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/wire/frame.hpp"
 
 namespace qkd::network {
@@ -157,7 +159,8 @@ class MeshSimulation {
   /// `result.key` holds the payloads in request order. Throws
   /// std::invalid_argument on an empty batch or a zero-bit request.
   TransportResult transport_key_batch(NodeId src, NodeId dst,
-                                      const std::vector<std::size_t>& request_bits);
+                                      const std::vector<std::size_t>& request_bits,
+                                      obs::TraceContext trace = {});
 
   /// The sequential half of a batch transport: routes, checks
   /// affordability, consumes pool bits (withdrawing the real hop pads in
@@ -168,8 +171,11 @@ class MeshSimulation {
   /// no longer afford the frame), and Stats::reroutes counts per-caller
   /// route changes instead of the global last-route flip. Failure planned
   /// == failure: nothing was consumed and finalize must not run.
+  /// With a tracer installed and a valid `trace`, the plan records one
+  /// "mesh.plan" span plus a "mesh.hop" span per consumed hop under it —
+  /// the relay legs of a traced KMS grant.
   FramePlan plan_key_batch(NodeId src, NodeId dst, std::size_t payload_bits,
-                           RouteCache* cache);
+                           RouteCache* cache, obs::TraceContext trace = {});
 
   /// The pure half: generates the end-to-end key from `rng` and walks the
   /// hop-by-hop OTP relay using the plan's pads (or simulated pads drawn
@@ -211,6 +217,16 @@ class MeshSimulation {
 
   const Stats& stats() const { return stats_; }
 
+  /// Installs (or, with nullptr, removes) the tracer the planning path
+  /// records spans into. Planning is sequential (the barrier thread or the
+  /// single scheduler stream), so spans land in cell 0.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Registers a collector exposing transport Stats plus the summed link
+  /// pool depth under `prefix`. Snapshot with the mesh quiesced (between
+  /// barriers / runs) — the same discipline every mesh read requires.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string prefix);
+
  private:
   void sync_engine_link_states();
   /// Discards a link's accumulated key (cut / abandoned link).
@@ -226,6 +242,7 @@ class MeshSimulation {
   std::optional<Route> last_route_;
   std::uint64_t topology_version_ = 1;
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace qkd::network

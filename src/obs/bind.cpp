@@ -1,0 +1,27 @@
+#include "src/obs/bind.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace qkd::obs {
+
+void bind_worker_pool(MetricsRegistry& registry,
+                      const common::WorkerPool& pool, std::string prefix) {
+  registry.add_collector([&pool, prefix = std::move(prefix)](
+                             MetricsRegistry::Collect& out) {
+    out.counter(prefix + "_jobs_total", pool.jobs_dispatched());
+    out.counter(prefix + "_tasks_total", pool.total_tasks());
+    out.gauge(prefix + "_lanes", static_cast<double>(pool.lanes()));
+    std::uint64_t lo = pool.lane_tasks(0);
+    std::uint64_t hi = lo;
+    for (std::size_t lane = 1; lane < pool.lanes(); ++lane) {
+      const std::uint64_t tasks = pool.lane_tasks(lane);
+      lo = std::min(lo, tasks);
+      hi = std::max(hi, tasks);
+    }
+    out.gauge(prefix + "_lane_tasks_min", static_cast<double>(lo));
+    out.gauge(prefix + "_lane_tasks_max", static_cast<double>(hi));
+  });
+}
+
+}  // namespace qkd::obs

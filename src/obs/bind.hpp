@@ -1,0 +1,22 @@
+// Registry bindings for the layers BELOW src/obs.
+//
+// Layers above obs (net, network, qkd, kms) register their own collectors
+// via a bind_metrics member; src/common cannot link qkd_obs (obs links
+// common), so its instruments are bridged from this side instead.
+#pragma once
+
+#include <string>
+
+#include "src/common/worker_pool.hpp"
+#include "src/obs/metrics.hpp"
+
+namespace qkd::obs {
+
+/// Exposes a WorkerPool's utilization tallies under `prefix`:
+///   <prefix>_jobs_total, <prefix>_tasks_total, <prefix>_lanes,
+///   <prefix>_lane_tasks_min / _max (the spread — equal when work balances).
+/// The pool must outlive the registry's snapshots.
+void bind_worker_pool(MetricsRegistry& registry,
+                      const common::WorkerPool& pool, std::string prefix);
+
+}  // namespace qkd::obs

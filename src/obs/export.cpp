@@ -1,0 +1,71 @@
+#include "src/obs/export.hpp"
+
+#include <sstream>
+
+namespace qkd::obs {
+namespace {
+
+/// Minimal JSON string escaping (names and attribute values are ASCII
+/// identifiers in practice, but a stray quote must not corrupt the file).
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+              << "0123456789abcdef"[c & 0xF];
+        else
+          out << c;
+    }
+  }
+  out << '"';
+}
+
+double sim_us(SimTime t) { return static_cast<double>(t) / 1e3; }
+
+}  // namespace
+
+std::string chrome_trace_json(const std::vector<Span>& spans) {
+  std::ostringstream out;
+  out << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Span& span : spans) {
+    if (!first) out << ",";
+    first = false;
+    const SimTime sim_end =
+        span.sim_end >= span.sim_start ? span.sim_end : span.sim_start;
+    const std::uint64_t wall_ns =
+        span.wall_end_ns >= span.wall_start_ns
+            ? span.wall_end_ns - span.wall_start_ns
+            : 0;
+    out << "{\"name\":";
+    append_json_string(out, span.name);
+    out << ",\"cat\":\"qkd\",\"ph\":\"X\",\"ts\":" << sim_us(span.sim_start)
+        << ",\"dur\":" << sim_us(sim_end - span.sim_start)
+        << ",\"pid\":1,\"tid\":" << (span.cell + 1) << ",\"args\":{"
+        << "\"trace_id\":" << span.trace_id
+        << ",\"span_id\":" << span.span_id
+        << ",\"parent_span\":" << span.parent_span
+        << ",\"wall_ns\":" << wall_ns;
+    for (const auto& [key, value] : span.attributes) {
+      out << ",";
+      append_json_string(out, key);
+      out << ":";
+      append_json_string(out, value);
+    }
+    out << "}}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  return chrome_trace_json(tracer.spans());
+}
+
+}  // namespace qkd::obs

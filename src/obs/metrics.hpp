@@ -1,0 +1,183 @@
+// One metrics registry for the whole stack.
+//
+// Every layer used to keep its own ad-hoc Stats struct (pipeline stage
+// tables, channel byte counters, KMS shard stats, mesh transport stats,
+// worker-pool utilization); diagnosing a run meant reading eight of them.
+// The registry gives them one namespace and one export path (a
+// Prometheus-style text dump, plus structured snapshots for tests and the
+// bench tooling) without taking over their storage: hot paths either
+// write the registry's sharded instruments directly, or keep their
+// existing structs and register a *collector* — a callback run at
+// snapshot time that reports current values (the Prometheus collector
+// pattern). Either way the existing accessors keep working.
+//
+// Instruments are sharded like the KMS: a family owns `cells` independent
+// cache-line-padded atomic slots (one per shard/lane), written with
+// relaxed operations — no cross-shard locks, no contention on the grant
+// path — and aggregated only when read.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace qkd::obs {
+
+/// A monotonically increasing count, sharded across cells. Writers pass
+/// their own cell index; value() sums all cells with relaxed loads (the
+/// counters are statistically consistent, not a synchronization point).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1, std::size_t cell = 0) {
+    slot(cell).fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const;
+  std::uint64_t cell_value(std::size_t cell) const {
+    return slot(cell).load(std::memory_order_relaxed);
+  }
+  std::size_t cells() const { return cells_.size(); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::size_t cells);
+
+  struct Slot {
+    alignas(64) std::atomic<std::uint64_t> v{0};
+  };
+  std::atomic<std::uint64_t>& slot(std::size_t cell) {
+    return cells_[cell < cells_.size() ? cell : cells_.size() - 1].v;
+  }
+  const std::atomic<std::uint64_t>& slot(std::size_t cell) const {
+    return cells_[cell < cells_.size() ? cell : cells_.size() - 1].v;
+  }
+  std::vector<Slot> cells_;
+};
+
+/// A point-in-time signed value; per-cell set/add, summed on read.
+class Gauge {
+ public:
+  void set(std::int64_t v, std::size_t cell = 0) {
+    slot(cell).store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta, std::size_t cell = 0) {
+    slot(cell).fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::int64_t value() const;
+  std::size_t cells() const { return cells_.size(); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::size_t cells);
+
+  struct Slot {
+    alignas(64) std::atomic<std::int64_t> v{0};
+  };
+  std::atomic<std::int64_t>& slot(std::size_t cell) {
+    return cells_[cell < cells_.size() ? cell : cells_.size() - 1].v;
+  }
+  const std::atomic<std::int64_t>& slot(std::size_t cell) const {
+    return cells_[cell < cells_.size() ? cell : cells_.size() - 1].v;
+  }
+  std::vector<Slot> cells_;
+};
+
+/// Fixed-bucket latency/size histogram: power-of-two buckets (value v
+/// lands in bucket bit_width(v)), O(1) memory over million-sample runs,
+/// sharded per cell like Counter. Quantiles report the bucket's upper
+/// bound — conservative, same convention as the KMS latency histograms.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value, std::size_t cell = 0);
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  /// Conservative quantile (upper bucket bound), 0 when empty.
+  double quantile(double q) const;
+  /// Bucket counts summed across cells (export path).
+  std::vector<std::uint64_t> bucket_counts() const;
+  std::size_t cells() const { return cells_.size(); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Histogram(std::size_t cells);
+
+  struct Slot {
+    alignas(64) std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+    std::atomic<std::uint64_t> buckets[kBuckets]{};
+  };
+  std::vector<std::unique_ptr<Slot>> cells_;
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One exported value at snapshot time.
+struct MetricSample {
+  std::string name;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;  // counter/gauge value; histogram count
+  double sum = 0.0;    // histograms only
+  double p50 = 0.0;    // histograms only (conservative)
+  double p99 = 0.0;    // histograms only (conservative)
+};
+
+class MetricsRegistry {
+ public:
+  /// `cells` is the default sharding degree of newly created instruments
+  /// (pass the shard/lane count of whatever writes hottest).
+  explicit MetricsRegistry(std::size_t cells = 1);
+
+  /// Finds or creates the named instrument. The returned reference is
+  /// stable for the registry's lifetime — resolve once at bind time, then
+  /// write lock-free forever. Name collisions across kinds throw.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Pull-model bridge for layers that keep their own Stats structs: the
+  /// callback runs inside snapshot()/to_prometheus() and reports current
+  /// values through the emit functions. Values it emits appear alongside
+  /// the direct instruments (same name rules).
+  class Collect {
+   public:
+    virtual ~Collect() = default;
+    virtual void counter(const std::string& name, std::uint64_t value) = 0;
+    virtual void gauge(const std::string& name, double value) = 0;
+  };
+  using Collector = std::function<void(Collect&)>;
+  void add_collector(Collector collector);
+
+  /// Every instrument plus every collector-reported value, sorted by
+  /// name. Reads are relaxed; call anytime (the satellite TSan test reads
+  /// while shard lanes write).
+  std::vector<MetricSample> snapshot() const;
+
+  /// Prometheus-style text exposition (one "# TYPE" line per family;
+  /// histograms export _count/_sum plus conservative p50/p99 gauges).
+  std::string to_prometheus() const;
+
+  std::size_t default_cells() const { return default_cells_; }
+
+ private:
+  struct Entry {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Entry& entry_for(const std::string& name, MetricKind kind);
+
+  std::size_t default_cells_;
+  mutable std::mutex mu_;  // registration + collector list; not the hot path
+  std::map<std::string, Entry> entries_;
+  std::vector<Collector> collectors_;
+};
+
+}  // namespace qkd::obs

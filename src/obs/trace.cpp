@@ -1,0 +1,121 @@
+#include "src/obs/trace.hpp"
+
+#include <chrono>
+
+namespace qkd::obs {
+
+namespace {
+std::uint64_t wall_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Tracer::Tracer(std::size_t cells) {
+  if (cells == 0) cells = 1;
+  cells_.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i)
+    cells_.push_back(std::make_unique<Cell>());
+}
+
+void Tracer::set_sim_time_source(std::function<SimTime()> source) {
+  sim_source_ = std::move(source);
+}
+
+SimTime Tracer::sim_now() const { return sim_source_ ? sim_source_() : 0; }
+
+TraceContext Tracer::make_root() {
+  if (!enabled()) return {};
+  TraceContext context;
+  context.trace_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return context;
+}
+
+SpanHandle Tracer::start_span(const std::string& name, TraceContext parent,
+                              std::size_t cell) {
+  if (!enabled()) return {};
+  if (cell >= cells_.size()) cell = cells_.size() - 1;
+  Span span;
+  span.span_id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  span.trace_id = parent.valid() ? parent.trace_id : span.span_id;
+  span.parent_span = parent.parent_span;
+  span.name = name;
+  span.sim_start = sim_now();
+  span.wall_start_ns = wall_now_ns();
+  span.cell = cell;
+
+  SpanHandle handle;
+  handle.cell = cell;
+  handle.context = TraceContext{span.trace_id, span.span_id};
+
+  Cell& bucket = *cells_[cell];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  handle.index = bucket.spans.size();
+  bucket.spans.push_back(std::move(span));
+  return handle;
+}
+
+void Tracer::end_span(const SpanHandle& handle) {
+  if (!handle.valid()) return;
+  Cell& bucket = *cells_[handle.cell];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  if (handle.index >= bucket.spans.size()) return;  // cleared underneath
+  Span& span = bucket.spans[handle.index];
+  // The handle addresses by position; a clear() since it was issued would
+  // leave a different span there — the id check catches that staleness.
+  if (span.span_id != handle.context.parent_span) return;
+  if (span.sim_end != -1) return;  // already closed
+  span.sim_end = sim_now();
+  span.wall_end_ns = wall_now_ns();
+}
+
+void Tracer::add_attribute(const SpanHandle& handle, const std::string& key,
+                           std::string value) {
+  if (!handle.valid()) return;
+  Cell& bucket = *cells_[handle.cell];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  if (handle.index >= bucket.spans.size()) return;
+  Span& span = bucket.spans[handle.index];
+  if (span.span_id != handle.context.parent_span) return;
+  span.attributes.emplace_back(key, std::move(value));
+}
+
+void Tracer::set_parent(const SpanHandle& handle, TraceContext parent) {
+  if (!handle.valid() || !parent.valid()) return;
+  Cell& bucket = *cells_[handle.cell];
+  std::lock_guard<std::mutex> lock(bucket.mu);
+  if (handle.index >= bucket.spans.size()) return;
+  Span& span = bucket.spans[handle.index];
+  if (span.span_id != handle.context.parent_span) return;
+  span.trace_id = parent.trace_id;
+  span.parent_span = parent.parent_span;
+}
+
+std::vector<Span> Tracer::spans() const {
+  std::vector<Span> out;
+  for (const auto& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    out.insert(out.end(), cell->spans.begin(), cell->spans.end());
+  }
+  return out;
+}
+
+std::size_t Tracer::span_count() const {
+  std::size_t count = 0;
+  for (const auto& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    count += cell->spans.size();
+  }
+  return count;
+}
+
+void Tracer::clear() {
+  for (const auto& cell : cells_) {
+    std::lock_guard<std::mutex> lock(cell->mu);
+    cell->spans.clear();
+  }
+}
+
+}  // namespace qkd::obs

@@ -64,6 +64,8 @@ QkdLinkSession::QkdLinkSession(QkdLinkConfig config, std::uint64_t seed)
       supply_("qkd-link") {
   if (config_.sample_fraction < 0.0 || config_.sample_fraction >= 1.0)
     throw std::invalid_argument("QkdLinkSession: bad sample fraction");
+  stage_wall_s_.assign(pipeline_.size(), 0.0);
+  stage_bytes_.assign(pipeline_.size(), 0);
 }
 
 QkdLinkSession::~QkdLinkSession() = default;
@@ -71,6 +73,28 @@ QkdLinkSession::~QkdLinkSession() = default;
 void QkdLinkSession::set_pipeline(
     std::vector<std::unique_ptr<PipelineStage>> stages) {
   pipeline_ = std::move(stages);
+  stage_wall_s_.assign(pipeline_.size(), 0.0);
+  stage_bytes_.assign(pipeline_.size(), 0);
+}
+
+void QkdLinkSession::bind_metrics(obs::MetricsRegistry& registry,
+                                  std::string prefix) {
+  registry.add_collector([this, prefix = std::move(prefix)](
+                             obs::MetricsRegistry::Collect& out) {
+    out.counter(prefix + "_batches", totals_.batches);
+    out.counter(prefix + "_accepted_batches", totals_.accepted_batches);
+    out.counter(prefix + "_pulses", totals_.pulses);
+    out.counter(prefix + "_sifted_bits", totals_.sifted_bits);
+    out.counter(prefix + "_distilled_bits", totals_.distilled_bits);
+    out.gauge(prefix + "_link_seconds", totals_.duration_s);
+    for (std::size_t i = 0; i < pipeline_.size() && i < stage_wall_s_.size();
+         ++i) {
+      const std::string stage = prefix + "_stage_" + pipeline_[i]->name();
+      out.counter(stage + "_wall_us",
+                  static_cast<std::uint64_t>(stage_wall_s_[i] * 1e6));
+      out.counter(stage + "_control_bytes", stage_bytes_[i]);
+    }
+  });
 }
 
 BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
@@ -101,9 +125,18 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
                    .result = result};
   AbortReason reason = AbortReason::kNone;
   result.stages.reserve(pipeline_.size());
-  for (const auto& stage : pipeline_) {
+  // The batch span roots its own trace (one per Qframe); each stage is a
+  // child. A null/disabled tracer costs one branch per batch plus one per
+  // stage — the span construction is skipped entirely.
+  obs::ScopedSpan batch_span(tracer_, "qkd.batch", {}, trace_cell_);
+  for (std::size_t s = 0; s < pipeline_.size(); ++s) {
+    const auto& stage = pipeline_[s];
     const std::size_t messages_before = result.control_messages;
     const std::size_t bytes_before = result.control_bytes;
+    std::optional<obs::ScopedSpan> stage_span;
+    if (batch_span.recording())
+      stage_span.emplace(tracer_, std::string("qkd.") + stage->name(),
+                         batch_span.context(), trace_cell_);
     const auto start = std::chrono::steady_clock::now();
     reason = stage->run(ctx);
     const auto stop = std::chrono::steady_clock::now();
@@ -112,6 +145,16 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
     stats.wall_s = std::chrono::duration<double>(stop - start).count();
     stats.control_messages = result.control_messages - messages_before;
     stats.control_bytes = result.control_bytes - bytes_before;
+    if (s < stage_wall_s_.size()) {
+      stage_wall_s_[s] += stats.wall_s;
+      stage_bytes_[s] += stats.control_bytes;
+    }
+    if (stage_span.has_value()) {
+      stage_span->attr("control_messages",
+                       std::to_string(stats.control_messages));
+      stage_span->attr("control_bytes", std::to_string(stats.control_bytes));
+      stage_span->finish();
+    }
     if (reason != AbortReason::kNone) break;
   }
 
@@ -137,6 +180,13 @@ BatchResult QkdLinkSession::run_batch(qkd::optics::Attack* attack) {
   totals_.duration_s += result.duration_s;
 
   // ---- Outcome accounting. ------------------------------------------------
+  if (batch_span.recording()) {
+    batch_span.attr("accepted",
+                    reason == AbortReason::kNone ? "true" : "false");
+    batch_span.attr("reason", abort_reason_name(reason));
+    batch_span.attr("sifted_bits", std::to_string(result.sifted_bits));
+    batch_span.attr("distilled_bits", std::to_string(result.distilled_bits));
+  }
   result.reason = reason;
   result.accepted = reason == AbortReason::kNone;
   totals_.sifted_bits += result.sifted_bits;

@@ -28,6 +28,8 @@
 #include "src/keystore/key_pool.hpp"
 #include "src/keystore/key_producer.hpp"
 #include "src/net/channel_transport.hpp"
+#include "src/obs/metrics.hpp"
+#include "src/obs/trace.hpp"
 #include "src/optics/link.hpp"
 #include "src/qkd/authentication.hpp"
 #include "src/qkd/cascade_bbn.hpp"
@@ -271,6 +273,19 @@ class QkdLinkSession : public qkd::keystore::KeyProducer {
   qkd::net::PublicChannel& channel() { return channel_; }
   const qkd::net::PublicChannel& channel() const { return channel_; }
 
+  /// Installs (or, with nullptr, removes) a tracer: every run_batch then
+  /// records a "qkd.batch" span with one "qkd.<stage>" child per pipeline
+  /// stage, into `cell` (the session's lane in a LinkKeyService pool).
+  void set_tracer(obs::Tracer* tracer, std::size_t cell = 0) {
+    tracer_ = tracer;
+    trace_cell_ = cell;
+  }
+
+  /// Registers a collector exposing SessionTotals plus cumulative
+  /// per-stage wall time under `prefix`; totals()/BatchResult::stages keep
+  /// working unchanged. The session must outlive the registry's snapshots.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string prefix);
+
   // ---- keystore::KeyProducer ----------------------------------------------
   std::size_t supply_count() const override { return 1; }
   qkd::keystore::KeySupply& supply(std::size_t index = 0) override;
@@ -310,6 +325,13 @@ class QkdLinkSession : public qkd::keystore::KeyProducer {
   qkd::net::ChannelTransport bob_wire_;
   std::vector<std::unique_ptr<PipelineStage>> pipeline_;
   SessionTotals totals_;
+  /// Cumulative per-stage wall seconds / control bytes, indexed like
+  /// pipeline_ (reset by set_pipeline): the registry's view of the stage
+  /// table without touching BatchResult.
+  std::vector<double> stage_wall_s_;
+  std::vector<std::size_t> stage_bytes_;
+  obs::Tracer* tracer_ = nullptr;
+  std::size_t trace_cell_ = 0;
   std::uint64_t next_frame_id_ = 0;
   qkd::keystore::KeyPool supply_;
   std::vector<qkd::keystore::KeySupply*> sinks_;

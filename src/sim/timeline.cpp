@@ -55,6 +55,22 @@ void TimelineRecorder::note(SimTime t, std::string text) {
   notes_.push_back(TimelineNote{t, std::move(text)});
 }
 
+void TimelineRecorder::annotate_spans(const std::vector<obs::Span>& spans) {
+  for (const obs::Span& span : spans) {
+    const SimTime end =
+        span.sim_end >= span.sim_start ? span.sim_end : span.sim_start;
+    char text[128];
+    std::snprintf(text, sizeof text, "span %s (%.1f us)", span.name.c_str(),
+                  static_cast<double>(end - span.sim_start) / 1e3);
+    notes_.push_back(TimelineNote{span.sim_start, text});
+  }
+  // Interleave with the scenario annotations; stable so same-instant notes
+  // keep insertion order (action first, then its spans).
+  std::stable_sort(
+      notes_.begin(), notes_.end(),
+      [](const TimelineNote& a, const TimelineNote& b) { return a.t < b.t; });
+}
+
 std::vector<double> TimelineRecorder::link_pool_series(
     network::LinkId link) const {
   std::vector<double> series;

@@ -17,6 +17,7 @@
 
 #include "src/ipsec/gateway.hpp"
 #include "src/network/key_transport.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sim/event_scheduler.hpp"
 
 namespace qkd::sim {
@@ -91,6 +92,12 @@ class TimelineRecorder {
   void sample(SimTime now);
 
   void note(SimTime t, std::string text);
+
+  /// Bridges recorded trace spans onto the timeline: each span becomes a
+  /// note at its sim start ("span <name> (<dur> us)"), interleaved in time
+  /// order with the scenario annotations — so one render() tells the
+  /// scripted story and what the traced requests did inside it.
+  void annotate_spans(const std::vector<obs::Span>& spans);
 
   const std::vector<TimelinePoint>& points() const { return points_; }
   const std::vector<TimelineNote>& notes() const { return notes_; }

@@ -75,12 +75,23 @@ const char* wire_error_name(WireError error) {
 }
 
 Bytes encode_frame(PacketType type, const Bytes& payload) {
+  return encode_frame(type, payload, obs::TraceContext{});
+}
+
+Bytes encode_frame(PacketType type, const Bytes& payload,
+                   obs::TraceContext trace) {
+  const bool traced = trace.valid();
   Bytes out;
-  out.reserve(kHeaderBytes + payload.size());
+  out.reserve(kHeaderBytes + (traced ? kTraceExtensionBytes : 0) +
+              payload.size());
   put_u16(out, kMagic);
-  put_u8(out, kWireVersion);
+  put_u8(out, traced ? kWireVersionTraced : kWireVersion);
   put_u8(out, static_cast<std::uint8_t>(type));
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  if (traced) {
+    put_u64(out, trace.trace_id);
+    put_u64(out, trace.parent_span);
+  }
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -92,14 +103,17 @@ Result<std::size_t> frame_total_length(
   ByteReader reader(prefix.first(kHeaderBytes));
   if (reader.u16() != kMagic)
     return Result<std::size_t>::failure(WireError::kBadMagic);
-  if (reader.u8() != kWireVersion)
+  const std::uint8_t version = reader.u8();
+  if (version != kWireVersion && version != kWireVersionTraced)
     return Result<std::size_t>::failure(WireError::kBadVersion);
   if (!packet_type_known(reader.u8()))
     return Result<std::size_t>::failure(WireError::kUnknownType);
   const std::uint32_t payload_len = reader.u32();
   if (payload_len > kMaxPayloadBytes)
     return Result<std::size_t>::failure(WireError::kOversizedFrame);
-  return Result<std::size_t>::success(kHeaderBytes + payload_len);
+  const std::size_t extension =
+      version == kWireVersionTraced ? kTraceExtensionBytes : 0;
+  return Result<std::size_t>::success(kHeaderBytes + extension + payload_len);
 }
 
 Result<Frame> decode_frame(std::span<const std::uint8_t> buffer) {
@@ -111,7 +125,14 @@ Result<Frame> decode_frame(std::span<const std::uint8_t> buffer) {
     return Result<Frame>::failure(WireError::kTrailingBytes);
   Frame frame;
   frame.type = static_cast<PacketType>(buffer[3]);
-  frame.payload.assign(buffer.begin() + kHeaderBytes, buffer.end());
+  std::size_t payload_start = kHeaderBytes;
+  if (buffer[2] == kWireVersionTraced) {
+    ByteReader reader(buffer.subspan(kHeaderBytes, kTraceExtensionBytes));
+    frame.trace.trace_id = reader.u64();
+    frame.trace.parent_span = reader.u64();
+    payload_start += kTraceExtensionBytes;
+  }
+  frame.payload.assign(buffer.begin() + payload_start, buffer.end());
   return Result<Frame>::success(std::move(frame));
 }
 

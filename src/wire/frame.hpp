@@ -4,6 +4,13 @@
 //
 //   magic(u16) | version(u8) | type(u8) | payload_len(u32) | payload
 //
+// Version 2 frames insert a 16-byte trace-context extension between the
+// base header and the payload (trace_id u64 | parent_span u64), so a
+// request traced on one endpoint resumes the SAME trace on the other —
+// the wire-crossing half of src/obs. Version 1 frames are what they
+// always were, bit for bit; encoders only emit version 2 when a caller
+// hands them a valid TraceContext, and decoders accept both strictly.
+//
 // The 8-byte header is the whole story: `type` selects a packet codec
 // (src/wire/packets.hpp for the distillation dialogue, src/wire/etsi.hpp
 // for the KMS request/response API), `payload_len` lets a byte-stream
@@ -19,6 +26,7 @@
 #include <span>
 
 #include "src/common/bytes.hpp"
+#include "src/obs/trace.hpp"
 
 namespace qkd::wire {
 
@@ -97,20 +105,34 @@ struct Result {
 
 inline constexpr std::uint16_t kMagic = 0x514B;  // "QK"
 inline constexpr std::uint8_t kWireVersion = 1;
+/// Version-2 frames carry the 16-byte trace-context extension after the
+/// base header. Emitted only when the sender has a live trace; a peer
+/// that has never heard of tracing still speaks version 1 unchanged.
+inline constexpr std::uint8_t kWireVersionTraced = 2;
 inline constexpr std::size_t kHeaderBytes = 8;
+/// trace_id(u64) | parent_span(u64), present iff version == 2.
+inline constexpr std::size_t kTraceExtensionBytes = 16;
 /// Upper bound on a payload a peer may declare; bounds memory a hostile
 /// header can make us reserve (a Qframe's sift announce at 2^20 slots is
 /// ~130 KiB, so 16 MiB is generous for every legitimate packet).
 inline constexpr std::uint32_t kMaxPayloadBytes = 16u << 20;
 
-/// One decoded frame: the typed payload bytes, not yet parsed.
+/// One decoded frame: the typed payload bytes, not yet parsed. `trace`
+/// is invalid (trace_id == 0) for version-1 frames.
 struct Frame {
   PacketType type = PacketType::kAbort;
   Bytes payload;
+  obs::TraceContext trace;
 };
 
 /// Encodes header + payload. The only way bytes enter a Transport.
 Bytes encode_frame(PacketType type, const Bytes& payload);
+
+/// Encodes with trace propagation: a valid `trace` produces a version-2
+/// frame carrying it; an invalid one degrades to the plain version-1
+/// encoding (byte-identical to encode_frame above).
+Bytes encode_frame(PacketType type, const Bytes& payload,
+                   obs::TraceContext trace);
 
 /// Strictly decodes ONE frame occupying the whole buffer (trailing bytes
 /// are an error — the transports deliver exact frames).

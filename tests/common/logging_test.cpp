@@ -1,0 +1,104 @@
+// Logger: thread-safety of the global sink (set_sink racing concurrent
+// QKD_LOG statements — the regression the mutex fixed), sim-time stamping
+// when a SimClock is registered, and the atomic level gate.
+#include "src/common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace qkd {
+namespace {
+
+/// Restores the global logger to a quiet state when a test exits (the
+/// logger is process-global; leave nothing pointed at stack frames).
+struct LoggerGuard {
+  ~LoggerGuard() {
+    Logger& logger = Logger::instance();
+    logger.set_clock(nullptr);
+    logger.set_sink({});
+    logger.set_level(LogLevel::kWarning);
+  }
+};
+
+TEST(Logger, SinkSwapRacingConcurrentLogStatementsIsSafe) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kDebug);
+  // Shared by every sink generation, so a swapped-out sink invoked
+  // mid-replacement still writes somewhere valid.
+  auto delivered = std::make_shared<std::atomic<std::uint64_t>>(0);
+  logger.set_sink([delivered](LogLevel, const std::string& message) {
+    delivered->fetch_add(message.size());
+  });
+
+  std::atomic<int> finished{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t)
+    writers.emplace_back([&finished] {
+      for (int i = 0; i < 2000; ++i) QKD_LOG(kInfo) << "worker message";
+      finished.fetch_add(1);
+    });
+  // The race under test: replacing the std::function while four threads
+  // are inside log(). Pre-mutex this tore the function object (TSan
+  // flagged it; ASan saw use-after-free under enough pressure). Keep
+  // swapping until every writer has finished logging.
+  while (finished.load(std::memory_order_relaxed) < 4)
+    logger.set_sink([delivered](LogLevel, const std::string& message) {
+      delivered->fetch_add(message.size());
+    });
+  for (auto& writer : writers) writer.join();
+  EXPECT_GT(delivered->load(), 0u);
+}
+
+TEST(Logger, RegisteredSimClockStampsMessagesWithSimTime) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  logger.set_level(LogLevel::kDebug);
+  std::vector<std::string> lines;
+  logger.set_sink(
+      [&lines](LogLevel, const std::string& message) { lines.push_back(message); });
+
+  SimClock clock;
+  clock.advance(seconds_to_sim(1.5));
+  logger.set_clock(&clock);
+  QKD_LOG(kInfo) << "stamped";
+  clock.advance(250 * kMillisecond);
+  QKD_LOG(kInfo) << "later";
+  logger.set_clock(nullptr);
+  QKD_LOG(kInfo) << "plain";
+
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "[t=1.500000s] stamped");
+  EXPECT_EQ(lines[1], "[t=1.750000s] later");
+  EXPECT_EQ(lines[2], "plain");
+}
+
+TEST(Logger, LevelGateFiltersBelowThresholdAndIsReadableConcurrently) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  std::atomic<int> messages{0};
+  logger.set_sink([&messages](LogLevel, const std::string&) { ++messages; });
+
+  logger.set_level(LogLevel::kWarning);
+  QKD_LOG(kDebug) << "suppressed";
+  QKD_LOG(kInfo) << "suppressed";
+  QKD_LOG(kWarning) << "emitted";
+  EXPECT_EQ(messages.load(), 1);
+
+  // Flipping the level while another thread logs is a pair of relaxed
+  // atomic ops — no lock on the fast path, no torn reads.
+  std::thread flipper([&logger] {
+    for (int i = 0; i < 1000; ++i)
+      logger.set_level(i % 2 == 0 ? LogLevel::kDebug : LogLevel::kError);
+  });
+  for (int i = 0; i < 1000; ++i) QKD_LOG(kInfo) << "maybe";
+  flipper.join();
+}
+
+}  // namespace
+}  // namespace qkd

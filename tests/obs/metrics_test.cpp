@@ -1,0 +1,127 @@
+// MetricsRegistry: instrument identity and kind collision, sharded-cell
+// aggregation, histogram quantile convention, collectors, and the
+// Prometheus exposition shape.
+#include "src/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace qkd::obs {
+namespace {
+
+TEST(MetricsRegistry, InstrumentsAreFoundOrCreatedByName) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("kms_grants");
+  Counter& b = registry.counter("kms_grants");
+  EXPECT_EQ(&a, &b) << "same name resolves to the same instrument";
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+}
+
+TEST(MetricsRegistry, NameCollisionAcrossKindsThrows) {
+  MetricsRegistry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::invalid_argument);
+  EXPECT_THROW(registry.histogram("x"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, CellsAggregateOnRead) {
+  MetricsRegistry registry(4);
+  Counter& counter = registry.counter("per_shard");
+  counter.add(10, 0);
+  counter.add(20, 1);
+  counter.add(30, 3);
+  EXPECT_EQ(counter.value(), 60u);
+  EXPECT_EQ(counter.cell_value(1), 20u);
+  // Out-of-range cells clamp to the last cell rather than writing wild.
+  counter.add(1, 99);
+  EXPECT_EQ(counter.cell_value(3), 31u);
+
+  Gauge& gauge = registry.gauge("depth");
+  gauge.set(5, 0);
+  gauge.set(-2, 2);
+  EXPECT_EQ(gauge.value(), 3);
+}
+
+TEST(MetricsRegistry, HistogramQuantilesAreConservativeUpperBounds) {
+  MetricsRegistry registry(2);
+  Histogram& histogram = registry.histogram("latency_ns");
+  for (int i = 0; i < 99; ++i) histogram.record(100, i % 2);
+  histogram.record(1'000'000);
+  EXPECT_EQ(histogram.count(), 100u);
+  EXPECT_EQ(histogram.sum(), 99u * 100u + 1'000'000u);
+  // 100 lands in bucket bit_width(100)=7 whose upper bound is 128.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.50), 128.0);
+  EXPECT_GE(histogram.quantile(1.0), 1'000'000.0);
+}
+
+TEST(MetricsRegistry, CollectorsReportIntoSnapshots) {
+  MetricsRegistry registry;
+  registry.counter("direct").add(7);
+  std::uint64_t granted = 41;
+  registry.add_collector([&granted](MetricsRegistry::Collect& out) {
+    out.counter("kms_granted", granted);
+    out.gauge("kms_queue_depth", 3.5);
+  });
+  granted = 42;
+
+  const auto samples = registry.snapshot();
+  bool saw_direct = false, saw_granted = false, saw_gauge = false;
+  for (const MetricSample& sample : samples) {
+    if (sample.name == "direct") {
+      saw_direct = true;
+      EXPECT_EQ(sample.value, 7.0);
+    }
+    if (sample.name == "kms_granted") {
+      saw_granted = true;
+      EXPECT_EQ(sample.value, 42.0) << "collectors read at snapshot time";
+    }
+    if (sample.name == "kms_queue_depth") {
+      saw_gauge = true;
+      EXPECT_EQ(sample.kind, MetricKind::kGauge);
+    }
+  }
+  EXPECT_TRUE(saw_direct);
+  EXPECT_TRUE(saw_granted);
+  EXPECT_TRUE(saw_gauge);
+}
+
+TEST(MetricsRegistry, PrometheusTextHasTypeLinesAndHistogramSeries) {
+  MetricsRegistry registry;
+  registry.counter("qkd_batches").add(3);
+  registry.gauge("pool_bits").set(1024);
+  registry.histogram("grant_ns").record(500);
+
+  const std::string text = registry.to_prometheus();
+  EXPECT_NE(text.find("# TYPE qkd_batches counter"), std::string::npos) << text;
+  EXPECT_NE(text.find("qkd_batches 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE pool_bits gauge"), std::string::npos);
+  EXPECT_NE(text.find("grant_ns_count 1"), std::string::npos);
+  EXPECT_NE(text.find("grant_ns_sum 500"), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentCellWritersAndOneReaderAreRaceFree) {
+  MetricsRegistry registry(4);
+  Counter& counter = registry.counter("hot");
+  std::vector<std::thread> writers;
+  for (std::size_t lane = 0; lane < 4; ++lane)
+    writers.emplace_back([&counter, lane] {
+      for (int i = 0; i < 20000; ++i) counter.add(1, lane);
+    });
+  std::uint64_t last = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t now = counter.value();
+    ASSERT_GE(now, last);
+    last = now;
+  }
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(counter.value(), 80000u);
+}
+
+}  // namespace
+}  // namespace qkd::obs

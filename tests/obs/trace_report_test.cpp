@@ -1,0 +1,124 @@
+// tools/trace_report.py round-trip: export a real recorded trace as
+// Chrome JSON, run the report script on it, and check it aggregates the
+// span names. Skipped when python3 is not on PATH (the script is
+// stdlib-only, so a present interpreter is the only requirement).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/export.hpp"
+#include "src/obs/trace.hpp"
+
+namespace qkd::obs {
+namespace {
+
+/// Repo root derived from this source file's compile-time path, so the
+/// test finds tools/trace_report.py regardless of the ctest working
+/// directory.
+std::string repo_root() {
+  const std::string self = __FILE__;
+  const std::string suffix = "tests/obs/trace_report_test.cpp";
+  if (self.size() > suffix.size() &&
+      self.compare(self.size() - suffix.size(), suffix.size(), suffix) == 0)
+    return self.substr(0, self.size() - suffix.size());
+  return "./";
+}
+
+bool python3_available() {
+  return std::system("python3 -c 'import json' >/dev/null 2>&1") == 0;
+}
+
+class TraceReportScript : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!python3_available()) GTEST_SKIP() << "python3 not on PATH";
+    // Name the scratch files per test: ctest runs the suite's tests as
+    // concurrent processes sharing one TempDir.
+    const std::string stem =
+        std::string("trace_report_") +
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    trace_path_ = ::testing::TempDir() + stem + ".json";
+    out_path_ = ::testing::TempDir() + stem + ".out";
+  }
+  void TearDown() override {
+    std::remove(trace_path_.c_str());
+    std::remove(out_path_.c_str());
+  }
+
+  int run_report(const std::string& args) {
+    const std::string command = "python3 '" + repo_root() +
+                                "tools/trace_report.py' " + args + " > '" +
+                                out_path_ + "' 2>&1";
+    const int status = std::system(command.c_str());
+    return status;
+  }
+
+  std::string output() const {
+    std::ifstream in(out_path_);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+  }
+
+  std::string trace_path_;
+  std::string out_path_;
+};
+
+TEST_F(TraceReportScript, ReportsPercentilesOverARecordedTrace) {
+  // A real trace, not hand-written JSON: record a small span tree with
+  // sim timestamps and attributes, export it, report over the file.
+  Tracer tracer(2);
+  tracer.set_enabled(true);
+  SimTime now = 0;
+  tracer.set_sim_time_source([&now] { return now; });
+  for (int round = 0; round < 10; ++round) {
+    ScopedSpan outer(&tracer, "kms.service_round", {}, round % 2);
+    outer.attr("requests", "3");
+    {
+      ScopedSpan inner(&tracer, "kms.grant_round", outer.context(),
+                       round % 2);
+      now += (round + 1) * kMicrosecond;
+      inner.finish();
+    }
+    now += kMicrosecond;
+  }
+  {
+    std::ofstream out(trace_path_);
+    out << chrome_trace_json(tracer);
+  }
+
+  ASSERT_EQ(run_report("'" + trace_path_ + "'"), 0) << output();
+  const std::string report = output();
+  EXPECT_NE(report.find("20 complete events"), std::string::npos) << report;
+  EXPECT_NE(report.find("kms.service_round"), std::string::npos) << report;
+  EXPECT_NE(report.find("kms.grant_round"), std::string::npos) << report;
+
+  // --json emits machine-readable rows a follow-up tool could consume.
+  ASSERT_EQ(run_report("--json '" + trace_path_ + "'"), 0) << output();
+  const std::string json_report = output();
+  EXPECT_NE(json_report.find("\"spans\""), std::string::npos) << json_report;
+  EXPECT_NE(json_report.find("\"p99_us\""), std::string::npos) << json_report;
+  EXPECT_NE(json_report.find("\"count\": 10"), std::string::npos)
+      << json_report;
+
+  // --by-tid splits the two recording cells into separate rows.
+  ASSERT_EQ(run_report("--by-tid --json '" + trace_path_ + "'"), 0)
+      << output();
+  EXPECT_NE(output().find("\"count\": 5"), std::string::npos) << output();
+}
+
+TEST_F(TraceReportScript, RejectsAMissingOrMalformedFile) {
+  EXPECT_NE(run_report("'" + trace_path_ + ".does-not-exist'"), 0);
+  {
+    std::ofstream out(trace_path_);
+    out << "this is not json";
+  }
+  EXPECT_NE(run_report("'" + trace_path_ + "'"), 0);
+}
+
+}  // namespace
+}  // namespace qkd::obs

@@ -1,0 +1,192 @@
+// Tracer: span-tree construction through explicit TraceContext
+// propagation, the disabled/null fast path (invalid handles, fallback
+// contexts that keep the chain alive), sim-time stamping, reparenting
+// (service-round adoption), and cell sharding.
+#include "src/obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+namespace qkd::obs {
+namespace {
+
+const Span* find_span(const std::vector<Span>& spans, const std::string& name) {
+  for (const Span& span : spans)
+    if (span.name == name) return &span;
+  return nullptr;
+}
+
+TEST(Tracer, DisabledTracerHandsOutInertHandles) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  EXPECT_FALSE(tracer.make_root().valid());
+  SpanHandle handle = tracer.start_span("ignored");
+  EXPECT_FALSE(handle.valid());
+  tracer.add_attribute(handle, "k", "v");
+  tracer.end_span(handle);
+  EXPECT_EQ(tracer.span_count(), 0u);
+}
+
+TEST(Tracer, SpansFormATreeThroughPropagatedContexts) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+
+  TraceContext root_ctx = tracer.make_root();
+  ASSERT_TRUE(root_ctx.valid());
+  SpanHandle root = tracer.start_span("request", root_ctx);
+  SpanHandle child = tracer.start_span("admit", Tracer::child_context(root));
+  SpanHandle grandchild =
+      tracer.start_span("grant", Tracer::child_context(child));
+  tracer.end_span(grandchild);
+  tracer.end_span(child);
+  tracer.end_span(root);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  const Span* request = find_span(spans, "request");
+  const Span* admit = find_span(spans, "admit");
+  const Span* grant = find_span(spans, "grant");
+  ASSERT_NE(request, nullptr);
+  ASSERT_NE(admit, nullptr);
+  ASSERT_NE(grant, nullptr);
+  EXPECT_EQ(request->trace_id, root_ctx.trace_id);
+  EXPECT_EQ(admit->trace_id, root_ctx.trace_id);
+  EXPECT_EQ(grant->trace_id, root_ctx.trace_id);
+  EXPECT_EQ(admit->parent_span, request->span_id);
+  EXPECT_EQ(grant->parent_span, admit->span_id);
+}
+
+TEST(Tracer, InvalidParentStartsAFreshTrace) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SpanHandle a = tracer.start_span("a");
+  SpanHandle b = tracer.start_span("b");
+  tracer.end_span(a);
+  tracer.end_span(b);
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_NE(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[0].parent_span, 0u);
+  EXPECT_EQ(spans[1].parent_span, 0u);
+}
+
+TEST(Tracer, ChildContextFallsBackThroughAnUntracedLayer) {
+  // A middle layer whose tracer is off must pass its caller's context
+  // through, not sever the chain.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  TraceContext caller = Tracer::child_context(tracer.start_span("caller"));
+  ASSERT_TRUE(caller.valid());
+
+  {
+    ScopedSpan untraced(nullptr, "middle", caller);
+    EXPECT_FALSE(untraced.recording());
+    EXPECT_EQ(untraced.context().trace_id, caller.trace_id);
+    EXPECT_EQ(untraced.context().parent_span, caller.parent_span);
+  }
+
+  Tracer off;  // constructed but never enabled
+  ScopedSpan disabled(&off, "middle", caller);
+  EXPECT_FALSE(disabled.recording());
+  EXPECT_EQ(disabled.context().trace_id, caller.trace_id);
+}
+
+TEST(Tracer, SimTimeSourceStampsSpans) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SimTime now = 5 * kMillisecond;
+  tracer.set_sim_time_source([&now] { return now; });
+
+  SpanHandle handle = tracer.start_span("timed");
+  now += 2 * kMillisecond;
+  tracer.end_span(handle);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].sim_start, 5 * kMillisecond);
+  EXPECT_EQ(spans[0].sim_end, 7 * kMillisecond);
+  EXPECT_GE(spans[0].wall_end_ns, spans[0].wall_start_ns);
+}
+
+TEST(Tracer, ReparentAdoptsTraceAndParent) {
+  // The service-round shape: the round span opens parentless, then adopts
+  // the first traced request it selected.
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SpanHandle request = tracer.start_span("request");
+
+  ScopedSpan round(&tracer, "round");
+  round.reparent(Tracer::child_context(request));
+  TraceContext round_ctx = round.context();
+  ScopedSpan drr(&tracer, "drr", round_ctx);
+  drr.finish();
+  round.finish();
+  tracer.end_span(request);
+
+  const auto spans = tracer.spans();
+  const Span* request_span = find_span(spans, "request");
+  const Span* round_span = find_span(spans, "round");
+  const Span* drr_span = find_span(spans, "drr");
+  ASSERT_NE(round_span, nullptr);
+  ASSERT_NE(drr_span, nullptr);
+  EXPECT_EQ(round_span->trace_id, request_span->trace_id);
+  EXPECT_EQ(round_span->parent_span, request_span->span_id);
+  EXPECT_EQ(drr_span->trace_id, request_span->trace_id)
+      << "context handed out after reparent carries the adopted trace";
+  EXPECT_EQ(drr_span->parent_span, round_span->span_id);
+}
+
+TEST(Tracer, AttributesAttachOnlyWhileTheScopedSpanRecords) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  ScopedSpan span(&tracer, "op");
+  span.attr("qos", "realtime");
+  span.finish();
+  span.attr("late", "dropped");  // after finish: must not land
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  ASSERT_EQ(spans[0].attributes.size(), 1u);
+  EXPECT_EQ(spans[0].attributes[0].first, "qos");
+  EXPECT_EQ(spans[0].attributes[0].second, "realtime");
+}
+
+TEST(Tracer, CellsShardRecordingAndClampOutOfRange) {
+  Tracer tracer(3);
+  tracer.set_enabled(true);
+  tracer.end_span(tracer.start_span("s0", {}, 0));
+  tracer.end_span(tracer.start_span("s2", {}, 2));
+  tracer.end_span(tracer.start_span("clamped", {}, 99));
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(find_span(spans, "s0")->cell, 0u);
+  EXPECT_EQ(find_span(spans, "s2")->cell, 2u);
+  EXPECT_EQ(find_span(spans, "clamped")->cell, 2u);
+}
+
+TEST(Tracer, ClearInvalidatesStaleHandles) {
+  Tracer tracer;
+  tracer.set_enabled(true);
+  SpanHandle stale = tracer.start_span("old");
+  tracer.clear();
+  EXPECT_EQ(tracer.span_count(), 0u);
+
+  // A handle from before the clear must not corrupt the span now living
+  // at its position.
+  SpanHandle fresh = tracer.start_span("new");
+  tracer.add_attribute(stale, "k", "v");
+  tracer.end_span(stale);
+  tracer.end_span(fresh);
+
+  const auto spans = tracer.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "new");
+  EXPECT_TRUE(spans[0].attributes.empty());
+  EXPECT_GE(spans[0].sim_end, spans[0].sim_start) << "fresh span did close";
+}
+
+}  // namespace
+}  // namespace qkd::obs

@@ -55,8 +55,71 @@ TEST(Frame, BadMagicRejected) {
 
 TEST(Frame, UnknownVersionRejected) {
   Bytes framed = encode_frame(PacketType::kAbort, {});
-  framed[2] = kWireVersion + 1;
+  framed[2] = kWireVersionTraced + 1;  // above every version we speak
   EXPECT_EQ(decode_frame(framed).error, WireError::kBadVersion);
+}
+
+TEST(Frame, PreTraceContextFramesStillDecode) {
+  // A hand-assembled version-1 frame exactly as a pre-trace peer emits it:
+  // the upgrade must not orphan old senders.
+  const Bytes old_frame{0x51, 0x4B,  // magic "QK"
+                        0x01,        // version 1 (no trace extension)
+                        0x0A,        // kAbort
+                        0x00, 0x00, 0x00, 0x02,  // payload length 2
+                        0xAB, 0xCD};
+  const auto decoded = decode_frame(old_frame);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.type, PacketType::kAbort);
+  EXPECT_EQ(decoded.value.payload, (Bytes{0xAB, 0xCD}));
+  EXPECT_FALSE(decoded.value.trace.valid());
+
+  // And the untraced encoder still produces those bytes bit for bit.
+  EXPECT_EQ(encode_frame(PacketType::kAbort, Bytes{0xAB, 0xCD}), old_frame);
+}
+
+TEST(Frame, TraceContextRoundTripsInVersion2Frames) {
+  const obs::TraceContext trace{0x1122334455667788ULL, 0x99AABBCCDDEEFF00ULL};
+  const Bytes payload{0x42};
+  const Bytes framed = encode_frame(PacketType::kKmsGetKey, payload, trace);
+  ASSERT_EQ(framed.size(), kHeaderBytes + kTraceExtensionBytes + 1);
+  EXPECT_EQ(framed[2], kWireVersionTraced);
+
+  const auto total = frame_total_length(framed);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(total.value, framed.size());
+
+  const auto decoded = decode_frame(framed);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value.type, PacketType::kKmsGetKey);
+  EXPECT_EQ(decoded.value.payload, payload);
+  EXPECT_EQ(decoded.value.trace.trace_id, trace.trace_id);
+  EXPECT_EQ(decoded.value.trace.parent_span, trace.parent_span);
+}
+
+TEST(Frame, InvalidTraceContextDegradesToVersion1) {
+  // trace_id == 0 means "no trace": the traced overload must emit bytes
+  // identical to the plain encoder, not a version-2 frame full of zeros.
+  const Bytes payload{1, 2, 3};
+  EXPECT_EQ(encode_frame(PacketType::kAbort, payload, obs::TraceContext{}),
+            encode_frame(PacketType::kAbort, payload));
+}
+
+TEST(Frame, TruncatedTraceExtensionIsShortFrame) {
+  const obs::TraceContext trace{7, 9};
+  const Bytes framed = encode_frame(PacketType::kKmsGetKey, Bytes{5}, trace);
+  for (std::size_t len = kHeaderBytes; len < framed.size(); ++len) {
+    const auto decoded =
+        decode_frame(std::span<const std::uint8_t>(framed.data(), len));
+    ASSERT_FALSE(decoded.ok()) << "prefix length " << len;
+    EXPECT_EQ(decoded.error, WireError::kShortFrame) << "prefix length " << len;
+  }
+}
+
+TEST(Frame, Version2TrailingBytesStillRejected) {
+  Bytes framed =
+      encode_frame(PacketType::kKmsGetKey, Bytes{5}, obs::TraceContext{3, 4});
+  framed.push_back(0x00);
+  EXPECT_EQ(decode_frame(framed).error, WireError::kTrailingBytes);
 }
 
 TEST(Frame, UnknownTypeRejected) {

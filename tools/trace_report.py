@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Per-span latency report over a Chrome trace-event JSON file.
+
+Reads the {"traceEvents": [...]} file the stack's obs exporter writes
+(sim-time microseconds in ts/dur, span metadata in args) and prints one
+row per span name: count, p50/p90/p99 and max of the sim-time duration,
+plus the same percentiles of wall_ns when present — the quick answer to
+"where did grant latency go" without loading Perfetto.
+
+Stdlib only (json/argparse/math); no third-party imports.
+
+Usage:
+  tools/trace_report.py trace.json
+  tools/trace_report.py trace.json --by-tid      # split rows per cell/lane
+  tools/trace_report.py trace.json --json        # machine-readable output
+"""
+
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile over an ascending list (0 when empty)."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, round(q * len(sorted_values)))
+    return sorted_values[min(rank, len(sorted_values)) - 1]
+
+
+def load_events(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if isinstance(document, dict):
+        events = document.get("traceEvents", [])
+    elif isinstance(document, list):  # the bare-array trace flavor
+        events = document
+    else:
+        raise ValueError("not a Chrome trace-event document")
+    return [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+
+
+def aggregate(events, by_tid=False):
+    groups = {}
+    for event in events:
+        name = event.get("name", "?")
+        key = (name, event.get("tid", 0)) if by_tid else (name,)
+        row = groups.setdefault(
+            key, {"name": name, "durs_us": [], "walls_ns": []}
+        )
+        if by_tid:
+            row["tid"] = event.get("tid", 0)
+        row["durs_us"].append(float(event.get("dur", 0.0)))
+        wall = event.get("args", {}).get("wall_ns")
+        if isinstance(wall, (int, float)):
+            row["walls_ns"].append(float(wall))
+    report = []
+    for key in sorted(groups):
+        row = groups[key]
+        durs = sorted(row["durs_us"])
+        walls = sorted(row["walls_ns"])
+        entry = {
+            "name": row["name"],
+            "count": len(durs),
+            "p50_us": percentile(durs, 0.50),
+            "p90_us": percentile(durs, 0.90),
+            "p99_us": percentile(durs, 0.99),
+            "max_us": durs[-1] if durs else 0.0,
+        }
+        if by_tid:
+            entry["tid"] = row["tid"]
+        if walls:
+            entry["wall_p50_ns"] = percentile(walls, 0.50)
+            entry["wall_p99_ns"] = percentile(walls, 0.99)
+        report.append(entry)
+    return report
+
+
+def render(report, by_tid=False):
+    lines = []
+    header = f"{'span':<28}"
+    if by_tid:
+        header += f"{'tid':>5}"
+    header += f"{'count':>8}{'p50us':>12}{'p90us':>12}{'p99us':>12}{'maxus':>12}"
+    lines.append(header)
+    lines.append("-" * len(header))
+    for entry in report:
+        line = f"{entry['name']:<28}"
+        if by_tid:
+            line += f"{entry.get('tid', 0):>5}"
+        line += (
+            f"{entry['count']:>8}"
+            f"{entry['p50_us']:>12.1f}"
+            f"{entry['p90_us']:>12.1f}"
+            f"{entry['p99_us']:>12.1f}"
+            f"{entry['max_us']:>12.1f}"
+        )
+        lines.append(line)
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Per-span latency percentiles over Chrome trace JSON"
+    )
+    parser.add_argument("trace", help="path to the trace JSON file")
+    parser.add_argument(
+        "--by-tid",
+        action="store_true",
+        help="split rows per tid (one track per shard/lane cell)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        events = load_events(args.trace)
+    except (OSError, ValueError, json.JSONDecodeError) as error:
+        print(f"trace_report: {error}", file=sys.stderr)
+        return 2
+
+    report = aggregate(events, by_tid=args.by_tid)
+    try:
+        if args.json:
+            print(json.dumps({"spans": report}, indent=2))
+        else:
+            print(f"{len(events)} complete events in {args.trace}")
+            print(render(report, by_tid=args.by_tid))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
