@@ -1,14 +1,19 @@
 // E21: the observability layer's own cost.
+// E22: the health engine's cost on top of it.
 //
 // The instrumentation lives permanently inside the grant and pipeline hot
-// paths, which is only tenable if its quiescent cost is noise. The
+// paths, which is only tenable if its quiescent cost is noise. The E21
 // headline table runs the same epoch-mode KMS fleet day three ways — no
 // tracer attached, tracer attached but disabled, tracer enabled and
 // recording — and reports the wall-clock overhead of each against the
 // uninstrumented run (the disabled column is the one E21 pins: < 2%).
-// The microbenchmarks price the primitives: sharded counter/histogram
-// writes, the disabled-span branch, a recorded span, and the Chrome JSON
-// export per span.
+// E22 layers the AlertEngine over the same fleet: metrics bound but no
+// engine vs the built-in rule pack evaluating at the one-second
+// attach_alerts default, and pins the enabled-engine overhead < 2% as
+// well — alerting must be cheap enough to leave on. The microbenchmarks price the primitives:
+// sharded counter/histogram writes, the disabled-span branch, a recorded
+// span, the Chrome JSON export per span, and one engine evaluation swept
+// by rule count (the --series row).
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
@@ -22,6 +27,8 @@
 #include "src/common/worker_pool.hpp"
 #include "src/kms/kms.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/health/alert.hpp"
+#include "src/obs/health/rules.hpp"
 #include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/sharded_scheduler.hpp"
@@ -127,6 +134,80 @@ TracedRun run_traced_fleet(TraceMode mode, std::size_t pairs,
   return result;
 }
 
+/// One epoch-mode fleet run (same scale as E21) with metrics bound to a
+/// registry and, when `engine_on`, the built-in rule pack evaluating once
+/// per sim second on the scheduler (the attach_alerts default) — the
+/// always-on alerting posture E22 prices. Both modes pay for the bound registry; the delta is the
+/// engine itself (snapshot + condition evaluation + history upkeep).
+struct AlertedRun {
+  std::uint64_t grants = 0;
+  double wall_s = 0.0;
+  std::uint64_t evaluations = 0;
+  std::uint64_t conditions = 0;
+};
+
+AlertedRun run_alerted_fleet(bool engine_on, std::size_t pairs,
+                             double sim_seconds) {
+  MeshSimulation mesh(hot_fan(pairs), 22);
+  mesh.step(30.0);
+
+  SimClock clock;
+  EventScheduler scheduler(clock);
+  auto pool = std::make_shared<qkd::common::WorkerPool>(1);
+  ShardedScheduler sharded(scheduler, 1, pool);
+  KeyManagementService kms(mesh, sharded);
+
+  obs::MetricsRegistry registry(kms.shard_count());
+  mesh.bind_metrics(registry, "mesh");
+  kms.bind_metrics(registry, "kms");
+  obs::health::AlertEngine alerts(registry);
+  if (engine_on) {
+    namespace rules = obs::health::rules;
+    alerts.add_rule(rules::qber_spike("mesh_link0_qber_percent", "0"));
+    alerts.add_rule(rules::pool_drought("mesh_link0_pool_bits", "1->2"));
+    alerts.add_rule(rules::grant_slo_burn("kms_interactive_granted_within_slo",
+                                          "kms_interactive_granted",
+                                          "interactive"));
+    alerts.add_rule(rules::shed_surge("kms_bulk_shed", "bulk"));
+    alerts.add_rule(rules::retransmission_storm("kms_realtime_requests"));
+    alerts.add_rule(rules::distillation_stalled("kms_transports"));
+    scheduler.every(kSecond, kSecond,
+                    [&alerts](SimTime t) { alerts.evaluate(t); });
+  }
+
+  std::vector<std::uint64_t> granted(3 * pairs, 0);
+  const std::size_t bits[kQosClassCount] = {64, 96, 128};
+  for (std::size_t p = 0; p < pairs; ++p) {
+    const auto src = static_cast<NodeId>(1 + 2 * p);
+    const auto dst = static_cast<NodeId>(2 + 2 * p);
+    for (unsigned qos = 0; qos < kQosClassCount; ++qos) {
+      const ClientId id = kms.register_client(
+          {"c" + std::to_string(p) + "-" + std::to_string(qos), src, dst,
+           static_cast<QosClass>(qos)});
+      const std::size_t slot = 3 * p + qos;
+      const std::size_t request_bits = bits[qos];
+      kms.stream_for_pair(src, dst).every(
+          (slot + 1) * (kMillisecond / 4), 10 * kMillisecond,
+          [&kms, &granted, id, slot, request_bits](SimTime) {
+            kms.get_key(id, request_bits,
+                        [&granted, slot](const Grant& grant) {
+                          if (grant.status == GrantStatus::kGranted)
+                            ++granted[slot];
+                        });
+          });
+    }
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  sharded.run_until(seconds_to_sim(sim_seconds));
+  AlertedRun result;
+  result.wall_s = seconds_since(start);
+  for (std::uint64_t count : granted) result.grants += count;
+  result.evaluations = alerts.stats().evaluations;
+  result.conditions = alerts.stats().conditions_evaluated;
+  return result;
+}
+
 void print_tables() {
   qkd::bench::heading("E21", "observability overhead on the grant path");
 
@@ -168,6 +249,34 @@ void print_tables() {
                   "%zu KiB in %.1f ms",
                   enabled_run.spans, enabled_run.export_bytes / 1024,
                   1e3 * enabled_run.export_s);
+
+  qkd::bench::heading("E22", "health engine overhead on the same fleet");
+
+  double alert_wall[2] = {1e9, 1e9};
+  AlertedRun engine_run;
+  for (int rep = 0; rep < kReps; ++rep) {
+    for (int on = 0; on < 2; ++on) {
+      const AlertedRun run = run_alerted_fleet(on == 1, kPairs, kSimSeconds);
+      alert_wall[on] = std::min(alert_wall[on], run.wall_s);
+      if (on == 1) engine_run = run;
+    }
+  }
+
+  qkd::bench::row("same fleet, registry bound in both modes; enabled adds "
+                  "the six-rule pack at the 1 s attach_alerts default "
+                  "interval");
+  qkd::bench::row("");
+  qkd::bench::row("%-22s %10s %10s", "alert engine", "wall ms", "overhead");
+  qkd::bench::row("%-22s %10.2f %10s", "off (baseline)", 1e3 * alert_wall[0],
+                  "--");
+  qkd::bench::row("%-22s %10.2f %+9.2f%%", "on, 6 rules / 1s",
+                  1e3 * alert_wall[1],
+                  100.0 * (alert_wall[1] - alert_wall[0]) / alert_wall[0]);
+  qkd::bench::row("");
+  qkd::bench::row("  enabled budget: < 2%% (the E22 pin; see DESIGN.md)");
+  qkd::bench::row("  enabled run: %llu evaluations, %llu conditions checked",
+                  static_cast<unsigned long long>(engine_run.evaluations),
+                  static_cast<unsigned long long>(engine_run.conditions));
 }
 
 // ---- Primitive costs -------------------------------------------------------
@@ -272,6 +381,48 @@ void bm_obs_registry_snapshot(benchmark::State& state) {
                           static_cast<std::int64_t>(instruments));
 }
 BENCHMARK(bm_obs_registry_snapshot)->Arg(64)->Unit(benchmark::kMicrosecond);
+
+void bm_obs_alert_evaluate_sweep(benchmark::State& state) {
+  // One engine evaluation as a function of rule count (items/s = rules
+  // evaluated per second): half thresholds, half rate-of-change so the
+  // sweep pays for history upkeep too. 64 instruments backing the rules,
+  // matching the E21 snapshot benchmark's registry size.
+  obs::MetricsRegistry registry(4);
+  const auto rule_count = static_cast<std::size_t>(state.range(0));
+  std::vector<obs::Gauge*> gauges;
+  for (std::size_t i = 0; i < 64; ++i)
+    gauges.push_back(&registry.gauge("g" + std::to_string(i)));
+  obs::health::AlertEngine engine(registry);
+  for (std::size_t i = 0; i < rule_count; ++i) {
+    obs::health::AlertRule rule;
+    rule.name = "r" + std::to_string(i);
+    const std::string metric = "g" + std::to_string(i % 64);
+    if (i % 2 == 0)
+      rule.condition =
+          obs::health::Threshold{metric, obs::health::Comparison::kGreater,
+                                 1e9};
+    else
+      rule.condition = obs::health::RateOfChange{
+          metric, 10 * kSecond, obs::health::Comparison::kGreater, 1e9};
+    engine.add_rule(std::move(rule));
+  }
+  SimTime now = 0;
+  std::int64_t tick = 0;
+  for (auto _ : state) {
+    gauges[static_cast<std::size_t>(tick) % 64]->set(tick);
+    now += kSecond;
+    engine.evaluate(now);
+    ++tick;
+    benchmark::DoNotOptimize(engine.last_evaluated());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rule_count));
+}
+BENCHMARK(bm_obs_alert_evaluate_sweep)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -16,6 +16,14 @@
 // (one minute straddling Eve's arrival) and write it as Chrome trace JSON
 // — open the file in Perfetto (ui.perfetto.dev) or feed it to
 // tools/trace_report.py for per-span latency percentiles.
+//
+// The health engine watches the same day through the metrics registry:
+// the built-in rule pack (QBER spike, pool drought, SLO burn, shed
+// surge) runs as periodic evaluations on the scenario timeline, and the
+// eavesdrop minute shows up as alerts transitioning pending -> firing ->
+// resolved. Set QKD_INCIDENT_OUT=/path/incidents.json to write the JSON
+// incident report (tools/incident_report.py renders it, and merges the
+// trace with --trace).
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -23,6 +31,9 @@
 #include "src/kms/client_fleet.hpp"
 #include "src/kms/kms.hpp"
 #include "src/obs/export.hpp"
+#include "src/obs/health/report.hpp"
+#include "src/obs/health/rules.hpp"
+#include "src/obs/metrics.hpp"
 #include "src/obs/trace.hpp"
 #include "src/sim/scenario.hpp"
 
@@ -69,6 +80,26 @@ int main() {
   KmsClientFleet fleet(kms, runner.scheduler());
   runner.attach_client_driver(fleet);
   runner.recorder().attach_service(kms);
+
+  // The health layer: every signal the rules watch flows through one
+  // registry, and the engine evaluates the rule pack every ten sim
+  // seconds on the same timeline the day runs on.
+  obs::MetricsRegistry registry(kms.shard_count());
+  mesh.bind_metrics(registry, "mesh");
+  kms.bind_metrics(registry, "kms");
+  obs::health::AlertEngine alerts(registry);
+  // Eve's fiber is link 6 (alice's head-end); the alice->bob pair's supply
+  // hangs off it, so its pool is the drought signal for the pair.
+  alerts.add_rule(obs::health::rules::qber_spike("mesh_link6_qber_percent",
+                                                "6"));
+  alerts.add_rule(obs::health::rules::pool_drought("mesh_link6_pool_bits",
+                                                   "6->7"));
+  alerts.add_rule(obs::health::rules::grant_slo_burn(
+      "kms_interactive_granted_within_slo", "kms_interactive_granted",
+      "interactive"));
+  alerts.add_rule(obs::health::rules::shed_surge("kms_bulk_shed", "bulk"));
+  alerts.bind_alerts(registry);
+  runner.attach_alerts(alerts, 10 * kSecond);
 
   // Optional tracing: the full day would record millions of spans, so the
   // trace covers the interesting minute — thirty seconds of healthy
@@ -132,6 +163,34 @@ int main() {
       "\n-- recorder.to_csv(): %zu bytes, plottable per-class series --\n",
       csv.size());
   std::printf("%s", csv.substr(0, csv.find('\n') + 1).c_str());
+
+  // The day as the on-call rotation saw it: every lifecycle transition,
+  // then one line per assembled incident.
+  std::printf("\n-- alerts: the day as incidents --\n");
+  for (const auto& t : alerts.transitions())
+    std::printf("  t=%6.0fs  %-24s %s -> %s\n", sim_to_seconds(t.at),
+                t.rule.c_str(), obs::health::alert_state_name(t.from),
+                obs::health::alert_state_name(t.to));
+  for (const auto& incident : alerts.incidents()) {
+    char resolved[48];
+    if (incident.resolved())
+      std::snprintf(resolved, sizeof resolved, "resolved t=%.0fs",
+                    sim_to_seconds(incident.resolved_at));
+    else
+      std::snprintf(resolved, sizeof resolved, "still firing");
+    std::printf("  incident: %s fired t=%.0fs, %s (peak %.3g) — %s\n",
+                incident.rule.c_str(), sim_to_seconds(incident.firing_at),
+                resolved, incident.peak_value, incident.summary.c_str());
+  }
+
+  if (const char* incident_out = std::getenv("QKD_INCIDENT_OUT")) {
+    obs::health::write_incident_report(alerts, incident_out);
+    std::printf(
+        "\n-- incident report -> %s --\n"
+        "   render with tools/incident_report.py (merge the trace via "
+        "--trace)\n",
+        incident_out);
+  }
 
   if (trace_out != nullptr) {
     const std::string json = obs::chrome_trace_json(tracer);

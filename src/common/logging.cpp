@@ -1,11 +1,15 @@
 #include "src/common/logging.hpp"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace qkd {
 
 const char* log_level_name(LogLevel level) {
   switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
     case LogLevel::kDebug:
       return "DEBUG";
     case LogLevel::kInfo:
@@ -18,6 +22,20 @@ const char* log_level_name(LogLevel level) {
   return "?";
 }
 
+std::optional<LogLevel> parse_log_level(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name)
+    lower.push_back(static_cast<char>(
+        std::tolower(static_cast<unsigned char>(c))));
+  if (lower == "trace") return LogLevel::kTrace;
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarning;
+  if (lower == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
 Logger& Logger::instance() {
   static Logger logger;
   return logger;
@@ -27,6 +45,11 @@ Logger::Logger() {
   sink_ = [](LogLevel level, const std::string& message) {
     std::fprintf(stderr, "%s: %s\n", log_level_name(level), message.c_str());
   };
+  // Environment override for the initial threshold; tests and examples
+  // still call set_level() freely afterwards.
+  if (const char* env = std::getenv("QKD_LOG_LEVEL")) {
+    if (const auto level = parse_log_level(env)) level_.store(*level);
+  }
 }
 
 void Logger::set_sink(Sink sink) {

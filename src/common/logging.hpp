@@ -11,11 +11,18 @@
 // concurrent log() can no longer tear the std::function. Messages are
 // stamped with simulation time when a SimClock is registered, so transcript
 // lines line up with the event timeline instead of wall time.
+//
+// The initial threshold comes from the QKD_LOG_LEVEL environment variable
+// (trace/debug/info/warn/error, case-insensitive; unset or unparseable
+// keeps the kWarning default) — so the alert engine's debug transitions,
+// or anything else chatty, can be switched on per run without touching
+// code or flooding tier-1 test output.
 #pragma once
 
 #include <atomic>
 #include <functional>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -23,9 +30,18 @@
 
 namespace qkd {
 
-enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4
+};
 
 const char* log_level_name(LogLevel level);
+/// Parses "trace" / "debug" / "info" / "warn"(/"warning") / "error"
+/// (case-insensitive); nullopt for anything else.
+std::optional<LogLevel> parse_log_level(const std::string& name);
 
 class Logger {
  public:

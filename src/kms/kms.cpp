@@ -239,6 +239,17 @@ void KeyManagementService::on_supply_replenished(qkd::SimTime now) {
   if (woke) ++router_stats_.replenish_wakeups;
 }
 
+std::atomic<std::size_t>& KeyManagementService::pool_gauge_for(
+    network::NodeId src, network::NodeId dst) {
+  std::lock_guard<std::mutex> lock(pool_gauge_mu_);
+  for (PairPoolGauge& gauge : pool_gauges_)
+    if (gauge.src == src && gauge.dst == dst) return gauge.bits;
+  PairPoolGauge& gauge = pool_gauges_.emplace_back();
+  gauge.src = src;
+  gauge.dst = dst;
+  return gauge.bits;
+}
+
 // ---- Observability ---------------------------------------------------------
 
 void KeyManagementService::bind_metrics(obs::MetricsRegistry& registry,
@@ -260,12 +271,22 @@ void KeyManagementService::bind_metrics(obs::MetricsRegistry& registry,
       const std::string base = prefix + "_" + qos_class_name(cls);
       out.counter(base + "_requests", c.requests);
       out.counter(base + "_granted", c.granted);
+      out.counter(base + "_granted_within_slo", c.granted_within_slo);
       out.counter(base + "_rejected_queue_full", c.rejected_queue_full);
       out.counter(base + "_shed", c.shed);
       out.counter(base + "_departed", c.departed);
       out.counter(base + "_bits_granted", c.bits_granted);
       out.gauge(base + "_p99_grant_latency_s", p99_grant_latency_s(cls));
     }
+    // Per-pair pooled bits: each cell is a relaxed atomic the owning shard
+    // refreshes after every deposit/withdraw, so this read is safe while
+    // lanes are mid-grant (same contract as the class counters above).
+    std::lock_guard<std::mutex> lock(pool_gauge_mu_);
+    for (const PairPoolGauge& gauge : pool_gauges_)
+      out.gauge(prefix + "_pair" + std::to_string(gauge.src) + "_" +
+                    std::to_string(gauge.dst) + "_pool_bits",
+                static_cast<double>(
+                    gauge.bits.load(std::memory_order_relaxed)));
   });
 }
 
@@ -279,6 +300,7 @@ const KeyManagementService::ClassStats& KeyManagementService::class_stats(
     const ClassStats& s = shard->class_stats().at(index);
     total.requests += s.requests;
     total.granted += s.granted;
+    total.granted_within_slo += s.granted_within_slo;
     total.rejected_queue_full += s.rejected_queue_full;
     total.shed += s.shed;
     total.departed += s.departed;

@@ -65,9 +65,12 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -196,11 +199,20 @@ class KeyManagementService final : public sim::ServiceSampler {
     /// sharded-scheduler mode (each pair's stream derives from
     /// (seed, src, dst), so grant bits do not depend on shard count).
     std::uint64_t seed = 19;
+
+    /// Grant-latency service-level objective: a grant delivered within
+    /// this of its request counts into ClassStats::granted_within_slo
+    /// (the "good" counter the alert engine's burn-rate rules divide by
+    /// granted). Latency here is request-to-grant on the sim timeline.
+    qkd::SimTime slo_grant_latency = 500 * qkd::kMillisecond;
   };
 
   struct ClassStats {
     std::uint64_t requests = 0;
     std::uint64_t granted = 0;
+    /// Grants delivered within Config::slo_grant_latency — the SLO "good"
+    /// counter (granted_within_slo <= granted always).
+    std::uint64_t granted_within_slo = 0;
     std::uint64_t rejected_queue_full = 0;
     std::uint64_t shed = 0;
     std::uint64_t departed = 0;
@@ -357,6 +369,19 @@ class KeyManagementService final : public sim::ServiceSampler {
  private:
   friend class KmsShard;
 
+  /// One endpoint pair's pooled-bits gauge cell: written (relaxed) by the
+  /// owning shard after every deposit/withdraw, read by the metrics
+  /// collector. Lives in a deque so addresses stay stable as pairs
+  /// register; the deque itself is guarded by pool_gauge_mu_ (registration
+  /// and collection only — never the grant path's inner loop).
+  struct PairPoolGauge {
+    network::NodeId src = 0;
+    network::NodeId dst = 0;
+    std::atomic<std::size_t> bits{0};
+  };
+  std::atomic<std::size_t>& pool_gauge_for(network::NodeId src,
+                                           network::NodeId dst);
+
   struct ClientRecord {
     ClientConfig config;
     KmsShard* shard = nullptr;
@@ -389,6 +414,8 @@ class KeyManagementService final : public sim::ServiceSampler {
   GrantCallback grant_observer_;
   obs::Tracer* tracer_ = nullptr;
   std::vector<std::uint64_t> supply_subscriptions_;  // engine mode only
+  mutable std::mutex pool_gauge_mu_;
+  std::deque<PairPoolGauge> pool_gauges_;
 };
 
 }  // namespace qkd::kms

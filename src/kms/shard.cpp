@@ -116,6 +116,7 @@ PairState& KmsShard::pair_for(network::NodeId src, network::NodeId dst) {
   qkd::splitmix64(state);
   state ^= (static_cast<std::uint64_t>(src) << 32) ^ dst;
   pair->frame_rng = qkd::Rng(qkd::splitmix64(state));
+  pair->pool_gauge = &service_.pool_gauge_for(src, dst);
   return **pairs_.insert(it, std::move(pair));
 }
 
@@ -216,6 +217,9 @@ void KmsShard::purge_expired_claims(PairState& pair, qkd::SimTime now) {
     stats_.claims_expired.fetch_add(1, std::memory_order_relaxed);
     --pair.live_claims;
     pair.claims.pop_front();
+    if (pair.pool_gauge != nullptr)
+      pair.pool_gauge->store(pair.src_store.available_bits(),
+                             std::memory_order_relaxed);
   }
 }
 
@@ -361,7 +365,10 @@ void KmsShard::grant_round(
     AtomicClassStats& stats = class_stats_[qos];
     stats.granted.fetch_add(1, std::memory_order_relaxed);
     stats.bits_granted.fetch_add(request.bits, std::memory_order_relaxed);
-    latency_[qos].record(now - request.requested_at);
+    const qkd::SimTime latency = now - request.requested_at;
+    latency_[qos].record(latency);
+    if (latency <= service_.config_.slo_grant_latency)
+      stats.granted_within_slo.fetch_add(1, std::memory_order_relaxed);
 
     Grant grant;
     grant.client = request.client;
@@ -375,6 +382,9 @@ void KmsShard::grant_round(
     if (service_.grant_observer_) service_.grant_observer_(grant);
     request.callback(grant);
   }
+  if (pair.pool_gauge != nullptr)
+    pair.pool_gauge->store(pair.src_store.available_bits(),
+                           std::memory_order_relaxed);
 }
 
 void KmsShard::service_round(PairState& pair, qkd::SimTime now) {
@@ -491,6 +501,8 @@ const std::array<KmsShard::ClassStats, kQosClassCount>& KmsShard::class_stats()
     ClassStats& out = class_stats_cache_[qos];
     out.requests = in.requests.load(std::memory_order_relaxed);
     out.granted = in.granted.load(std::memory_order_relaxed);
+    out.granted_within_slo =
+        in.granted_within_slo.load(std::memory_order_relaxed);
     out.rejected_queue_full =
         in.rejected_queue_full.load(std::memory_order_relaxed);
     out.shed = in.shed.load(std::memory_order_relaxed);

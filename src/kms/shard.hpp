@@ -128,6 +128,10 @@ struct PairState {
   sim::EventScheduler::Handle service_event;
   qkd::SimTime armed_for = -1;  // due time of service_event, -1 when idle
   std::size_t consecutive_starved = 0;
+  /// Service-owned pooled-bits gauge cell (relaxed writes after every
+  /// deposit/withdraw): lets the metrics collector read per-pair pool
+  /// depth without walking shard pair state.
+  std::atomic<std::size_t>* pool_gauge = nullptr;
 };
 
 /// A selected-but-not-yet-transported service round, parked between the
@@ -210,6 +214,7 @@ class KmsShard {
   struct AtomicClassStats {
     std::atomic<std::uint64_t> requests{0};
     std::atomic<std::uint64_t> granted{0};
+    std::atomic<std::uint64_t> granted_within_slo{0};
     std::atomic<std::uint64_t> rejected_queue_full{0};
     std::atomic<std::uint64_t> shed{0};
     std::atomic<std::uint64_t> departed{0};

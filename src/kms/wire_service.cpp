@@ -157,6 +157,15 @@ bool KmsWireServer::handle(wire::Transport& io,
 
 // ---- Client ----------------------------------------------------------------
 
+void KmsWireClient::bind_metrics(obs::MetricsRegistry& registry,
+                                 std::string prefix) {
+  registry.add_collector([this, prefix = std::move(prefix)](
+                             obs::MetricsRegistry::Collect& out) {
+    out.counter(prefix + "_messages_sent", messages_sent_);
+    out.counter(prefix + "_retransmits", retransmits_);
+  });
+}
+
 std::optional<wire::EtsiMessage> KmsWireClient::call(const Bytes& framed,
                                                      wire::PacketType want,
                                                      wire::PacketType alt) {
@@ -164,6 +173,7 @@ std::optional<wire::EtsiMessage> KmsWireClient::call(const Bytes& framed,
   for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
     io_.send_frame(framed);
     ++messages_sent_;
+    if (attempt > 0) ++retransmits_;
     const auto raw = io_.recv_frame();
     if (!raw.has_value()) continue;  // lost in either direction: retransmit
     const auto frame = wire::decode_frame(*raw);

@@ -110,6 +110,15 @@ class KmsWireClient {
 
   /// Wire traffic this client put on the transport (retransmits included).
   std::size_t messages_sent() const { return messages_sent_; }
+  /// Re-sends of an unanswered request (attempts beyond each call's
+  /// first) — the wire-degradation signal the retransmission-storm alert
+  /// watches.
+  std::size_t retransmits() const { return retransmits_; }
+
+  /// Registers a collector exporting `<prefix>_messages_sent` and
+  /// `<prefix>_retransmits` counters. The client must outlive `registry`'s
+  /// snapshots.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string prefix);
 
   /// Installs the tracer get_key roots its client span in. With one set
   /// (and enabled), get_key requests travel as version-2 frames carrying
@@ -128,6 +137,7 @@ class KmsWireClient {
   obs::Tracer* tracer_ = nullptr;
   std::uint64_t next_request_id_ = 1;
   std::size_t messages_sent_ = 0;
+  std::size_t retransmits_ = 0;
 };
 
 }  // namespace qkd::kms

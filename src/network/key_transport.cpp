@@ -293,9 +293,20 @@ void MeshSimulation::bind_metrics(obs::MetricsRegistry& registry,
     out.counter(prefix + "_transports_compromised",
                 stats_.transports_compromised);
     double pool_bits = 0.0;
-    for (const Link& link : topology_.links())
+    std::size_t unusable = 0;
+    for (const Link& link : topology_.links()) {
       pool_bits += link_pool_bits(link.id);
+      if (!link.usable()) ++unusable;
+      // Per-link health gauges, the signals the paper's alarms watch:
+      // QBER in percent (intercept-resend drives it toward ~25%; the
+      // protocol abandons the link at 11%) and the pooled bits behind it.
+      const std::string id = std::to_string(link.id);
+      out.gauge(prefix + "_link" + id + "_qber_percent",
+                100.0 * link_qber(link, eavesdrop_fraction_[link.id]));
+      out.gauge(prefix + "_link" + id + "_pool_bits", link_pool_bits(link.id));
+    }
     out.gauge(prefix + "_pool_bits_total", pool_bits);
+    out.gauge(prefix + "_links_unusable", static_cast<double>(unusable));
   });
 }
 

@@ -1,0 +1,123 @@
+#include "src/obs/health/expect.hpp"
+
+#include <sstream>
+
+namespace qkd::obs::health {
+
+namespace {
+
+std::string at_s(qkd::SimTime t) {
+  std::ostringstream out;
+  out << "t=" << qkd::sim_to_seconds(t) << "s";
+  return out.str();
+}
+
+}  // namespace
+
+void AlertExpect::RuleExpect::fail(const std::string& message) {
+  parent_.failures_.push_back("expect_alert(" + rule_ + "): " + message);
+}
+
+bool AlertExpect::RuleExpect::known(const char* check) {
+  if (parent_.engine_.has_rule(rule_)) return true;
+  fail(std::string(check) + ": no such rule in the engine");
+  return false;
+}
+
+qkd::SimTime AlertExpect::RuleExpect::first_entered(AlertState state) const {
+  for (const Transition& t : parent_.engine_.transitions())
+    if (t.rule == rule_ && t.to == state) return t.at;
+  return -1;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::pending_by(
+    qkd::SimTime deadline) {
+  if (!known("pending_by")) return *this;
+  const qkd::SimTime at = first_entered(AlertState::kPending);
+  if (at < 0)
+    fail("never entered pending");
+  else if (at > deadline)
+    fail("entered pending at " + at_s(at) + ", after deadline " +
+         at_s(deadline));
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::firing_between(
+    qkd::SimTime t0, qkd::SimTime t1) {
+  if (!known("firing_between")) return *this;
+  for (const Transition& t : parent_.engine_.transitions())
+    if (t.rule == rule_ && t.to == AlertState::kFiring && t.at >= t0 &&
+        t.at <= t1)
+      return *this;
+  const qkd::SimTime first = first_entered(AlertState::kFiring);
+  if (first < 0)
+    fail("never fired (expected firing in [" + at_s(t0) + ", " + at_s(t1) +
+         "])");
+  else
+    fail("fired at " + at_s(first) + ", outside [" + at_s(t0) + ", " +
+         at_s(t1) + "]");
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::fired() {
+  if (!known("fired")) return *this;
+  if (first_entered(AlertState::kFiring) < 0) fail("never fired");
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::resolved_by(
+    qkd::SimTime deadline) {
+  if (!known("resolved_by")) return *this;
+  const qkd::SimTime at = first_entered(AlertState::kResolved);
+  if (at < 0)
+    fail("never resolved");
+  else if (at > deadline)
+    fail("resolved at " + at_s(at) + ", after deadline " + at_s(deadline));
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::never_fires() {
+  if (!known("never_fires")) return *this;
+  for (const Transition& t : parent_.engine_.transitions()) {
+    if (t.rule != rule_) continue;
+    fail("expected to stay inactive, but entered " +
+         std::string(alert_state_name(t.to)) + " at " + at_s(t.at));
+    return *this;
+  }
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::full_lifecycle() {
+  if (!known("full_lifecycle")) return *this;
+  const qkd::SimTime pending = first_entered(AlertState::kPending);
+  const qkd::SimTime firing = first_entered(AlertState::kFiring);
+  const qkd::SimTime resolved = first_entered(AlertState::kResolved);
+  if (pending < 0)
+    fail("full_lifecycle: never entered pending");
+  else if (firing < 0)
+    fail("full_lifecycle: pending at " + at_s(pending) + " but never fired");
+  else if (resolved < 0)
+    fail("full_lifecycle: fired at " + at_s(firing) + " but never resolved");
+  else if (!(pending <= firing && firing <= resolved))
+    fail("full_lifecycle: out of order (pending " + at_s(pending) +
+         ", firing " + at_s(firing) + ", resolved " + at_s(resolved) + ")");
+  return *this;
+}
+
+AlertExpect::RuleExpect& AlertExpect::RuleExpect::state_now(AlertState state) {
+  if (!known("state_now")) return *this;
+  const AlertState actual = parent_.engine_.state(rule_);
+  if (actual != state)
+    fail(std::string("expected state ") + alert_state_name(state) +
+         " after the last evaluation, got " + alert_state_name(actual));
+  return *this;
+}
+
+std::string AlertExpect::report() const {
+  if (failures_.empty()) return "alerts ok";
+  std::ostringstream out;
+  for (const std::string& failure : failures_) out << failure << "\n";
+  return out.str();
+}
+
+}  // namespace qkd::obs::health

@@ -1,0 +1,83 @@
+// Golden assertions over a finished AlertEngine — the alert-flavored
+// sibling of sim::TimelineExpect.
+//
+// The scenario corpus asserts alert shapes the same way it asserts
+// timeline shapes: fluent checks that append human-readable failures
+// instead of aborting, so one block reports every violated expectation of
+// a run at once.
+//
+//   AlertExpect expect(engine);
+//   expect.expect_alert("qber_spike:6")
+//         .pending_by(22 * kMinute)
+//         .firing_between(20 * kMinute, 30 * kMinute)
+//         .resolved_by(45 * kMinute);
+//   expect.expect_alert("qber_spike:3").never_fires();
+//   QKD_EXPECT_ALERTS(expect);   // gtest: EXPECT_TRUE(ok()) << report()
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/obs/health/alert.hpp"
+
+namespace qkd::obs::health {
+
+class AlertExpect {
+ public:
+  /// The engine must have finished its evaluations; only its transition
+  /// history and current states are read. Must outlive the AlertExpect.
+  explicit AlertExpect(const AlertEngine& engine) : engine_(engine) {}
+
+  /// Per-rule fluent handle; checks record failures on the parent.
+  class RuleExpect {
+   public:
+    /// The rule entered pending at or before `deadline`.
+    RuleExpect& pending_by(qkd::SimTime deadline);
+    /// The rule started firing inside [t0, t1] (the incident began in the
+    /// window — the ISSUE's expect_alert(name).firing_between(t0, t1)).
+    RuleExpect& firing_between(qkd::SimTime t0, qkd::SimTime t1);
+    /// The rule fired at some point in the run.
+    RuleExpect& fired();
+    /// The rule reached resolved at or before `deadline`.
+    RuleExpect& resolved_by(qkd::SimTime deadline);
+    /// The rule never left inactive (no pending, no firing).
+    RuleExpect& never_fires();
+    /// The full episode arc in order: pending -> firing -> resolved (the
+    /// lifecycle the ISSUE's acceptance criterion names).
+    RuleExpect& full_lifecycle();
+    /// The rule's state after the last evaluation.
+    RuleExpect& state_now(AlertState state);
+
+   private:
+    friend class AlertExpect;
+    RuleExpect(AlertExpect& parent, std::string rule)
+        : parent_(parent), rule_(std::move(rule)) {}
+    /// First transition into `state` for this rule, or -1.
+    qkd::SimTime first_entered(AlertState state) const;
+    void fail(const std::string& message);
+    /// Records an unknown-rule failure once and returns false.
+    bool known(const char* check);
+
+    AlertExpect& parent_;
+    std::string rule_;
+  };
+
+  RuleExpect expect_alert(const std::string& rule) {
+    return RuleExpect(*this, rule);
+  }
+
+  bool ok() const { return failures_.empty(); }
+  /// Every violated expectation, one per line ("alerts ok" when none).
+  std::string report() const;
+
+ private:
+  friend class RuleExpect;
+  const AlertEngine& engine_;
+  std::vector<std::string> failures_;
+};
+
+/// gtest glue: report every violated expectation of the block at once.
+#define QKD_EXPECT_ALERTS(expect) \
+  EXPECT_TRUE((expect).ok()) << (expect).report()
+
+}  // namespace qkd::obs::health

@@ -1,0 +1,107 @@
+#include "src/obs/health/report.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace qkd::obs::health {
+namespace {
+
+/// Minimal JSON string escaping (rule names and labels are ASCII
+/// identifiers in practice, but a stray quote must not corrupt the file).
+void append_json_string(std::ostringstream& out, const std::string& s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xF]
+              << "0123456789abcdef"[c & 0xF];
+        else
+          out << c;
+    }
+  }
+  out << '"';
+}
+
+void append_labels(std::ostringstream& out,
+                   const std::map<std::string, std::string>& labels) {
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out << ",";
+    first = false;
+    append_json_string(out, key);
+    out << ":";
+    append_json_string(out, value);
+  }
+  out << "}";
+}
+
+void append_time_or_null(std::ostringstream& out, qkd::SimTime t) {
+  if (t < 0)
+    out << "null";
+  else
+    out << qkd::sim_to_seconds(t);
+}
+
+}  // namespace
+
+std::string incident_report_json(const AlertEngine& engine) {
+  std::ostringstream out;
+  out << "{\"incidents\":[";
+  bool first = true;
+  for (const Incident& incident : engine.incidents()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"rule\":";
+    append_json_string(out, incident.rule);
+    out << ",\"summary\":";
+    append_json_string(out, incident.summary);
+    out << ",\"labels\":";
+    append_labels(out, incident.labels);
+    out << ",\"pending_s\":";
+    append_time_or_null(out, incident.pending_at);
+    out << ",\"firing_s\":" << qkd::sim_to_seconds(incident.firing_at)
+        << ",\"resolved_s\":";
+    append_time_or_null(out, incident.resolved_at);
+    // Duration of the firing phase; still-open incidents run to the last
+    // evaluation.
+    const qkd::SimTime end =
+        incident.resolved() ? incident.resolved_at : engine.last_evaluated();
+    out << ",\"duration_s\":"
+        << qkd::sim_to_seconds(end - incident.firing_at)
+        << ",\"peak_value\":" << incident.peak_value << "}";
+  }
+  out << "],\"transitions\":[";
+  first = true;
+  for (const Transition& t : engine.transitions()) {
+    if (!first) out << ",";
+    first = false;
+    out << "{\"t_s\":" << qkd::sim_to_seconds(t.at) << ",\"rule\":";
+    append_json_string(out, t.rule);
+    out << ",\"from\":\"" << alert_state_name(t.from) << "\",\"to\":\""
+        << alert_state_name(t.to) << "\",\"value\":" << t.value << "}";
+  }
+  const AlertEngine::Stats& stats = engine.stats();
+  out << "],\"stats\":{\"evaluations\":" << stats.evaluations
+      << ",\"conditions_evaluated\":" << stats.conditions_evaluated
+      << ",\"transitions\":" << stats.transitions
+      << ",\"rules\":" << engine.rule_count() << ",\"last_evaluated_s\":";
+  append_time_or_null(out, engine.last_evaluated());
+  out << "}}";
+  return out.str();
+}
+
+void write_incident_report(const AlertEngine& engine, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open incident report " + path);
+  out << incident_report_json(engine) << "\n";
+  if (!out) throw std::runtime_error("failed writing incident report " + path);
+}
+
+}  // namespace qkd::obs::health

@@ -1,0 +1,33 @@
+// JSON incident report for a finished AlertEngine.
+//
+// One self-describing document per run: every firing episode (with its
+// pending/firing/resolved instants in seconds and the peak observed
+// value), the raw transition log, and the engine's evaluation stats.
+// `tools/incident_report.py` merges this file with a chrome-trace span
+// dump into a per-incident timeline; CI uploads the example_kms_day
+// report as an artifact.
+#pragma once
+
+#include <string>
+
+#include "src/obs/health/alert.hpp"
+
+namespace qkd::obs::health {
+
+/// The report as a JSON string:
+///   {"incidents":[{"rule":...,"summary":...,"labels":{...},
+///                  "pending_s":...,"firing_s":...,"resolved_s":null|...,
+///                  "duration_s":...,"peak_value":...}, ...],
+///    "transitions":[{"t_s":...,"rule":...,"from":...,"to":...,
+///                    "value":...}, ...],
+///    "stats":{"evaluations":...,"conditions_evaluated":...,
+///             "transitions":...,"rules":...,"last_evaluated_s":...}}
+/// pending_s is null when the rule fired without a debounce window;
+/// resolved_s is null while the incident is still firing.
+std::string incident_report_json(const AlertEngine& engine);
+
+/// Writes incident_report_json() to `path` (throws std::runtime_error on
+/// I/O failure). The QKD_INCIDENT_OUT hook in example_kms_day lands here.
+void write_incident_report(const AlertEngine& engine, const std::string& path);
+
+}  // namespace qkd::obs::health

@@ -127,6 +127,14 @@ Histogram& MetricsRegistry::histogram(const std::string& name) {
   return *entry_for(name, MetricKind::kHistogram).histogram;
 }
 
+const Histogram* MetricsRegistry::find_histogram(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || it->second.kind != MetricKind::kHistogram)
+    return nullptr;
+  return it->second.histogram.get();
+}
+
 void MetricsRegistry::add_collector(Collector collector) {
   std::lock_guard<std::mutex> lock(mu_);
   collectors_.push_back(std::move(collector));

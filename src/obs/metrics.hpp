@@ -140,6 +140,11 @@ class MetricsRegistry {
   Gauge& gauge(const std::string& name);
   Histogram& histogram(const std::string& name);
 
+  /// The named histogram if one is registered, else nullptr (never
+  /// creates). Readers — the alert engine's quantile conditions — use this
+  /// to query arbitrary quantiles beyond the exported p50/p99.
+  const Histogram* find_histogram(const std::string& name) const;
+
   /// Pull-model bridge for layers that keep their own Stats structs: the
   /// callback runs inside snapshot()/to_prometheus() and reports current
   /// values through the emit functions. Values it emits appear alongside

@@ -86,6 +86,9 @@ void QkdLinkSession::bind_metrics(obs::MetricsRegistry& registry,
     out.counter(prefix + "_pulses", totals_.pulses);
     out.counter(prefix + "_sifted_bits", totals_.sifted_bits);
     out.counter(prefix + "_distilled_bits", totals_.distilled_bits);
+    // The paper's eavesdrop alarm in counter form: batches the protocol
+    // itself abandoned for excessive QBER.
+    out.counter(prefix + "_aborted_qber", totals_.aborted_qber());
     out.gauge(prefix + "_link_seconds", totals_.duration_s);
     for (std::size_t i = 0; i < pipeline_.size() && i < stage_wall_s_.size();
          ++i) {

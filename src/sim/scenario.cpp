@@ -145,6 +145,20 @@ void ScenarioRunner::attach_client_driver(ClientWorkloadDriver& driver) {
   client_driver_ = &driver;
 }
 
+void ScenarioRunner::attach_alerts(obs::health::AlertEngine& engine,
+                                   SimTime interval) {
+  if (interval <= 0)
+    throw std::invalid_argument(
+        "ScenarioRunner::attach_alerts: interval must be > 0");
+  alerts_ = &engine;
+  alert_interval_ = interval;
+  engine.set_transition_observer([this](const obs::health::Transition& t) {
+    recorder_.note(t.at, std::string("alert ") + t.rule + ": " +
+                             obs::health::alert_state_name(t.from) + " -> " +
+                             obs::health::alert_state_name(t.to));
+  });
+}
+
 void ScenarioRunner::set_action_observer(
     std::function<void(SimTime, const ScenarioAction&)> observer) {
   action_observer_ = std::move(observer);
@@ -362,6 +376,16 @@ std::size_t ScenarioRunner::run_with(
                       recorder_.sample(t);
                     });
 
+  if (alerts_ != nullptr) {
+    // Alert evaluation is its own periodic event (not piggybacked on
+    // sampling) so the evaluation cadence — and with it for_duration
+    // debounce resolution — is configured independently of the recorder.
+    scheduler_->every(alert_interval_, alert_interval_, [this](SimTime t) {
+      catch_up_mesh(t);
+      alerts_->evaluate(t);
+    });
+  }
+
   if (mesh_ != nullptr) {
     if (auto* service = mesh_->key_service()) {
       // Engine-backed links: one self-paced batch-completion event chain
@@ -422,6 +446,8 @@ std::size_t ScenarioRunner::run_with(
   catch_up_mesh(horizon);
   if (recorder_.points().empty() || recorder_.points().back().t != horizon)
     recorder_.sample(clock_->now());
+  if (alerts_ != nullptr && alerts_->last_evaluated() < horizon)
+    alerts_->evaluate(horizon);
   return dispatched;
 }
 

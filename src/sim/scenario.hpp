@@ -32,6 +32,7 @@
 
 #include "src/ipsec/vpn_sim.hpp"
 #include "src/network/key_transport.hpp"
+#include "src/obs/health/alert.hpp"
 #include "src/sim/event_scheduler.hpp"
 #include "src/sim/timeline.hpp"
 
@@ -211,6 +212,16 @@ class ScenarioRunner {
   /// scenario contains them); must outlive run().
   void attach_client_driver(ClientWorkloadDriver& driver);
 
+  /// Schedules a periodic `engine.evaluate(now)` every `interval` during
+  /// run() — the scheduler bridge the pull-based alert engine is designed
+  /// for — plus one closing evaluation at the horizon, and installs a
+  /// transition observer that annotates the recorder ("alert <rule>:
+  /// pending -> firing"), so alert lifecycle changes interleave with the
+  /// scripted actions on the timeline. The engine must outlive run();
+  /// attaching replaces any observer previously set on it.
+  void attach_alerts(obs::health::AlertEngine& engine,
+                     SimTime interval = kSecond);
+
   /// Invariant-probe seam: invoked right after every scripted action has
   /// been applied, with the action's effects already visible in the
   /// attached stack. The scenario fuzzer asserts its global invariants
@@ -267,6 +278,8 @@ class ScenarioRunner {
   SimTime mesh_accrued_to_ = 0;  // analytic mesh: accrual high-water mark
   ipsec::VpnLinkSimulation* vpn_ = nullptr;
   ClientWorkloadDriver* client_driver_ = nullptr;
+  obs::health::AlertEngine* alerts_ = nullptr;
+  SimTime alert_interval_ = kSecond;
   std::function<void(SimTime, const ScenarioAction&)> action_observer_;
   std::function<ipsec::IpPacket(std::uint64_t)> traffic_source_;
   std::uint64_t traffic_seq_ = 0;

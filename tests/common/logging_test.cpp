@@ -100,5 +100,44 @@ TEST(Logger, LevelGateFiltersBelowThresholdAndIsReadableConcurrently) {
   flipper.join();
 }
 
+TEST(Logger, ParseLogLevelAcceptsEveryNameCaseInsensitively) {
+  EXPECT_EQ(parse_log_level("trace"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("warning"), LogLevel::kWarning);
+  EXPECT_EQ(parse_log_level("error"), LogLevel::kError);
+  EXPECT_EQ(parse_log_level("TRACE"), LogLevel::kTrace);
+  EXPECT_EQ(parse_log_level("Info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("WARN"), LogLevel::kWarning);
+  // The QKD_LOG_LEVEL contract: anything unparseable keeps the default
+  // rather than guessing.
+  EXPECT_EQ(parse_log_level(""), std::nullopt);
+  EXPECT_EQ(parse_log_level("verbose"), std::nullopt);
+  EXPECT_EQ(parse_log_level("2"), std::nullopt);
+  EXPECT_EQ(parse_log_level("info "), std::nullopt);
+}
+
+TEST(Logger, TraceIsTheFinestLevelAndFiltersLikeTheRest) {
+  LoggerGuard guard;
+  Logger& logger = Logger::instance();
+  std::vector<LogLevel> seen;
+  logger.set_sink(
+      [&seen](LogLevel level, const std::string&) { seen.push_back(level); });
+
+  logger.set_level(LogLevel::kTrace);
+  QKD_LOG(kTrace) << "finest";
+  QKD_LOG(kDebug) << "fine";
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], LogLevel::kTrace);
+  EXPECT_EQ(std::string(log_level_name(LogLevel::kTrace)), "TRACE");
+
+  seen.clear();
+  logger.set_level(LogLevel::kDebug);
+  QKD_LOG(kTrace) << "suppressed";
+  QKD_LOG(kDebug) << "emitted";
+  EXPECT_EQ(seen.size(), 1u);
+}
+
 }  // namespace
 }  // namespace qkd

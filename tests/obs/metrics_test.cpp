@@ -105,6 +105,77 @@ TEST(MetricsRegistry, PrometheusTextHasTypeLinesAndHistogramSeries) {
   EXPECT_NE(text.find("grant_ns_sum 500"), std::string::npos);
 }
 
+TEST(MetricsRegistry, EmptyHistogramQuantilesAreZero) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("untouched");
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_EQ(histogram.sum(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 0.0);
+  // The export path carries the same convention instead of dividing by a
+  // zero count.
+  for (const MetricSample& sample : registry.snapshot()) {
+    EXPECT_DOUBLE_EQ(sample.p50, 0.0);
+    EXPECT_DOUBLE_EQ(sample.p99, 0.0);
+  }
+}
+
+TEST(MetricsRegistry, SingleBucketHistogramAnswersEveryQuantile) {
+  MetricsRegistry registry;
+  Histogram& histogram = registry.histogram("constant");
+  for (int i = 0; i < 1000; ++i) histogram.record(100);
+  // All mass in bucket bit_width(100)=7 (upper bound 128): every quantile
+  // — including q=0, whose rank clamps to 1 — reports that bound.
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.0), 128.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 128.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(0.99), 128.0);
+  EXPECT_DOUBLE_EQ(histogram.quantile(1.0), 128.0);
+
+  // Value 0 has bit_width 0: the zero bucket reports bound 0.
+  Histogram& zeros = registry.histogram("zeros");
+  zeros.record(0);
+  EXPECT_DOUBLE_EQ(zeros.quantile(0.99), 0.0);
+  EXPECT_EQ(zeros.count(), 1u);
+}
+
+TEST(MetricsRegistry, CollectorReRegistrationUnderTheSameNameAccumulates) {
+  // Two layers reporting under one name is a wiring bug the registry
+  // surfaces rather than hides: both samples appear in the snapshot (same
+  // name, their own values), matching the find-or-create contract of the
+  // direct instruments rather than silently dropping one reporter.
+  MetricsRegistry registry;
+  registry.add_collector([](MetricsRegistry::Collect& out) {
+    out.counter("dup_reported", 1);
+  });
+  registry.add_collector([](MetricsRegistry::Collect& out) {
+    out.counter("dup_reported", 2);
+  });
+  std::size_t seen = 0;
+  for (const MetricSample& sample : registry.snapshot())
+    if (sample.name == "dup_reported") ++seen;
+  EXPECT_EQ(seen, 2u);
+
+  // A collector name colliding with a direct instrument also keeps both:
+  // the direct value and the reported value are distinct samples.
+  registry.counter("dup_reported").add(10);
+  seen = 0;
+  for (const MetricSample& sample : registry.snapshot())
+    if (sample.name == "dup_reported") ++seen;
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(MetricsRegistry, FindHistogramNeverCreatesAndChecksKind) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.find_histogram("absent"), nullptr);
+  EXPECT_EQ(registry.snapshot().size(), 0u) << "find never creates";
+  registry.counter("a_counter");
+  EXPECT_EQ(registry.find_histogram("a_counter"), nullptr)
+      << "wrong kind is not a histogram";
+  Histogram& histogram = registry.histogram("real");
+  EXPECT_EQ(registry.find_histogram("real"), &histogram);
+}
+
 TEST(MetricsRegistry, ConcurrentCellWritersAndOneReaderAreRaceFree) {
   MetricsRegistry registry(4);
   Counter& counter = registry.counter("hot");

@@ -12,8 +12,9 @@ Typical uses:
     # Single pair of files
     tools/compare_bench.py old/BENCH_bench_kms.json new/BENCH_bench_kms.json
 
-    # Scaling curve: rows of one Arg-swept benchmark from one snapshot set
-    tools/compare_bench.py bench-results --series bm_kms_sharded_sweep
+    # Scaling curves: rows of Arg-swept benchmarks from one snapshot set
+    tools/compare_bench.py bench-results --series bm_kms_sharded_sweep \
+        --series bm_obs_alert_evaluate_sweep
 
 Inputs are files or directories of ``BENCH_*.json`` as written by
 ``--benchmark_out_format=json`` (the CI bench-examples job and the
@@ -36,11 +37,20 @@ from pathlib import Path
 TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
 
 
-def load_snapshots(path: Path):
-    """(file stem, benchmark name) -> real_time in ns."""
+def snapshot_files(path: Path):
+    """The BENCH_*.json files behind `path` (a dir or a single file), with
+    a clean one-line error — not a traceback — when it does not exist."""
+    if not path.exists():
+        raise SystemExit(f"error: snapshot path does not exist: {path}")
     files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
     if not files:
         raise SystemExit(f"error: no BENCH_*.json under {path}")
+    return files
+
+
+def load_snapshots(path: Path):
+    """(file stem, benchmark name) -> real_time in ns."""
+    files = snapshot_files(path)
     results = {}
     for file in files:
         try:
@@ -62,9 +72,7 @@ def load_snapshots(path: Path):
 
 def load_series(path: Path, prefix: str):
     """Rows of ``prefix/<arg>`` entries: (arg, real_time ns, items/s)."""
-    files = sorted(path.glob("BENCH_*.json")) if path.is_dir() else [path]
-    if not files:
-        raise SystemExit(f"error: no BENCH_*.json under {path}")
+    files = snapshot_files(path)
     rows = []
     for file in files:
         try:
@@ -124,14 +132,22 @@ def main():
     parser.add_argument("--strict", action="store_true",
                         help="exit 1 if any benchmark regresses past the "
                         "threshold (default: report only)")
-    parser.add_argument("--series", metavar="PREFIX",
+    parser.add_argument("--series", metavar="PREFIX", action="append",
                         help="print the scaling curve of one Arg-swept "
                         "benchmark (rows PREFIX/<arg>) from a single "
-                        "snapshot set instead of comparing two")
+                        "snapshot set instead of comparing two; repeatable "
+                        "for several curves in one invocation")
     args = parser.parse_args()
 
     if args.series:
-        return print_series(args.candidate or args.baseline, args.series)
+        status = 0
+        for i, prefix in enumerate(args.series):
+            if i:
+                print()
+            status = max(status,
+                         print_series(args.candidate or args.baseline,
+                                      prefix))
+        return status
     if args.candidate is None:
         parser.error("candidate is required unless --series is given")
 

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Per-incident timeline over an AlertEngine incident-report JSON file.
+
+Reads the {"incidents": [...], "transitions": [...], "stats": {...}}
+document src/obs/health/report.cpp writes (QKD_INCIDENT_OUT in
+example_kms_day) and prints one block per incident: the lifecycle
+instants (pending/firing/resolved in sim seconds), the peak observed
+value, and the rule's labels. With --trace it merges a Chrome trace-event
+JSON (the obs tracer's QKD_TRACE_OUT dump, sim-time microseconds) into
+each block: the spans that overlap the incident's firing window, grouped
+by name with counts and total sim time — "what the stack was doing while
+the alarm was up".
+
+Stdlib only (json/argparse); no third-party imports.
+
+Usage:
+  tools/incident_report.py incidents.json
+  tools/incident_report.py incidents.json --trace trace.json
+  tools/incident_report.py incidents.json --json    # machine-readable
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_json(path, what):
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except FileNotFoundError:
+        print(f"incident_report: {what} file not found: {path}",
+              file=sys.stderr)
+        sys.exit(2)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"incident_report: cannot read {what} {path}: {error}",
+              file=sys.stderr)
+        sys.exit(2)
+
+
+def load_spans(path):
+    document = load_json(path, "trace")
+    if isinstance(document, dict):
+        events = document.get("traceEvents", [])
+    elif isinstance(document, list):
+        events = document
+    else:
+        print(f"incident_report: {path} is not a Chrome trace document",
+              file=sys.stderr)
+        sys.exit(2)
+    return [e for e in events if isinstance(e, dict) and e.get("ph") == "X"]
+
+
+def spans_in_window(spans, start_s, end_s):
+    """Spans overlapping [start_s, end_s], grouped by name."""
+    groups = {}
+    for span in spans:
+        t0 = float(span.get("ts", 0.0)) / 1e6  # sim-time us -> s
+        t1 = t0 + float(span.get("dur", 0.0)) / 1e6
+        if t1 < start_s or t0 > end_s:
+            continue
+        row = groups.setdefault(span.get("name", "?"),
+                                {"count": 0, "total_us": 0.0})
+        row["count"] += 1
+        row["total_us"] += float(span.get("dur", 0.0))
+    return [
+        {"name": name, "count": row["count"], "total_us": row["total_us"]}
+        for name, row in sorted(
+            groups.items(), key=lambda kv: -kv[1]["total_us"]
+        )
+    ]
+
+
+def build_report(document, spans):
+    incidents = []
+    for incident in document.get("incidents", []):
+        entry = dict(incident)
+        if spans is not None:
+            end = incident.get("resolved_s")
+            if end is None:
+                end = incident.get("firing_s", 0.0) + incident.get(
+                    "duration_s", 0.0
+                )
+            entry["spans"] = spans_in_window(
+                spans, incident.get("firing_s", 0.0), end
+            )
+        incidents.append(entry)
+    return {
+        "incidents": incidents,
+        "transitions": document.get("transitions", []),
+        "stats": document.get("stats", {}),
+    }
+
+
+def fmt_time(value):
+    return "still firing" if value is None else f"t={value:.1f}s"
+
+
+def render(report):
+    lines = []
+    incidents = report["incidents"]
+    stats = report["stats"]
+    lines.append(
+        f"{len(incidents)} incident(s), "
+        f"{stats.get('transitions', 0)} transition(s) across "
+        f"{stats.get('rules', 0)} rule(s), "
+        f"{stats.get('evaluations', 0)} evaluation(s)"
+    )
+    for i, incident in enumerate(incidents):
+        lines.append("")
+        lines.append(f"incident {i + 1}: {incident.get('rule', '?')}")
+        lines.append(f"  {incident.get('summary', '')}")
+        labels = incident.get("labels", {})
+        if labels:
+            rendered = ", ".join(f"{k}={v}" for k, v in sorted(labels.items()))
+            lines.append(f"  labels: {rendered}")
+        pending = incident.get("pending_s")
+        if pending is not None:
+            lines.append(f"  pending:  t={pending:.1f}s")
+        lines.append(f"  firing:   t={incident.get('firing_s', 0.0):.1f}s")
+        lines.append(f"  resolved: {fmt_time(incident.get('resolved_s'))}")
+        lines.append(
+            f"  duration: {incident.get('duration_s', 0.0):.1f}s, "
+            f"peak value {incident.get('peak_value', 0.0):.3g}"
+        )
+        spans = incident.get("spans")
+        if spans is not None:
+            if spans:
+                lines.append("  spans while firing:")
+                for span in spans[:10]:
+                    lines.append(
+                        f"    {span['name']:<28}{span['count']:>8}x"
+                        f"{span['total_us']:>14.1f}us"
+                    )
+                if len(spans) > 10:
+                    lines.append(f"    ... {len(spans) - 10} more")
+            else:
+                lines.append("  spans while firing: none recorded")
+    # The raw lifecycle log closes the story: every state change in order.
+    transitions = report["transitions"]
+    if transitions:
+        lines.append("")
+        lines.append("transitions:")
+        for t in transitions:
+            lines.append(
+                f"  t={t.get('t_s', 0.0):>8.1f}s  {t.get('rule', '?'):<32}"
+                f"{t.get('from', '?'):>9} -> {t.get('to', '?')}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Per-incident timeline over AlertEngine incident JSON"
+    )
+    parser.add_argument("incidents", help="path to the incident-report JSON")
+    parser.add_argument(
+        "--trace",
+        help="Chrome trace JSON to merge (spans overlapping each incident)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    document = load_json(args.incidents, "incident report")
+    if not isinstance(document, dict):
+        print(
+            f"incident_report: {args.incidents} is not an incident document",
+            file=sys.stderr,
+        )
+        return 2
+    spans = load_spans(args.trace) if args.trace else None
+    report = build_report(document, spans)
+    try:
+        if args.json:
+            print(json.dumps(report, indent=2))
+        else:
+            print(render(report))
+    except BrokenPipeError:  # e.g. piped into head
+        sys.stderr.close()
+        return 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
